@@ -1,0 +1,56 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace mmjoin::bench {
+
+BenchEnv BenchEnv::FromCli(const CommandLine& cli, uint64_t default_build,
+                           uint64_t default_probe, int default_threads) {
+  BenchEnv env;
+  env.build_size = static_cast<uint64_t>(
+      cli.GetInt("build", static_cast<int64_t>(default_build)));
+  env.probe_size = static_cast<uint64_t>(
+      cli.GetInt("probe", static_cast<int64_t>(default_probe)));
+  env.threads = static_cast<int>(cli.GetInt("threads", default_threads));
+  env.nodes = static_cast<int>(cli.GetInt("nodes", 4));
+  env.repeat = static_cast<int>(cli.GetInt("repeat", 3));
+  env.seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
+  const std::string pages = cli.GetString("pages", "huge");
+  env.pages = pages == "small" ? mem::PagePolicy::kSmall
+                               : mem::PagePolicy::kHuge;
+  return env;
+}
+
+void PrintBanner(const char* artifact, const char* description,
+                 const BenchEnv& env) {
+  std::printf("=== %s ===\n%s\n", artifact, description);
+  std::printf(
+      "params: |R|=%llu |S|=%llu threads=%d nodes=%d repeat=%d seed=%llu\n"
+      "(paper sizes |R|=128M |S|=1280M on 4x15 cores; scaled for this "
+      "host -- shapes, not absolute numbers, are the reproduction target)\n\n",
+      static_cast<unsigned long long>(env.build_size),
+      static_cast<unsigned long long>(env.probe_size), env.threads,
+      env.nodes, env.repeat, static_cast<unsigned long long>(env.seed));
+}
+
+join::JoinResult RunMedian(join::Algorithm algorithm,
+                           numa::NumaSystem* system,
+                           const join::JoinConfig& config,
+                           const workload::Relation& build,
+                           const workload::Relation& probe, int repeat) {
+  std::vector<join::JoinResult> results;
+  results.reserve(repeat);
+  for (int i = 0; i < repeat; ++i) {
+    results.push_back(
+        join::RunJoin(algorithm, system, config, build, probe));
+  }
+  std::sort(results.begin(), results.end(),
+            [](const join::JoinResult& a, const join::JoinResult& b) {
+              return a.times.total_ns < b.times.total_ns;
+            });
+  return results[results.size() / 2];
+}
+
+}  // namespace mmjoin::bench

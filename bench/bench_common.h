@@ -1,0 +1,46 @@
+// Shared helpers for the per-figure experiment harnesses.
+
+#ifndef MMJOIN_BENCH_BENCH_COMMON_H_
+#define MMJOIN_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/mmjoin.h"
+#include "util/cli.h"
+#include "util/table_printer.h"
+
+namespace mmjoin::bench {
+
+// Common experiment parameters, overridable from the command line:
+//   --build=N --probe=N --threads=N --nodes=N --seed=N --pages=huge|small
+//   --repeat=N (median-of-N timing)
+struct BenchEnv {
+  uint64_t build_size;
+  uint64_t probe_size;
+  int threads;
+  int nodes;
+  int repeat;
+  uint64_t seed;
+  mem::PagePolicy pages;
+
+  static BenchEnv FromCli(const CommandLine& cli, uint64_t default_build,
+                          uint64_t default_probe, int default_threads = 4);
+};
+
+// Prints the standard harness banner: which paper artifact this reproduces
+// and with which scaled-down parameters.
+void PrintBanner(const char* artifact, const char* description,
+                 const BenchEnv& env);
+
+// Runs `algorithm` `env.repeat` times on the given workload and returns the
+// run with the median total time (first run warms the data).
+join::JoinResult RunMedian(join::Algorithm algorithm,
+                           numa::NumaSystem* system,
+                           const join::JoinConfig& config,
+                           const workload::Relation& build,
+                           const workload::Relation& probe, int repeat);
+
+}  // namespace mmjoin::bench
+
+#endif  // MMJOIN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, and regenerates every paper
+# figure/table reproduction. Outputs land in test_output.txt and
+# bench_output.txt at the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+(for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "######## $b ########"
+  timeout 900 "$b"
+  echo
+done) 2>&1 | tee bench_output.txt

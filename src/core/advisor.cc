@@ -1,0 +1,58 @@
+#include "core/advisor.h"
+
+namespace mmjoin::core {
+namespace {
+
+// Lesson 1: below ~8 M build tuples chunk-local partitioning stops paying
+// off.
+constexpr uint64_t kSmallBuildThreshold = 8u * 1024 * 1024;
+// Lesson 3 / Appendix A: no-partitioning wins only beyond Zipf 0.9.
+constexpr double kHighSkewTheta = 0.9;
+// Appendix C: array joins stay effective while the key domain is at most
+// ~8x the build cardinality (with partition-count adaptation).
+constexpr uint64_t kArrayDomainFactor = 8;
+
+bool ArrayViable(const WorkloadProfile& profile) {
+  return profile.key_domain != 0 && profile.build_tuples != 0 &&
+         profile.key_domain <=
+             profile.build_tuples * kArrayDomainFactor;
+}
+
+}  // namespace
+
+Advice AdviseJoin(const WorkloadProfile& profile, int num_threads) {
+  const bool array = ArrayViable(profile);
+
+  if (profile.probe_skew_theta > kHighSkewTheta) {
+    if (array) {
+      return {join::Algorithm::kNOPA,
+              "highly skewed probe: unpartitioned table caches hot keys; "
+              "dense domain allows the array table (lessons 3, 7)"};
+    }
+    return {join::Algorithm::kNOP,
+            "highly skewed probe (Zipf > 0.9): partition-based joins "
+            "suffer unbalanced tasks (lesson 3)"};
+  }
+
+  if (profile.build_tuples < kSmallBuildThreshold) {
+    if (array) {
+      return {join::Algorithm::kNOPA,
+              "small build side: thread/partitioning overhead dominates; "
+              "array table for the dense domain (lessons 1, 7)"};
+    }
+    return {join::Algorithm::kNOP,
+            "small build side: no-partitioning avoids partitioning "
+            "overhead and the build may fit the LLC (lesson 1)"};
+  }
+
+  if (array) {
+    return {join::Algorithm::kCPRA,
+            "large inputs, dense domain: chunked radix partitioning with "
+            "array tables (lessons 3, 7, 8)"};
+  }
+  return {join::Algorithm::kCPRL,
+          "large inputs: chunked radix partitioning eliminates remote "
+          "writes; linear probing per partition (lessons 3, 8)"};
+}
+
+}  // namespace mmjoin::core

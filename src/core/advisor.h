@@ -1,0 +1,44 @@
+// JoinAdvisor: the paper's "lessons learned" (Section 9) as an executable
+// heuristic.
+//
+// Given a workload profile, picks the join algorithm the study recommends:
+//  * tiny inputs            -> no-partitioning (thread overhead + chunks
+//                              smaller than a page hurt CPR*, lesson 1)
+//  * heavily skewed probes  -> no-partitioning (lesson 3: NOP* wins only for
+//                              Zipf > 0.9)
+//  * dense / semi-dense PKs -> array variants (lesson 7: arrays beat hash
+//                              tables by up to 44%, viable while the
+//                              partition-adapted array fits caches)
+//  * otherwise              -> chunked partition-based (lessons 3, 7, 8)
+// All choices assume huge pages, SWWCBs, and Equation (1) bits (lessons
+// 4-6), which the implementations apply by default.
+
+#ifndef MMJOIN_CORE_ADVISOR_H_
+#define MMJOIN_CORE_ADVISOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "join/join_defs.h"
+
+namespace mmjoin::core {
+
+struct WorkloadProfile {
+  uint64_t build_tuples = 0;
+  uint64_t probe_tuples = 0;
+  // Exclusive upper bound of the build key domain; 0 = unknown/unbounded.
+  uint64_t key_domain = 0;
+  // Zipf theta of the probe key distribution (0 = uniform).
+  double probe_skew_theta = 0.0;
+};
+
+struct Advice {
+  join::Algorithm algorithm;
+  std::string reason;
+};
+
+Advice AdviseJoin(const WorkloadProfile& profile, int num_threads);
+
+}  // namespace mmjoin::core
+
+#endif  // MMJOIN_CORE_ADVISOR_H_

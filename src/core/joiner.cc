@@ -1,0 +1,51 @@
+#include "core/joiner.h"
+
+namespace mmjoin::core {
+
+Joiner::Joiner(const JoinerOptions& options)
+    : system_(options.num_nodes, options.page_policy),
+      num_threads_(options.num_threads) {
+  MMJOIN_CHECK(options.num_threads >= 1);
+}
+
+join::JoinResult Joiner::Run(join::Algorithm algorithm,
+                             const workload::Relation& build,
+                             const workload::Relation& probe) {
+  join::JoinConfig config;
+  config.num_threads = num_threads_;
+  return join::RunJoin(algorithm, &system_, config, build, probe);
+}
+
+std::optional<join::JoinResult> Joiner::RunByName(
+    std::string_view name, const workload::Relation& build,
+    const workload::Relation& probe) {
+  const auto algorithm = join::AlgorithmFromName(name);
+  if (!algorithm.has_value()) return std::nullopt;
+  return Run(*algorithm, build, probe);
+}
+
+Joiner::AutoResult Joiner::RunAuto(const workload::Relation& build,
+                                   const workload::Relation& probe,
+                                   double probe_skew_theta) {
+  const Advice advice = AdviseJoin(
+      WorkloadProfile{build.size(), probe.size(), build.key_domain(),
+                      probe_skew_theta},
+      num_threads_);
+  AutoResult result{advice.algorithm, advice.reason, {}};
+  result.result = Run(advice.algorithm, build, probe);
+  return result;
+}
+
+std::vector<join::MatchedPair> Joiner::RunMaterialized(
+    join::Algorithm algorithm, const workload::Relation& build,
+    const workload::Relation& probe) {
+  join::JoinIndexSink sink(num_threads_);
+  sink.Reserve(probe.size());  // FK joins: ~one match per probe tuple
+  join::JoinConfig config;
+  config.num_threads = num_threads_;
+  config.sink = &sink;
+  join::RunJoin(algorithm, &system_, config, build, probe);
+  return sink.Gather();
+}
+
+}  // namespace mmjoin::core

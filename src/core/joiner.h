@@ -1,0 +1,74 @@
+// Joiner: the one-object entry point for applications.
+//
+// Owns a NumaSystem, exposes by-name algorithm selection, automatic
+// algorithm choice via the lessons-learned advisor, and materializing
+// variants -- everything a downstream user needs without touching the
+// individual subsystems.
+
+#ifndef MMJOIN_CORE_JOINER_H_
+#define MMJOIN_CORE_JOINER_H_
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/advisor.h"
+#include "join/join_algorithm.h"
+#include "join/materialize.h"
+#include "numa/system.h"
+#include "workload/relation.h"
+
+namespace mmjoin::core {
+
+struct JoinerOptions {
+  int num_nodes = 4;
+  mem::PagePolicy page_policy = mem::PagePolicy::kHuge;
+  int num_threads = 4;
+};
+
+class Joiner {
+ public:
+  explicit Joiner(const JoinerOptions& options = JoinerOptions{});
+
+  Joiner(const Joiner&) = delete;
+  Joiner& operator=(const Joiner&) = delete;
+
+  // The NumaSystem relations for this joiner must be allocated from.
+  numa::NumaSystem* system() { return &system_; }
+
+  // Runs the given algorithm; `config_override` fields other than
+  // num_threads default sensibly.
+  join::JoinResult Run(join::Algorithm algorithm,
+                       const workload::Relation& build,
+                       const workload::Relation& probe);
+  // By name ("CPRL", "NOPA", ...); returns nullopt for unknown names.
+  std::optional<join::JoinResult> RunByName(
+      std::string_view name, const workload::Relation& build,
+      const workload::Relation& probe);
+
+  // Picks the algorithm via the paper's lessons (probe skew unknown -> 0).
+  struct AutoResult {
+    join::Algorithm algorithm;
+    std::string reason;
+    join::JoinResult result;
+  };
+  AutoResult RunAuto(const workload::Relation& build,
+                     const workload::Relation& probe,
+                     double probe_skew_theta = 0.0);
+
+  // Materializing variant: returns the joined <key, build_payload,
+  // probe_payload> triples.
+  std::vector<join::MatchedPair> RunMaterialized(
+      join::Algorithm algorithm, const workload::Relation& build,
+      const workload::Relation& probe);
+
+  int num_threads() const { return num_threads_; }
+
+ private:
+  numa::NumaSystem system_;
+  int num_threads_;
+};
+
+}  // namespace mmjoin::core
+
+#endif  // MMJOIN_CORE_JOINER_H_

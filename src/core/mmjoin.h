@@ -1,0 +1,34 @@
+// Umbrella header: the public API of the mmjoin library.
+//
+// Quickstart:
+//
+//   #include "core/mmjoin.h"
+//
+//   mmjoin::numa::NumaSystem system(/*num_nodes=*/4);
+//   auto build = mmjoin::workload::MakeDenseBuild(&system, 1 << 20, 1);
+//   auto probe = mmjoin::workload::MakeProbeFromBuild(&system, 10 << 20,
+//                                                     build, 2);
+//   mmjoin::join::JoinConfig config;
+//   config.num_threads = 4;
+//   auto result = mmjoin::join::RunJoin(mmjoin::join::Algorithm::kCPRL,
+//                                       &system, config, build, probe);
+//
+// See README.md for the architecture overview and DESIGN.md for the mapping
+// from paper experiments to modules.
+
+#ifndef MMJOIN_CORE_MMJOIN_H_
+#define MMJOIN_CORE_MMJOIN_H_
+
+#include "core/advisor.h"             // IWYU pragma: export
+#include "core/joiner.h"              // IWYU pragma: export
+#include "join/join_algorithm.h"      // IWYU pragma: export
+#include "join/join_defs.h"           // IWYU pragma: export
+#include "join/materialize.h"         // IWYU pragma: export
+#include "join/reference.h"           // IWYU pragma: export
+#include "numa/system.h"              // IWYU pragma: export
+#include "partition/model.h"          // IWYU pragma: export
+#include "util/types.h"               // IWYU pragma: export
+#include "workload/generator.h"       // IWYU pragma: export
+#include "workload/relation.h"        // IWYU pragma: export
+
+#endif  // MMJOIN_CORE_MMJOIN_H_

@@ -1,0 +1,74 @@
+// Hash functions for the join hash tables.
+//
+// Following the paper (Section 7.1), the default throughout the study is the
+// identity function modulo table size: build keys are dense primary keys, so
+// identity is both collision-free and free to compute. The partition-based
+// joins hash *within* a radix partition, where all keys share their low
+// radix bits -- there the bucket index must drop those bits first
+// (RadixShiftHash), exactly as in Balkesen et al.'s radix join code.
+// Murmur/CRC/Fibonacci variants are provided for the micro-benchmarks and
+// for non-dense domains.
+
+#ifndef MMJOIN_HASH_HASH_FUNCTIONS_H_
+#define MMJOIN_HASH_HASH_FUNCTIONS_H_
+
+#include <cstdint>
+
+#if defined(__SSE4_2__)
+#include <nmmintrin.h>
+#endif
+
+#include "util/macros.h"
+
+namespace mmjoin::hash {
+
+// key -> bucket source bits; the table masks the result by its (power of
+// two) size.
+struct IdentityHash {
+  MMJOIN_ALWAYS_INLINE uint32_t operator()(uint32_t key) const { return key; }
+};
+
+// Drops the low `shift` bits (the radix partition number) before hashing by
+// identity. With dense keys, keys inside partition p are {k : k mod P == p},
+// so k >> log2(P) is again dense.
+struct RadixShiftHash {
+  uint32_t shift = 0;
+  MMJOIN_ALWAYS_INLINE uint32_t operator()(uint32_t key) const {
+    return key >> shift;
+  }
+};
+
+// Murmur3 32-bit finalizer: full avalanche, used for skewed/sparse domains.
+struct MurmurHash {
+  MMJOIN_ALWAYS_INLINE uint32_t operator()(uint32_t key) const {
+    uint32_t h = key;
+    h ^= h >> 16;
+    h *= 0x85EBCA6Bu;
+    h ^= h >> 13;
+    h *= 0xC2B2AE35u;
+    h ^= h >> 16;
+    return h;
+  }
+};
+
+// Fibonacci (multiplicative) hashing.
+struct FibonacciHash {
+  MMJOIN_ALWAYS_INLINE uint32_t operator()(uint32_t key) const {
+    return static_cast<uint32_t>((key * 11400714819323198485ull) >> 32);
+  }
+};
+
+// Hardware CRC32C when available, Murmur fallback otherwise.
+struct Crc32Hash {
+  MMJOIN_ALWAYS_INLINE uint32_t operator()(uint32_t key) const {
+#if defined(__SSE4_2__)
+    return _mm_crc32_u32(0xDEADBEEFu, key);
+#else
+    return MurmurHash{}(key);
+#endif
+  }
+};
+
+}  // namespace mmjoin::hash
+
+#endif  // MMJOIN_HASH_HASH_FUNCTIONS_H_

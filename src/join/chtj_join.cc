@@ -1,0 +1,145 @@
+// CHTJ -- Concise Hash Table join (Barber et al., PVLDB 2014; paper
+// Section 3.2).
+//
+// Build: the build input is radix-partitioned on the *hash-bucket prefix*
+// into one partition per bitmap region, so each thread bulk-loads a disjoint
+// region of the global CHT with no synchronization. Probe: exactly like
+// NOP -- each thread probes its chunk of S against the read-only global CHT.
+// Although the build uses partitioning, the algorithm is classified as
+// no-partitioning: partitions never form independent co-group joins.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "hash/concise_table.h"
+#include "join/internal.h"
+#include "join/join_algorithm.h"
+#include "numa/system.h"
+#include "partition/radix.h"
+#include "thread/thread_team.h"
+#include "util/bits.h"
+#include "util/timer.h"
+
+namespace mmjoin::join::internal {
+namespace {
+
+class ChtJoin final : public JoinAlgorithm {
+ public:
+  Algorithm id() const override { return Algorithm::kCHTJ; }
+
+  JoinResult Run(numa::NumaSystem* system, const JoinConfig& config,
+                 ConstTupleSpan build, ConstTupleSpan probe,
+                 uint64_t key_domain) override {
+    const int num_threads = config.num_threads;
+
+    // Allocate + prefault all working memory before timing (buffer-manager
+    // assumption, Section 5.1).
+    hash::ConciseHashTable table(system, build.size(),
+                                 numa::Placement::kInterleavedPages);
+
+    // One radix partition per bitmap region; regions are group-aligned (64
+    // buckets), so cap the region count accordingly.
+    const uint64_t num_groups = table.num_buckets() / 64;
+    const uint64_t regions = std::min<uint64_t>(
+        NextPowerOfTwo(static_cast<uint64_t>(num_threads)), num_groups);
+    const uint32_t region_bits = FloorLog2(regions);
+    const uint32_t bucket_bits = FloorLog2(table.num_buckets());
+    const partition::RadixFn region_fn{
+        /*shift=*/bucket_bits - region_bits, /*bits=*/region_bits};
+    const uint64_t buckets_per_region = table.num_buckets() >> region_bits;
+
+    numa::NumaBuffer<Tuple> partitioned(system, build.size(),
+                                        numa::Placement::kInterleavedPages);
+    partition::RadixOptions options;
+    options.fn = region_fn;
+    options.use_swwcb = true;
+    options.num_threads = num_threads;
+    partition::GlobalRadixPartitioner partitioner(
+        system, options, build,
+        TupleSpan(partitioned.data(), partitioned.size()));
+
+    std::vector<uint64_t> bucket_of(build.size());
+    std::vector<std::vector<Tuple>> overflows(num_threads);
+    std::vector<ThreadStats> stats(num_threads);
+    thread::Barrier barrier(num_threads);
+    int64_t build_end = 0;
+    MatchSink* sink = config.sink;
+    const int64_t start = NowNanos();
+
+    thread::RunTeam(num_threads, [&](int tid) {
+      const int node = system->topology().NodeOfThread(tid, num_threads);
+
+      // --- Build: partition by hash prefix, then bulk-load regions. ---
+      partitioner.BuildHistogram(tid);
+      barrier.ArriveAndWait();
+      if (tid == 0) partitioner.ComputeOffsets();
+      barrier.ArriveAndWait();
+      partitioner.Scatter(tid, node);
+      barrier.ArriveAndWait();
+
+      const partition::PartitionLayout& layout = partitioner.layout();
+      for (uint64_t region = tid; region < regions;
+           region += static_cast<uint64_t>(num_threads)) {
+        const uint64_t begin = layout.PartitionBegin(
+            static_cast<uint32_t>(region));
+        const uint64_t size =
+            layout.PartitionSize(static_cast<uint32_t>(region));
+        const hash::ConciseHashTable::BuildRegion bucket_range{
+            region * buckets_per_region, (region + 1) * buckets_per_region};
+        table.MarkBits(
+            ConstTupleSpan(partitioned.data() + begin, size), bucket_range,
+            bucket_of.data() + begin, &overflows[tid]);
+      }
+      barrier.ArriveAndWait();
+
+      if (tid == 0) {
+        table.FinalizePrefix();
+        std::vector<Tuple> merged;
+        for (auto& overflow : overflows) {
+          merged.insert(merged.end(), overflow.begin(), overflow.end());
+        }
+        table.SetOverflow(std::move(merged));
+      }
+      barrier.ArriveAndWait();
+
+      for (uint64_t region = tid; region < regions;
+           region += static_cast<uint64_t>(num_threads)) {
+        const uint64_t begin = layout.PartitionBegin(
+            static_cast<uint32_t>(region));
+        const uint64_t size =
+            layout.PartitionSize(static_cast<uint32_t>(region));
+        table.Place(ConstTupleSpan(partitioned.data() + begin, size),
+                    bucket_of.data() + begin);
+      }
+      barrier.ArriveAndWait();
+      if (tid == 0) build_end = NowNanos();
+
+      // --- Probe (NOP-style). Each CHT lookup needs two dependent random
+      // accesses: bitmap group, then dense array.
+      const thread::Range s_range =
+          thread::ChunkRange(probe.size(), num_threads, tid);
+      system->CountRead(node, probe.data() + s_range.begin,
+                        s_range.size() * sizeof(Tuple));
+      ProbeRange(table, probe.data(), s_range.begin, s_range.end,
+                 config.build_unique, sink, tid, &stats[tid]);
+      system->CountRead(node, partitioned.data(),
+                        s_range.size() * 2 * kCacheLineSize);
+    });
+
+    const int64_t end = NowNanos();
+    JoinResult result = ReduceStats(stats.data(), num_threads);
+    result.times.build_ns = build_end - start;
+    result.times.probe_ns = end - build_end;
+    result.times.total_ns = end - start;
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<JoinAlgorithm> MakeChtJoin() {
+  return std::make_unique<ChtJoin>();
+}
+
+}  // namespace mmjoin::join::internal

@@ -1,0 +1,250 @@
+// CPRL and CPRA -- the chunked parallel radix joins proposed by the paper
+// (Section 6.1, Figures 4(c)/4(d)).
+//
+// Partitioning is chunk-local (no global histogram, no remote partition
+// writes). A partition therefore exists as one fragment per chunk; the join
+// phase gathers the build fragments of a co-partition into a node-local
+// scratch table (large sequential -- possibly remote -- reads) and probes
+// the probe fragments against it. CPRL uses the linear probing table, CPRA
+// arrays.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "hash/array_table.h"
+#include "hash/linear_probing_table.h"
+#include "join/internal.h"
+#include "join/join_algorithm.h"
+#include "numa/system.h"
+#include "partition/chunked.h"
+#include "partition/model.h"
+#include "thread/task_queue.h"
+#include "thread/thread_team.h"
+#include "util/bits.h"
+#include "util/timer.h"
+
+namespace mmjoin::join::internal {
+namespace {
+
+template <typename Scratch>
+void JoinChunkedPartitions(numa::NumaSystem* system, int tid, int node,
+                           thread::TaskQueue* queue,
+                           const partition::ChunkedLayout& r_layout,
+                           const partition::ChunkedLayout& s_layout,
+                           const Tuple* r_data, const Tuple* s_data,
+                           bool build_unique, MatchSink* sink,
+                           Scratch* scratch, ThreadStats* local) {
+  const int num_chunks = r_layout.num_chunks;
+  thread::JoinTask task;
+  while (queue->Pop(&task)) {
+    const uint32_t p = task.partition;
+    const uint64_t r_size = r_layout.PartitionSize(p);
+    if (r_size == 0 || s_layout.PartitionSize(p) == 0) continue;
+
+    // Build: gather this partition's fragments from every chunk.
+    scratch->Prepare(r_size);
+    for (int c = 0; c < num_chunks; ++c) {
+      const Tuple* fragment = r_data + r_layout.FragmentOffset(c, p);
+      const uint64_t size = r_layout.FragmentSize(c, p);
+      system->CountRead(node, fragment, size * sizeof(Tuple));
+      for (uint64_t i = 0; i < size; ++i) scratch->Insert(fragment[i]);
+    }
+
+    // Probe: skew slices partition the chunk range.
+    const int chunk_begin = static_cast<int>(
+        static_cast<uint64_t>(num_chunks) * task.probe_slice /
+        task.probe_slice_count);
+    const int chunk_end = static_cast<int>(
+        static_cast<uint64_t>(num_chunks) * (task.probe_slice + 1) /
+        task.probe_slice_count);
+    for (int c = chunk_begin; c < chunk_end; ++c) {
+      const Tuple* fragment = s_data + s_layout.FragmentOffset(c, p);
+      const uint64_t size = s_layout.FragmentSize(c, p);
+      system->CountRead(node, fragment, size * sizeof(Tuple));
+      ProbeRange(*scratch, fragment, 0, size, build_unique, sink, tid,
+                 local);
+    }
+  }
+}
+
+struct LinearChunkScratch {
+  using Table = hash::LinearProbingTable<hash::RadixShiftHash>;
+  std::unique_ptr<Table> table;
+  LinearChunkScratch(numa::NumaSystem* system, uint64_t max_tuples,
+                     uint64_t partition_domain, uint32_t bits, int node)
+      : table(std::make_unique<Table>(system,
+                                      std::max<uint64_t>(max_tuples, 1),
+                                      numa::Placement::kLocal, node,
+                                      hash::RadixShiftHash{bits})) {}
+  void Prepare(uint64_t build_size) { table->Reset(build_size); }
+  void Insert(Tuple t) { table->InsertSerial(t); }
+  template <typename Emit>
+  void Probe(uint32_t key, Emit&& emit) const {
+    table->Probe(key, emit);
+  }
+  template <typename Emit>
+  void ProbeUnique(uint32_t key, Emit&& emit) const {
+    table->ProbeUnique(key, emit);
+  }
+};
+
+struct ArrayChunkScratch {
+  std::unique_ptr<hash::ArrayTable> table;
+  uint64_t partition_domain;
+  uint32_t bits;
+  ArrayChunkScratch(numa::NumaSystem* system, uint64_t max_tuples,
+                    uint64_t partition_domain_in, uint32_t bits_in, int node)
+      : table(std::make_unique<hash::ArrayTable>(
+            system, std::max<uint64_t>(partition_domain_in, 1), bits_in,
+            numa::Placement::kLocal, node)),
+        partition_domain(std::max<uint64_t>(partition_domain_in, 1)),
+        bits(bits_in) {}
+  void Prepare(uint64_t build_size) { table->Reset(partition_domain, bits); }
+  void Insert(Tuple t) { table->InsertSerial(t); }
+  template <typename Emit>
+  void Probe(uint32_t key, Emit&& emit) const {
+    table->Probe(key, emit);
+  }
+  template <typename Emit>
+  void ProbeUnique(uint32_t key, Emit&& emit) const {
+    table->ProbeUnique(key, emit);
+  }
+};
+
+class CprJoin final : public JoinAlgorithm {
+ public:
+  explicit CprJoin(Algorithm id) : id_(id) {
+    MMJOIN_CHECK(id == Algorithm::kCPRL || id == Algorithm::kCPRA);
+  }
+
+  Algorithm id() const override { return id_; }
+
+  JoinResult Run(numa::NumaSystem* system, const JoinConfig& config,
+                 ConstTupleSpan build, ConstTupleSpan probe,
+                 uint64_t key_domain) override {
+    const int num_threads = config.num_threads;
+    const bool array = id_ == Algorithm::kCPRA;
+
+    uint32_t bits = config.radix_bits;
+    if (bits == 0) {
+      bits = partition::PredictRadixBits(
+          std::max<uint64_t>(build.size(), 1),
+          array ? partition::kArraySpace : partition::kLinearSpace,
+          num_threads, partition::DetectHostCacheSpec());
+    }
+    bits = std::min<uint32_t>(
+        bits, std::max<uint32_t>(
+                  CeilLog2(std::max<uint64_t>(build.size(), 2)), 1));
+
+    const uint64_t domain =
+        array ? InferKeyDomain(build, key_domain) : key_domain;
+    const uint64_t partition_domain =
+        domain == 0 ? 0 : CeilDiv(domain, uint64_t{1} << bits);
+
+    numa::NumaBuffer<Tuple> r_out(system, build.size(),
+                                  numa::Placement::kChunkedRoundRobin);
+    numa::NumaBuffer<Tuple> s_out(system, probe.size(),
+                                  numa::Placement::kChunkedRoundRobin);
+
+    partition::RadixOptions options;
+    options.fn = partition::RadixFn{0, bits};
+    options.use_swwcb = true;
+    options.num_threads = num_threads;
+    partition::ChunkedRadixPartitioner r_partitioner(
+        system, options, build, TupleSpan(r_out.data(), r_out.size()));
+    partition::ChunkedRadixPartitioner s_partitioner(
+        system, options, probe, TupleSpan(s_out.data(), s_out.size()));
+
+    std::vector<ThreadStats> stats(num_threads);
+    thread::Barrier barrier(num_threads);
+    int64_t partition_end = 0;
+    thread::TaskQueue queue;
+    uint64_t max_r_partition = 0;
+    // Partition buffers were allocated + prefaulted untimed (buffer-manager
+    // assumption, Section 5.1).
+    const int64_t start = NowNanos();
+
+    thread::RunTeam(num_threads, [&](int tid) {
+      const int node =
+          system->topology().NodeOfThread(tid, num_threads);
+
+      r_partitioner.PartitionChunk(tid, node);
+      s_partitioner.PartitionChunk(tid, node);
+      barrier.ArriveAndWait();
+
+      if (tid == 0) {
+        partition_end = NowNanos();
+        SeedQueue(&queue, config, s_partitioner.layout(), probe.size());
+        const auto& r_layout = r_partitioner.layout();
+        for (uint32_t p = 0; p < r_layout.num_partitions; ++p) {
+          max_r_partition =
+              std::max(max_r_partition, r_layout.PartitionSize(p));
+        }
+      }
+      barrier.ArriveAndWait();
+
+      if (array) {
+        ArrayChunkScratch scratch(system, max_r_partition, partition_domain,
+                                  bits, node);
+        JoinChunkedPartitions(system, tid, node, &queue,
+                              r_partitioner.layout(), s_partitioner.layout(),
+                              r_out.data(), s_out.data(), config.build_unique,
+                              config.sink, &scratch, &stats[tid]);
+      } else {
+        LinearChunkScratch scratch(system, max_r_partition, partition_domain,
+                                   bits, node);
+        JoinChunkedPartitions(system, tid, node, &queue,
+                              r_partitioner.layout(), s_partitioner.layout(),
+                              r_out.data(), s_out.data(), config.build_unique,
+                              config.sink, &scratch, &stats[tid]);
+      }
+    });
+
+    const int64_t end = NowNanos();
+    JoinResult result = ReduceStats(stats.data(), num_threads);
+    result.times.partition_ns = partition_end - start;
+    result.times.probe_ns = end - partition_end;
+    result.times.total_ns = end - start;
+    return result;
+  }
+
+ private:
+  static void SeedQueue(thread::TaskQueue* queue, const JoinConfig& config,
+                        const partition::ChunkedLayout& s_layout,
+                        uint64_t probe_size) {
+    // Scheduling order is irrelevant for chunked joins (every partition is
+    // read from all nodes anyway, Section 6.2); use the sequential order.
+    const uint32_t num_partitions = s_layout.num_partitions;
+    const uint64_t avg =
+        std::max<uint64_t>(probe_size / num_partitions, 1);
+    std::vector<thread::JoinTask> consume;
+    for (uint32_t p = 0; p < num_partitions; ++p) {
+      uint32_t slices = 1;
+      const uint64_t s_size = s_layout.PartitionSize(p);
+      if (config.skew_task_factor > 0 &&
+          s_size > avg * config.skew_task_factor) {
+        slices = static_cast<uint32_t>(
+            CeilDiv(s_size, avg * config.skew_task_factor));
+        slices = std::min<uint32_t>(
+            slices, static_cast<uint32_t>(s_layout.num_chunks));
+      }
+      for (uint32_t s = 0; s < slices; ++s) {
+        consume.push_back(thread::JoinTask{p, s, slices});
+      }
+    }
+    for (auto it = consume.rbegin(); it != consume.rend(); ++it) {
+      queue->Push(*it);
+    }
+  }
+
+  Algorithm id_;
+};
+
+}  // namespace
+
+std::unique_ptr<JoinAlgorithm> MakeCprJoin(Algorithm variant) {
+  return std::make_unique<CprJoin>(variant);
+}
+
+}  // namespace mmjoin::join::internal

@@ -1,0 +1,94 @@
+// Internal shared helpers for the join implementations. Not part of the
+// public API.
+
+#ifndef MMJOIN_JOIN_INTERNAL_H_
+#define MMJOIN_JOIN_INTERNAL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "join/join_algorithm.h"
+#include "join/join_defs.h"
+#include "util/macros.h"
+#include "util/types.h"
+
+namespace mmjoin::join::internal {
+
+// Per-thread match accumulator, cache-line padded against false sharing.
+struct alignas(kCacheLineSize) ThreadStats {
+  uint64_t matches = 0;
+  uint64_t checksum = 0;
+  char padding[kCacheLineSize - 2 * sizeof(uint64_t)];
+};
+
+MMJOIN_ALWAYS_INLINE void AccumulateMatch(ThreadStats* stats, Tuple build,
+                                          Tuple probe) {
+  ++stats->matches;
+  stats->checksum +=
+      static_cast<uint64_t>(build.payload) + probe.payload;
+}
+
+inline JoinResult ReduceStats(const ThreadStats* stats, int num_threads) {
+  JoinResult result;
+  for (int t = 0; t < num_threads; ++t) {
+    result.matches += stats[t].matches;
+    result.checksum += stats[t].checksum;
+  }
+  return result;
+}
+
+// Exclusive upper bound of the build key domain: `provided` when nonzero,
+// otherwise max key + 1 (scanned).
+uint64_t InferKeyDomain(ConstTupleSpan build, uint64_t provided);
+
+// Probes probe[begin, end) against `table` (anything exposing Probe and
+// ProbeUnique), accumulating into `local` and optionally feeding `sink`.
+// The unique/sink dispatch happens once, outside the tight loops.
+template <typename Table>
+void ProbeRange(const Table& table, const Tuple* probe, uint64_t begin,
+                uint64_t end, bool unique, MatchSink* sink, int tid,
+                ThreadStats* local) {
+  if (unique) {
+    if (sink == nullptr) {
+      for (uint64_t i = begin; i < end; ++i) {
+        const Tuple s = probe[i];
+        table.ProbeUnique(s.key,
+                          [&](Tuple r) { AccumulateMatch(local, r, s); });
+      }
+    } else {
+      for (uint64_t i = begin; i < end; ++i) {
+        const Tuple s = probe[i];
+        table.ProbeUnique(s.key, [&](Tuple r) {
+          AccumulateMatch(local, r, s);
+          sink->Consume(tid, r, s);
+        });
+      }
+    }
+  } else {
+    if (sink == nullptr) {
+      for (uint64_t i = begin; i < end; ++i) {
+        const Tuple s = probe[i];
+        table.Probe(s.key, [&](Tuple r) { AccumulateMatch(local, r, s); });
+      }
+    } else {
+      for (uint64_t i = begin; i < end; ++i) {
+        const Tuple s = probe[i];
+        table.Probe(s.key, [&](Tuple r) {
+          AccumulateMatch(local, r, s);
+          sink->Consume(tid, r, s);
+        });
+      }
+    }
+  }
+}
+
+// Per-algorithm factories (one translation unit each).
+std::unique_ptr<JoinAlgorithm> MakeNopJoin(bool array_table);
+std::unique_ptr<JoinAlgorithm> MakeChtJoin();
+std::unique_ptr<JoinAlgorithm> MakeMwayJoin();
+std::unique_ptr<JoinAlgorithm> MakePrJoin(Algorithm variant);
+std::unique_ptr<JoinAlgorithm> MakeCprJoin(Algorithm variant);
+
+}  // namespace mmjoin::join::internal
+
+#endif  // MMJOIN_JOIN_INTERNAL_H_

@@ -1,0 +1,112 @@
+// Common definitions for the thirteen join algorithms (paper Table 2).
+
+#ifndef MMJOIN_JOIN_JOIN_DEFS_H_
+#define MMJOIN_JOIN_JOIN_DEFS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.h"
+
+namespace mmjoin::join {
+
+// The thirteen algorithms of the study, in the order of paper Table 2.
+enum class Algorithm {
+  kPRB,    // basic two-pass parallel radix join (no SWWCB)        [Balkesen]
+  kNOP,    // no-partitioning, lock-free linear probing            [Lang]
+  kCHTJ,   // concise hash table join                              [Barber]
+  kMWAY,   // multi-way sort-merge join                            [Balkesen]
+  kNOPA,   // NOP with an array table                              [this]
+  kPRO,    // one-pass radix join + SWWCB + NT streaming, chained  [Balkesen]
+  kPRL,    // PRO with linear probing                              [this]
+  kPRA,    // PRO with array tables                                [this]
+  kCPRL,   // chunked radix join, linear probing                   [this]
+  kCPRA,   // chunked radix join, array tables                     [this]
+  kPROiS,  // PRO + NUMA round-robin task scheduling               [this]
+  kPRLiS,  // PRL + improved scheduling                            [this]
+  kPRAiS,  // PRA + improved scheduling                            [this]
+};
+
+// Join classes (paper Table 1).
+enum class JoinClass {
+  kPartitionBased,
+  kNoPartitioning,
+  kSortMerge,
+};
+
+struct AlgorithmInfo {
+  Algorithm algorithm;
+  const char* name;
+  JoinClass join_class;
+  const char* description;
+  bool requires_dense_keys;  // array joins need a bounded key domain
+};
+
+const AlgorithmInfo& InfoOf(Algorithm algorithm);
+const char* NameOf(Algorithm algorithm);
+std::optional<Algorithm> AlgorithmFromName(std::string_view name);
+const std::vector<Algorithm>& AllAlgorithms();
+
+// Per-phase wall-clock breakdown. Partition-based joins report partition +
+// join (build+probe merged into `probe_ns` is *not* done -- build and probe
+// are timed separately where the algorithm distinguishes them; MWAY maps
+// sort to `build_ns` and merge-join to `probe_ns`).
+struct PhaseTimes {
+  int64_t partition_ns = 0;
+  int64_t build_ns = 0;
+  int64_t probe_ns = 0;
+  int64_t total_ns = 0;
+};
+
+// Aggregate join output. `checksum` is the order-independent sum of
+// build.payload + probe.payload over all matched pairs, so any two correct
+// algorithms agree on (matches, checksum).
+struct JoinResult {
+  uint64_t matches = 0;
+  uint64_t checksum = 0;
+  PhaseTimes times;
+
+  // The study's throughput metric: (|R| + |S|) / runtime, in million input
+  // tuples per second (paper Section 1, definition from Lang et al.).
+  double ThroughputMtps(uint64_t build_size, uint64_t probe_size) const {
+    if (times.total_ns <= 0) return 0.0;
+    return static_cast<double>(build_size + probe_size) /
+           (static_cast<double>(times.total_ns) * 1e-9) / 1e6;
+  }
+};
+
+// Optional consumer of matched pairs (used by the TPC-H executors to build
+// join indexes). Consume may be called concurrently from different threads
+// with distinct thread ids.
+class MatchSink {
+ public:
+  virtual ~MatchSink() = default;
+  virtual void Consume(int thread_id, Tuple build, Tuple probe) = 0;
+};
+
+struct JoinConfig {
+  int num_threads = 4;
+  // Radix bits for partition-based joins; 0 = predict via Equation (1).
+  uint32_t radix_bits = 0;
+  // Partitioning passes for the PR* family: 0 = algorithm default (PRB: 2,
+  // everything else: 1); 1 or 2 forces the pass count (the Figure 2
+  // single- vs two-pass study).
+  uint32_t num_passes = 0;
+  // Skew handling: probe partitions larger than `skew_factor` times the
+  // average are split into that many probe slices (0 disables).
+  uint32_t skew_task_factor = 8;
+  // The build side is a primary key column (unique keys) -- the setting of
+  // every workload in the paper. Probes then stop at the first match, which
+  // keeps linear probing O(1) under the identity hash on dense domains. Set
+  // false for general multiset build sides.
+  bool build_unique = true;
+  // Optional materialization of matched pairs.
+  MatchSink* sink = nullptr;
+};
+
+}  // namespace mmjoin::join
+
+#endif  // MMJOIN_JOIN_JOIN_DEFS_H_

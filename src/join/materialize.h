@@ -1,0 +1,100 @@
+// Join-result materialization sinks.
+//
+// The micro-benchmark methodology of the paper (and all prior work it
+// reproduces) aggregates matches instead of materializing them; real
+// queries need the pairs. These MatchSink implementations collect matched
+// tuples with per-thread buffers (no synchronization on the hot path),
+// following the join-index strategy of the paper's Appendix G.
+
+#ifndef MMJOIN_JOIN_MATERIALIZE_H_
+#define MMJOIN_JOIN_MATERIALIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "join/join_defs.h"
+#include "util/macros.h"
+#include "util/types.h"
+
+namespace mmjoin::join {
+
+// One materialized match: the payloads (row ids) of both sides plus the
+// join key.
+struct MatchedPair {
+  uint32_t key;
+  uint32_t build_payload;
+  uint32_t probe_payload;
+
+  friend bool operator==(const MatchedPair&, const MatchedPair&) = default;
+};
+
+// Collects matched pairs into per-thread vectors; call Gather() (single
+// threaded, after the join) to concatenate them into a join index.
+class JoinIndexSink final : public MatchSink {
+ public:
+  explicit JoinIndexSink(int num_threads) : per_thread_(num_threads) {}
+
+  // Optional: pre-reserve per-thread capacity when the match count is
+  // predictable (e.g. FK joins: |S| matches).
+  void Reserve(uint64_t expected_total) {
+    for (auto& local : per_thread_) {
+      local.reserve(expected_total / per_thread_.size() + 16);
+    }
+  }
+
+  void Consume(int tid, Tuple build, Tuple probe) override {
+    MMJOIN_DCHECK(tid >= 0 &&
+                  tid < static_cast<int>(per_thread_.size()));
+    per_thread_[tid].push_back(
+        MatchedPair{probe.key, build.payload, probe.payload});
+  }
+
+  // Total matches collected so far (call after the join).
+  uint64_t size() const {
+    uint64_t total = 0;
+    for (const auto& local : per_thread_) total += local.size();
+    return total;
+  }
+
+  // Concatenates all per-thread buffers (moves them out; the sink is empty
+  // afterwards). Order is deterministic given a deterministic join
+  // schedule but generally unspecified; sort if you need canonical order.
+  std::vector<MatchedPair> Gather() {
+    std::vector<MatchedPair> all;
+    all.reserve(size());
+    for (auto& local : per_thread_) {
+      all.insert(all.end(), local.begin(), local.end());
+      local.clear();
+      local.shrink_to_fit();
+    }
+    return all;
+  }
+
+ private:
+  std::vector<std::vector<MatchedPair>> per_thread_;
+};
+
+// Streams matches into a caller-provided callback under a per-thread
+// wrapper -- for pipelined consumption (aggregation, filtering) without
+// materialization. The callback must be thread-safe or rely only on the
+// tid-partitioned state it owns.
+template <typename Fn>
+class CallbackSink final : public MatchSink {
+ public:
+  explicit CallbackSink(Fn fn) : fn_(std::move(fn)) {}
+  void Consume(int tid, Tuple build, Tuple probe) override {
+    fn_(tid, build, probe);
+  }
+
+ private:
+  Fn fn_;
+};
+
+template <typename Fn>
+CallbackSink<Fn> MakeCallbackSink(Fn fn) {
+  return CallbackSink<Fn>(std::move(fn));
+}
+
+}  // namespace mmjoin::join
+
+#endif  // MMJOIN_JOIN_MATERIALIZE_H_

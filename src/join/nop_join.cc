@@ -1,0 +1,119 @@
+// NOP and NOPA (paper Sections 3.2 and 5.2).
+//
+// No-partitioning joins build one global hash table concurrently (NOP: the
+// lock-free CAS linear probing table of Lang et al.; NOPA: a plain array for
+// dense key domains), then every thread probes its chunk of S. The table is
+// interleaved page-wise over all NUMA nodes for balanced memory bandwidth.
+
+#include <memory>
+#include <vector>
+
+#include "hash/array_table.h"
+#include "hash/linear_probing_table.h"
+#include "join/internal.h"
+#include "join/join_algorithm.h"
+#include "numa/system.h"
+#include "thread/thread_team.h"
+#include "util/timer.h"
+
+namespace mmjoin::join::internal {
+namespace {
+
+// TableOps adapts the two table flavours to one code path.
+struct LinearOps {
+  using Table = hash::LinearProbingTable<hash::IdentityHash>;
+  static std::unique_ptr<Table> Make(numa::NumaSystem* system,
+                                     ConstTupleSpan build,
+                                     uint64_t key_domain) {
+    return std::make_unique<Table>(system, build.size(),
+                                   numa::Placement::kInterleavedPages);
+  }
+};
+
+struct ArrayOps {
+  using Table = hash::ArrayTable;
+  static std::unique_ptr<Table> Make(numa::NumaSystem* system,
+                                     ConstTupleSpan build,
+                                     uint64_t key_domain) {
+    return std::make_unique<Table>(system,
+                                   InferKeyDomain(build, key_domain),
+                                   /*key_shift=*/0,
+                                   numa::Placement::kInterleavedPages);
+  }
+};
+
+template <typename Ops>
+class NopFamilyJoin final : public JoinAlgorithm {
+ public:
+  explicit NopFamilyJoin(Algorithm id) : id_(id) {}
+
+  Algorithm id() const override { return id_; }
+
+  JoinResult Run(numa::NumaSystem* system, const JoinConfig& config,
+                 ConstTupleSpan build, ConstTupleSpan probe,
+                 uint64_t key_domain) override {
+    const int num_threads = config.num_threads;
+
+    // Working memory is allocated and prefaulted before timing starts: the
+    // paper assumes a buffer manager has faulted pages in already
+    // (Section 5.1, "Memory Allocation Locality").
+    auto table = Ops::Make(system, build, key_domain);
+    const int64_t start = NowNanos();
+
+    std::vector<ThreadStats> stats(num_threads);
+    thread::Barrier barrier(num_threads);
+    int64_t build_end = 0;
+    MatchSink* sink = config.sink;
+
+    thread::RunTeam(num_threads, [&](int tid) {
+      const int node = system->topology().NodeOfThread(tid, num_threads);
+
+      // Build: insert this thread's chunk of R into the global table.
+      const thread::Range r_range =
+          thread::ChunkRange(build.size(), num_threads, tid);
+      system->CountRead(node, build.data() + r_range.begin,
+                        r_range.size() * sizeof(Tuple));
+      for (std::size_t i = r_range.begin; i < r_range.end; ++i) {
+        table->InsertConcurrent(build[i]);
+      }
+      // Random writes into the interleaved table: one cache line per insert.
+      system->CountWrite(node, table->raw_data(),
+                         r_range.size() * kCacheLineSize);
+
+      barrier.ArriveAndWait();
+      if (tid == 0) build_end = NowNanos();
+
+      // Probe this thread's chunk of S.
+      const thread::Range s_range =
+          thread::ChunkRange(probe.size(), num_threads, tid);
+      system->CountRead(node, probe.data() + s_range.begin,
+                        s_range.size() * sizeof(Tuple));
+      ProbeRange(*table, probe.data(), s_range.begin, s_range.end,
+                 config.build_unique, sink, tid, &stats[tid]);
+      // Random reads from the interleaved table: one line per probe.
+      system->CountRead(node, table->raw_data(),
+                        s_range.size() * kCacheLineSize);
+    });
+
+    const int64_t end = NowNanos();
+    JoinResult result = ReduceStats(stats.data(), num_threads);
+    result.times.build_ns = build_end - start;
+    result.times.probe_ns = end - build_end;
+    result.times.total_ns = end - start;
+    return result;
+  }
+
+ private:
+  Algorithm id_;
+};
+
+}  // namespace
+
+std::unique_ptr<JoinAlgorithm> MakeNopJoin(bool array_table) {
+  if (array_table) {
+    return std::make_unique<NopFamilyJoin<ArrayOps>>(Algorithm::kNOPA);
+  }
+  return std::make_unique<NopFamilyJoin<LinearOps>>(Algorithm::kNOP);
+}
+
+}  // namespace mmjoin::join::internal

@@ -1,0 +1,504 @@
+// The parallel radix join family (paper Sections 3.1, 5, 6.2):
+//
+//   PRB    two-pass, no SWWCB, chained tables, sequential task order
+//   PRO    one-pass, SWWCB + NT streaming, chained tables
+//   PRL    = PRO with linear probing tables
+//   PRA    = PRO with array tables
+//   PROiS / PRLiS / PRAiS = the same with NUMA round-robin task scheduling
+//
+// Flow: globally radix-partition R and S (one or two passes), then join
+// co-partitions pulled from a shared task stack. Each worker keeps one
+// reusable scratch table sized for the largest partition. Skewed probe
+// partitions are split into multiple probe-slice tasks.
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "hash/array_table.h"
+#include "hash/chained_table.h"
+#include "hash/linear_probing_table.h"
+#include "join/internal.h"
+#include "join/join_algorithm.h"
+#include "numa/system.h"
+#include "partition/model.h"
+#include "partition/radix.h"
+#include "thread/task_queue.h"
+#include "thread/thread_team.h"
+#include "util/bits.h"
+#include "util/timer.h"
+
+namespace mmjoin::join::internal {
+namespace {
+
+enum class TableKind { kChained, kLinear, kArray };
+
+struct PrVariantSpec {
+  bool two_pass;
+  bool use_swwcb;
+  TableKind table;
+  bool improved_sched;
+};
+
+PrVariantSpec SpecOf(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kPRB:
+      return {true, false, TableKind::kChained, false};
+    case Algorithm::kPRO:
+      return {false, true, TableKind::kChained, false};
+    case Algorithm::kPRL:
+      return {false, true, TableKind::kLinear, false};
+    case Algorithm::kPRA:
+      return {false, true, TableKind::kArray, false};
+    case Algorithm::kPROiS:
+      return {false, true, TableKind::kChained, true};
+    case Algorithm::kPRLiS:
+      return {false, true, TableKind::kLinear, true};
+    case Algorithm::kPRAiS:
+      return {false, true, TableKind::kArray, true};
+    default:
+      MMJOIN_CHECK(false && "not a PR variant");
+      return {};
+  }
+}
+
+partition::TableSpaceSpec SpaceOf(TableKind kind) {
+  switch (kind) {
+    case TableKind::kChained:
+      return partition::kChainedSpace;
+    case TableKind::kLinear:
+      return partition::kLinearSpace;
+    case TableKind::kArray:
+      return partition::kArraySpace;
+  }
+  return partition::kChainedSpace;
+}
+
+// Absolute [begin, size] for every final partition of one relation.
+struct FinalLayout {
+  std::vector<uint64_t> begin;
+  std::vector<uint64_t> size;
+  uint64_t MaxPartitionSize() const {
+    uint64_t max_size = 0;
+    for (uint64_t s : size) max_size = std::max(max_size, s);
+    return max_size;
+  }
+};
+
+FinalLayout FromSinglePass(const partition::PartitionLayout& layout) {
+  FinalLayout final;
+  const uint32_t P = layout.num_partitions();
+  final.begin.resize(P);
+  final.size.resize(P);
+  for (uint32_t p = 0; p < P; ++p) {
+    final.begin[p] = layout.PartitionBegin(p);
+    final.size[p] = layout.PartitionSize(p);
+  }
+  return final;
+}
+
+// Scratch-table adapters.
+struct ChainedScratch {
+  using Table = hash::ChainedHashTable<hash::RadixShiftHash>;
+  std::unique_ptr<Table> table;
+  ChainedScratch(numa::NumaSystem* system, uint64_t max_tuples,
+                 uint64_t partition_domain, uint32_t total_bits, int node)
+      : table(std::make_unique<Table>(
+            system, std::max<uint64_t>(max_tuples, 1),
+            numa::Placement::kLocal, node,
+            hash::RadixShiftHash{total_bits})) {}
+  void Prepare(uint64_t build_size) { table->Reset(build_size); }
+  void Insert(Tuple t) { table->InsertSerial(t); }
+  template <typename Emit>
+  void Probe(uint32_t key, Emit&& emit) const {
+    table->Probe(key, emit);
+  }
+  template <typename Emit>
+  void ProbeUnique(uint32_t key, Emit&& emit) const {
+    table->ProbeUnique(key, emit);
+  }
+};
+
+struct LinearScratch {
+  using Table = hash::LinearProbingTable<hash::RadixShiftHash>;
+  std::unique_ptr<Table> table;
+  LinearScratch(numa::NumaSystem* system, uint64_t max_tuples,
+                uint64_t partition_domain, uint32_t total_bits, int node)
+      : table(std::make_unique<Table>(
+            system, std::max<uint64_t>(max_tuples, 1),
+            numa::Placement::kLocal, node,
+            hash::RadixShiftHash{total_bits})) {}
+  void Prepare(uint64_t build_size) { table->Reset(build_size); }
+  void Insert(Tuple t) { table->InsertSerial(t); }
+  template <typename Emit>
+  void Probe(uint32_t key, Emit&& emit) const {
+    table->Probe(key, emit);
+  }
+  template <typename Emit>
+  void ProbeUnique(uint32_t key, Emit&& emit) const {
+    table->ProbeUnique(key, emit);
+  }
+};
+
+struct ArrayScratch {
+  std::unique_ptr<hash::ArrayTable> table;
+  uint64_t partition_domain;
+  uint32_t total_bits;
+  ArrayScratch(numa::NumaSystem* system, uint64_t max_tuples,
+               uint64_t partition_domain_in, uint32_t total_bits_in, int node)
+      : table(std::make_unique<hash::ArrayTable>(
+            system, std::max<uint64_t>(partition_domain_in, 1), total_bits_in,
+            numa::Placement::kLocal, node)),
+        partition_domain(std::max<uint64_t>(partition_domain_in, 1)),
+        total_bits(total_bits_in) {}
+  void Prepare(uint64_t build_size) {
+    table->Reset(partition_domain, total_bits);
+  }
+  void Insert(Tuple t) { table->InsertSerial(t); }
+  template <typename Emit>
+  void Probe(uint32_t key, Emit&& emit) const {
+    table->Probe(key, emit);
+  }
+  template <typename Emit>
+  void ProbeUnique(uint32_t key, Emit&& emit) const {
+    table->ProbeUnique(key, emit);
+  }
+};
+
+// Joins co-partitions pulled from `queue` with a per-thread scratch table.
+template <typename Scratch>
+void JoinPartitions(numa::NumaSystem* system, int tid, int node,
+                    int num_threads, thread::TaskQueue* queue,
+                    const FinalLayout& r_layout, const FinalLayout& s_layout,
+                    const Tuple* r_data, const Tuple* s_data,
+                    uint64_t partition_domain, uint32_t total_bits,
+                    bool build_unique, MatchSink* sink, ThreadStats* local) {
+  Scratch scratch(system, r_layout.MaxPartitionSize(), partition_domain,
+                  total_bits, node);
+  thread::JoinTask task;
+  while (queue->Pop(&task)) {
+    const uint32_t p = task.partition;
+    const uint64_t r_size = r_layout.size[p];
+    const uint64_t s_size = s_layout.size[p];
+    if (r_size == 0 || s_size == 0) continue;
+
+    // Build. Each probe-slice task builds its own scratch copy of the
+    // partition table: slices of one skewed partition may run on different
+    // threads ("assigning multiple threads to an individual partition").
+    const Tuple* r_part = r_data + r_layout.begin[p];
+    scratch.Prepare(r_size);
+    system->CountRead(node, r_part, r_size * sizeof(Tuple));
+    for (uint64_t i = 0; i < r_size; ++i) scratch.Insert(r_part[i]);
+
+    const uint64_t slice_begin =
+        s_size * task.probe_slice / task.probe_slice_count;
+    const uint64_t slice_end =
+        s_size * (task.probe_slice + 1) / task.probe_slice_count;
+    const Tuple* s_part = s_data + s_layout.begin[p];
+    system->CountRead(node, s_part + slice_begin,
+                      (slice_end - slice_begin) * sizeof(Tuple));
+    ProbeRange(scratch, s_part, slice_begin, slice_end, build_unique, sink,
+               tid, local);
+  }
+}
+
+// Builds the task list in consume order: scheduling order over partitions,
+// with skewed probe partitions split into multiple slices.
+std::vector<thread::JoinTask> BuildTasks(const FinalLayout& s_layout,
+                                         const std::vector<uint32_t>& order,
+                                         uint32_t skew_factor,
+                                         uint64_t probe_size) {
+  const uint64_t num_partitions = s_layout.size.size();
+  const uint64_t avg = std::max<uint64_t>(probe_size / num_partitions, 1);
+  std::vector<thread::JoinTask> consume_order;
+  consume_order.reserve(order.size());
+  for (const uint32_t p : order) {
+    uint32_t slices = 1;
+    if (skew_factor > 0 && s_layout.size[p] > avg * skew_factor) {
+      slices = static_cast<uint32_t>(
+          CeilDiv(s_layout.size[p], avg * skew_factor));
+    }
+    for (uint32_t s = 0; s < slices; ++s) {
+      consume_order.push_back(thread::JoinTask{p, s, slices});
+    }
+  }
+  // Stack semantics: seed in reverse so pops follow consume order.
+  std::reverse(consume_order.begin(), consume_order.end());
+  return consume_order;
+}
+
+class PrJoin final : public JoinAlgorithm {
+ public:
+  explicit PrJoin(Algorithm id) : id_(id), spec_(SpecOf(id)) {}
+
+  Algorithm id() const override { return id_; }
+
+  JoinResult Run(numa::NumaSystem* system, const JoinConfig& config,
+                 ConstTupleSpan build, ConstTupleSpan probe,
+                 uint64_t key_domain) override {
+    const int num_threads = config.num_threads;
+
+    uint32_t total_bits = config.radix_bits;
+    if (total_bits == 0) {
+      total_bits = partition::PredictRadixBits(
+          std::max<uint64_t>(build.size(), 1), SpaceOf(spec_.table),
+          num_threads, partition::DetectHostCacheSpec());
+    }
+    // Never create more partitions than build tuples.
+    total_bits = std::min<uint32_t>(
+        total_bits, std::max<uint32_t>(
+                        CeilLog2(std::max<uint64_t>(build.size(), 2)), 1));
+
+    const uint64_t domain = spec_.table == TableKind::kArray
+                                ? InferKeyDomain(build, key_domain)
+                                : (key_domain != 0 ? key_domain : 0);
+
+    bool two_pass = spec_.two_pass;
+    if (config.num_passes == 1) two_pass = false;
+    if (config.num_passes == 2) two_pass = true;
+
+    JoinResult result = two_pass
+                            ? RunTwoPass(system, config, build, probe, domain,
+                                         total_bits)
+                            : RunOnePass(system, config, build, probe, domain,
+                                         total_bits);
+    return result;
+  }
+
+ private:
+  JoinResult RunOnePass(numa::NumaSystem* system, const JoinConfig& config,
+                        ConstTupleSpan build, ConstTupleSpan probe,
+                        uint64_t domain, uint32_t total_bits) {
+    const int num_threads = config.num_threads;
+
+    numa::NumaBuffer<Tuple> r_out(system, build.size(),
+                                  numa::Placement::kChunkedRoundRobin);
+    numa::NumaBuffer<Tuple> s_out(system, probe.size(),
+                                  numa::Placement::kChunkedRoundRobin);
+
+    partition::RadixOptions options;
+    options.fn = partition::RadixFn{0, total_bits};
+    options.use_swwcb = spec_.use_swwcb;
+    options.num_threads = num_threads;
+    partition::GlobalRadixPartitioner r_partitioner(
+        system, options, build, TupleSpan(r_out.data(), r_out.size()));
+    partition::GlobalRadixPartitioner s_partitioner(
+        system, options, probe, TupleSpan(s_out.data(), s_out.size()));
+
+    std::vector<ThreadStats> stats(num_threads);
+    thread::Barrier barrier(num_threads);
+    int64_t partition_end = 0;
+    thread::TaskQueue queue;
+    FinalLayout r_layout, s_layout;
+    // Partition buffers were allocated + prefaulted untimed (buffer-manager
+    // assumption, Section 5.1).
+    const int64_t start = NowNanos();
+
+    thread::RunTeam(num_threads, [&](int tid) {
+      const int node =
+          system->topology().NodeOfThread(tid, num_threads);
+
+      r_partitioner.BuildHistogram(tid);
+      s_partitioner.BuildHistogram(tid);
+      barrier.ArriveAndWait();
+      if (tid == 0) {
+        r_partitioner.ComputeOffsets();
+        s_partitioner.ComputeOffsets();
+      }
+      barrier.ArriveAndWait();
+      r_partitioner.Scatter(tid, node);
+      s_partitioner.Scatter(tid, node);
+      barrier.ArriveAndWait();
+
+      if (tid == 0) {
+        partition_end = NowNanos();
+        r_layout = FromSinglePass(r_partitioner.layout());
+        s_layout = FromSinglePass(s_partitioner.layout());
+        SeedQueue(&queue, config, r_layout, s_layout, probe.size(),
+                  system->topology().num_nodes());
+      }
+      barrier.ArriveAndWait();
+
+      RunJoinPhase(system, tid, node, num_threads, &queue, r_layout,
+                   s_layout, r_out.data(), s_out.data(), domain, total_bits,
+                   config.build_unique, config.sink, &stats[tid]);
+    });
+
+    const int64_t end = NowNanos();
+    JoinResult result = ReduceStats(stats.data(), num_threads);
+    result.times.partition_ns = partition_end - start;
+    result.times.probe_ns = end - partition_end;
+    result.times.total_ns = end - start;
+    return result;
+  }
+
+  JoinResult RunTwoPass(numa::NumaSystem* system, const JoinConfig& config,
+                        ConstTupleSpan build, ConstTupleSpan probe,
+                        uint64_t domain, uint32_t total_bits) {
+    const int num_threads = config.num_threads;
+    const uint32_t bits1 = (total_bits + 1) / 2;
+    const uint32_t bits2 = total_bits - bits1;
+    const uint32_t P1 = uint32_t{1} << bits1;
+    const uint32_t P2 = uint32_t{1} << bits2;
+
+    numa::NumaBuffer<Tuple> r_mid(system, build.size(),
+                                  numa::Placement::kChunkedRoundRobin);
+    numa::NumaBuffer<Tuple> s_mid(system, probe.size(),
+                                  numa::Placement::kChunkedRoundRobin);
+    numa::NumaBuffer<Tuple> r_out(system, build.size(),
+                                  numa::Placement::kChunkedRoundRobin);
+    numa::NumaBuffer<Tuple> s_out(system, probe.size(),
+                                  numa::Placement::kChunkedRoundRobin);
+
+    partition::RadixOptions options;
+    options.fn = partition::RadixFn{0, bits1};
+    options.use_swwcb = spec_.use_swwcb;
+    options.num_threads = num_threads;
+    partition::GlobalRadixPartitioner r_partitioner(
+        system, options, build, TupleSpan(r_mid.data(), r_mid.size()));
+    partition::GlobalRadixPartitioner s_partitioner(
+        system, options, probe, TupleSpan(s_mid.data(), s_mid.size()));
+
+    std::vector<ThreadStats> stats(num_threads);
+    thread::Barrier barrier(num_threads);
+    int64_t partition_end = 0;
+    thread::TaskQueue queue;
+    FinalLayout r_layout, s_layout;
+    r_layout.begin.assign(static_cast<std::size_t>(P1) * P2, 0);
+    r_layout.size.assign(static_cast<std::size_t>(P1) * P2, 0);
+    s_layout.begin.assign(static_cast<std::size_t>(P1) * P2, 0);
+    s_layout.size.assign(static_cast<std::size_t>(P1) * P2, 0);
+
+    // Second-pass task counter: pass-1 partitions are tasks.
+    std::atomic<uint32_t> next_sub{0};
+    const partition::RadixFn fn2{bits1, bits2};
+    const int64_t start = NowNanos();
+
+    thread::RunTeam(num_threads, [&](int tid) {
+      const int node =
+          system->topology().NodeOfThread(tid, num_threads);
+
+      // Pass 1.
+      r_partitioner.BuildHistogram(tid);
+      s_partitioner.BuildHistogram(tid);
+      barrier.ArriveAndWait();
+      if (tid == 0) {
+        r_partitioner.ComputeOffsets();
+        s_partitioner.ComputeOffsets();
+      }
+      barrier.ArriveAndWait();
+      r_partitioner.Scatter(tid, node);
+      s_partitioner.Scatter(tid, node);
+      barrier.ArriveAndWait();
+
+      // Pass 2: whole pass-1 partitions are assigned via a work counter
+      // ("entire sub-partitions are assigned to worker threads by using a
+      // task queue", Section 3.1).
+      const auto& r1 = r_partitioner.layout();
+      const auto& s1 = s_partitioner.layout();
+      for (uint32_t p1 = next_sub.fetch_add(1); p1 < P1;
+           p1 = next_sub.fetch_add(1)) {
+        SubPartition(system, node, r_mid.data(), r_out.data(), r1, p1, fn2,
+                     P2, &r_layout);
+        SubPartition(system, node, s_mid.data(), s_out.data(), s1, p1, fn2,
+                     P2, &s_layout);
+      }
+      barrier.ArriveAndWait();
+
+      if (tid == 0) {
+        partition_end = NowNanos();
+        SeedQueue(&queue, config, r_layout, s_layout, probe.size(),
+                  system->topology().num_nodes());
+      }
+      barrier.ArriveAndWait();
+
+      RunJoinPhase(system, tid, node, num_threads, &queue, r_layout,
+                   s_layout, r_out.data(), s_out.data(), domain, total_bits,
+                   config.build_unique, config.sink, &stats[tid]);
+    });
+
+    const int64_t end = NowNanos();
+    JoinResult result = ReduceStats(stats.data(), num_threads);
+    result.times.partition_ns = partition_end - start;
+    result.times.probe_ns = end - partition_end;
+    result.times.total_ns = end - start;
+    return result;
+  }
+
+  void SubPartition(numa::NumaSystem* system, int node, const Tuple* mid,
+                    Tuple* out, const partition::PartitionLayout& pass1,
+                    uint32_t p1, partition::RadixFn fn2, uint32_t P2,
+                    FinalLayout* final_layout) const {
+    const uint64_t begin = pass1.PartitionBegin(p1);
+    const uint64_t size = pass1.PartitionSize(p1);
+    system->CountRead(node, mid + begin, size * sizeof(Tuple));
+    system->CountWrite(node, out + begin, size * sizeof(Tuple));
+    const partition::PartitionLayout sub = partition::SubPartitionSerial(
+        ConstTupleSpan(mid + begin, size), TupleSpan(out + begin, size),
+        fn2);
+    for (uint32_t p2 = 0; p2 < P2; ++p2) {
+      // Final partitions ordered pass1-major so partition indices stay
+      // correlated with virtual addresses (Section 6.2).
+      const std::size_t fp = static_cast<std::size_t>(p1) * P2 + p2;
+      final_layout->begin[fp] = begin + sub.PartitionBegin(p2);
+      final_layout->size[fp] = sub.PartitionSize(p2);
+    }
+  }
+
+  void SeedQueue(thread::TaskQueue* queue, const JoinConfig& config,
+                 const FinalLayout& r_layout, const FinalLayout& s_layout,
+                 uint64_t probe_size, int num_nodes) const {
+    const auto num_partitions =
+        static_cast<uint32_t>(r_layout.size.size());
+    const std::vector<uint32_t> order =
+        spec_.improved_sched
+            ? thread::RoundRobinNodeOrder(num_partitions, num_nodes)
+            : thread::SequentialOrder(num_partitions);
+    for (thread::JoinTask& task :
+         BuildTasks(s_layout, order, config.skew_task_factor, probe_size)) {
+      queue->Push(task);
+    }
+  }
+
+  void RunJoinPhase(numa::NumaSystem* system, int tid, int node,
+                    int num_threads, thread::TaskQueue* queue,
+                    const FinalLayout& r_layout, const FinalLayout& s_layout,
+                    const Tuple* r_data, const Tuple* s_data, uint64_t domain,
+                    uint32_t total_bits, bool build_unique, MatchSink* sink,
+                    ThreadStats* local) const {
+    const uint64_t partition_domain =
+        domain == 0 ? 0 : CeilDiv(domain, uint64_t{1} << total_bits);
+    switch (spec_.table) {
+      case TableKind::kChained:
+        JoinPartitions<ChainedScratch>(system, tid, node, num_threads, queue,
+                                       r_layout, s_layout, r_data, s_data,
+                                       partition_domain, total_bits,
+                                       build_unique, sink, local);
+        break;
+      case TableKind::kLinear:
+        JoinPartitions<LinearScratch>(system, tid, node, num_threads, queue,
+                                      r_layout, s_layout, r_data, s_data,
+                                      partition_domain, total_bits,
+                                      build_unique, sink, local);
+        break;
+      case TableKind::kArray:
+        JoinPartitions<ArrayScratch>(system, tid, node, num_threads, queue,
+                                     r_layout, s_layout, r_data, s_data,
+                                     partition_domain, total_bits,
+                                     build_unique, sink, local);
+        break;
+    }
+  }
+
+  Algorithm id_;
+  PrVariantSpec spec_;
+};
+
+}  // namespace
+
+std::unique_ptr<JoinAlgorithm> MakePrJoin(Algorithm variant) {
+  return std::make_unique<PrJoin>(variant);
+}
+
+}  // namespace mmjoin::join::internal

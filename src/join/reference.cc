@@ -1,0 +1,41 @@
+#include "join/reference.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mmjoin::join {
+
+JoinResult ReferenceJoin(ConstTupleSpan build, ConstTupleSpan probe) {
+  std::unordered_multimap<uint32_t, uint32_t> table;
+  table.reserve(build.size());
+  for (const Tuple& t : build) table.emplace(t.key, t.payload);
+
+  JoinResult result;
+  for (const Tuple& s : probe) {
+    auto [begin, end] = table.equal_range(s.key);
+    for (auto it = begin; it != end; ++it) {
+      ++result.matches;
+      result.checksum += static_cast<uint64_t>(it->second) + s.payload;
+    }
+  }
+  return result;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> ReferenceJoinPairs(
+    ConstTupleSpan build, ConstTupleSpan probe) {
+  std::unordered_multimap<uint32_t, uint32_t> table;
+  table.reserve(build.size());
+  for (const Tuple& t : build) table.emplace(t.key, t.payload);
+
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (const Tuple& s : probe) {
+    auto [begin, end] = table.equal_range(s.key);
+    for (auto it = begin; it != end; ++it) {
+      pairs.emplace_back(it->second, s.payload);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+}  // namespace mmjoin::join

@@ -1,0 +1,25 @@
+// Single-threaded reference join used by the test suite as ground truth.
+
+#ifndef MMJOIN_JOIN_REFERENCE_H_
+#define MMJOIN_JOIN_REFERENCE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "join/join_defs.h"
+#include "util/types.h"
+
+namespace mmjoin::join {
+
+// Computes (matches, checksum) with std::unordered_multimap semantics.
+JoinResult ReferenceJoin(ConstTupleSpan build, ConstTupleSpan probe);
+
+// Materializes every matched <build.payload, probe.payload> pair, sorted,
+// for exact multiset comparison on small inputs.
+std::vector<std::pair<uint32_t, uint32_t>> ReferenceJoinPairs(
+    ConstTupleSpan build, ConstTupleSpan probe);
+
+}  // namespace mmjoin::join
+
+#endif  // MMJOIN_JOIN_REFERENCE_H_

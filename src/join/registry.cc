@@ -1,0 +1,76 @@
+#include <memory>
+
+#include "join/join_algorithm.h"
+#include "join/join_defs.h"
+#include "util/macros.h"
+
+namespace mmjoin::join {
+namespace {
+
+constexpr AlgorithmInfo kInfos[] = {
+    {Algorithm::kPRB, "PRB", JoinClass::kPartitionBased,
+     "two-pass parallel radix join, no SWWCB/non-temporal streaming", false},
+    {Algorithm::kNOP, "NOP", JoinClass::kNoPartitioning,
+     "no-partitioning join, lock-free linear probing (CAS)", false},
+    {Algorithm::kCHTJ, "CHTJ", JoinClass::kNoPartitioning,
+     "concise hash table join", false},
+    {Algorithm::kMWAY, "MWAY", JoinClass::kSortMerge,
+     "multi-way sort-merge join, SIMD merge kernels", false},
+    {Algorithm::kNOPA, "NOPA", JoinClass::kNoPartitioning,
+     "NOP with a plain array as the hash table", true},
+    {Algorithm::kPRO, "PRO", JoinClass::kPartitionBased,
+     "one-pass parallel radix join + SWWCB + NT streaming, chained table",
+     false},
+    {Algorithm::kPRL, "PRL", JoinClass::kPartitionBased,
+     "PRO with a linear probing table", false},
+    {Algorithm::kPRA, "PRA", JoinClass::kPartitionBased,
+     "PRO with array tables", true},
+    {Algorithm::kCPRL, "CPRL", JoinClass::kPartitionBased,
+     "chunked parallel radix join, linear probing", false},
+    {Algorithm::kCPRA, "CPRA", JoinClass::kPartitionBased,
+     "chunked parallel radix join, array tables", true},
+    {Algorithm::kPROiS, "PROiS", JoinClass::kPartitionBased,
+     "PRO with NUMA round-robin join-task scheduling", false},
+    {Algorithm::kPRLiS, "PRLiS", JoinClass::kPartitionBased,
+     "PRL with improved scheduling", false},
+    {Algorithm::kPRAiS, "PRAiS", JoinClass::kPartitionBased,
+     "PRA with improved scheduling", true},
+};
+
+}  // namespace
+
+const AlgorithmInfo& InfoOf(Algorithm algorithm) {
+  for (const AlgorithmInfo& info : kInfos) {
+    if (info.algorithm == algorithm) return info;
+  }
+  MMJOIN_CHECK(false && "unknown algorithm");
+  return kInfos[0];
+}
+
+const char* NameOf(Algorithm algorithm) { return InfoOf(algorithm).name; }
+
+std::optional<Algorithm> AlgorithmFromName(std::string_view name) {
+  for (const AlgorithmInfo& info : kInfos) {
+    if (name == info.name) return info.algorithm;
+  }
+  return std::nullopt;
+}
+
+const std::vector<Algorithm>& AllAlgorithms() {
+  static const std::vector<Algorithm>* const kAll = [] {
+    auto* all = new std::vector<Algorithm>;
+    for (const AlgorithmInfo& info : kInfos) all->push_back(info.algorithm);
+    return all;
+  }();
+  return *kAll;
+}
+
+JoinResult RunJoin(Algorithm algorithm, numa::NumaSystem* system,
+                   const JoinConfig& config, const workload::Relation& build,
+                   const workload::Relation& probe) {
+  const std::unique_ptr<JoinAlgorithm> join = CreateJoin(algorithm);
+  return join->Run(system, config, build.cspan(), probe.cspan(),
+                   build.key_domain());
+}
+
+}  // namespace mmjoin::join

@@ -1,0 +1,99 @@
+#include "mem/aligned_alloc.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+#include "util/bits.h"
+#include "util/macros.h"
+
+namespace mmjoin::mem {
+namespace {
+
+// Allocations at or above this size go through mmap so we can madvise page
+// policy; smaller ones use the C library.
+constexpr std::size_t kMmapThreshold = 1 << 20;
+
+struct MmapTag {
+  // We over-allocate by one small page to stash this header, so Free can
+  // reconstruct the mapping base and length.
+  void* base;
+  std::size_t length;
+};
+
+}  // namespace
+
+void* AllocateAligned(std::size_t bytes, std::size_t alignment,
+                      PagePolicy policy) {
+  MMJOIN_CHECK(IsPowerOfTwo(alignment) && alignment >= 64);
+  if (bytes == 0) bytes = alignment;
+
+#if defined(__linux__)
+  if (bytes >= kMmapThreshold) {
+    const std::size_t align = policy == PagePolicy::kSmall
+                                  ? std::max(alignment, kSmallPageSize)
+                                  : std::max(alignment, kHugePageSize);
+    // Reserve enough to carve out an aligned region plus a header page.
+    const std::size_t length =
+        RoundUp(bytes, kSmallPageSize) + align + kSmallPageSize;
+    void* raw = ::mmap(nullptr, length, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (raw == MAP_FAILED) return nullptr;
+
+    const auto raw_addr = reinterpret_cast<std::uintptr_t>(raw);
+    std::uintptr_t user_addr =
+        RoundUp(raw_addr + kSmallPageSize, align);
+    void* user = reinterpret_cast<void*>(user_addr);
+
+#if defined(MADV_HUGEPAGE)
+    if (policy == PagePolicy::kHuge) {
+      ::madvise(user, RoundUp(bytes, kHugePageSize), MADV_HUGEPAGE);
+    } else if (policy == PagePolicy::kSmall) {
+      ::madvise(raw, length, MADV_NOHUGEPAGE);
+    }
+#endif
+
+    auto* tag = reinterpret_cast<MmapTag*>(user_addr - sizeof(MmapTag));
+    tag->base = raw;
+    tag->length = length;
+    return user;
+  }
+#endif  // __linux__
+
+  (void)policy;
+  void* ptr = nullptr;
+  if (::posix_memalign(&ptr, alignment, RoundUp(bytes, alignment)) != 0) {
+    return nullptr;
+  }
+  std::memset(ptr, 0, bytes);
+  return ptr;
+}
+
+void FreeAligned(void* ptr, std::size_t bytes) {
+  if (ptr == nullptr) return;
+#if defined(__linux__)
+  if (bytes >= kMmapThreshold) {
+    auto* tag = reinterpret_cast<MmapTag*>(
+        reinterpret_cast<std::uintptr_t>(ptr) - sizeof(MmapTag));
+    ::munmap(tag->base, tag->length);
+    return;
+  }
+#endif
+  (void)bytes;
+  std::free(ptr);
+}
+
+void PrefaultPages(void* ptr, std::size_t bytes) {
+  auto* bytes_ptr = static_cast<volatile char*>(ptr);
+  for (std::size_t off = 0; off < bytes; off += kSmallPageSize) {
+    bytes_ptr[off] = bytes_ptr[off];
+  }
+  if (bytes > 0) bytes_ptr[bytes - 1] = bytes_ptr[bytes - 1];
+}
+
+}  // namespace mmjoin::mem

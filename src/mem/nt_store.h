@@ -1,0 +1,69 @@
+// Non-temporal (streaming) stores.
+//
+// Radix partitioning with software write-combine buffers flushes whole cache
+// lines to the output partitions with streaming stores that bypass the cache
+// hierarchy (paper Section 5.1, following Schuhknecht et al., PVLDB 2015).
+// On x86-64 with SSE2 this maps to MOVNTDQ; elsewhere it degrades to memcpy.
+
+#ifndef MMJOIN_MEM_NT_STORE_H_
+#define MMJOIN_MEM_NT_STORE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "util/macros.h"
+#include "util/types.h"
+
+namespace mmjoin::mem {
+
+// True when this build has real streaming-store support.
+constexpr bool HasStreamingStores() {
+#if defined(__SSE2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+// Copies one 64-byte cache line from `src` (cacheline-aligned) to `dst`.
+// Uses non-temporal stores when `dst` is 16-byte aligned; falls back to a
+// regular copy otherwise (partition bases are tuple-aligned, i.e. 8 bytes,
+// so odd global offsets take the fallback).
+MMJOIN_ALWAYS_INLINE void StoreCacheLineNonTemporal(void* dst,
+                                                    const void* src) {
+#if defined(__SSE2__)
+  if (MMJOIN_LIKELY((reinterpret_cast<std::uintptr_t>(dst) & 15) == 0)) {
+    const __m128i* s = static_cast<const __m128i*>(src);
+    __m128i* d = static_cast<__m128i*>(dst);
+    _mm_stream_si128(d + 0, _mm_load_si128(s + 0));
+    _mm_stream_si128(d + 1, _mm_load_si128(s + 1));
+    _mm_stream_si128(d + 2, _mm_load_si128(s + 2));
+    _mm_stream_si128(d + 3, _mm_load_si128(s + 3));
+    return;
+  }
+#endif
+  std::memcpy(dst, src, kCacheLineSize);
+}
+
+// Copies `count` tuples without the non-temporal hint (plain scalar path,
+// used when SWWCBs are disabled or for partial trailing buffers).
+MMJOIN_ALWAYS_INLINE void StoreTuples(Tuple* dst, const Tuple* src,
+                                      std::size_t count) {
+  std::memcpy(dst, src, count * sizeof(Tuple));
+}
+
+// Orders all pending streaming stores before subsequent loads. Call once at
+// the end of a partitioning phase (before another thread reads the output).
+MMJOIN_ALWAYS_INLINE void StreamFence() {
+#if defined(__SSE2__)
+  _mm_sfence();
+#endif
+}
+
+}  // namespace mmjoin::mem
+
+#endif  // MMJOIN_MEM_NT_STORE_H_

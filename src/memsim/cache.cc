@@ -1,0 +1,174 @@
+#include "memsim/cache.h"
+
+#include "util/types.h"
+
+namespace mmjoin::memsim {
+
+SetAssociativeCache::SetAssociativeCache(uint64_t size_bytes, uint32_t ways,
+                                         uint32_t line_bytes)
+    : size_bytes_(size_bytes), ways_(ways), line_bytes_(line_bytes) {
+  MMJOIN_CHECK(ways >= 1);
+  MMJOIN_CHECK(IsPowerOfTwo(line_bytes));
+  num_sets_ = size_bytes / (static_cast<uint64_t>(ways) * line_bytes);
+  if (num_sets_ == 0) num_sets_ = 1;
+  // Round sets down to a power of two for cheap indexing (matches real
+  // hardware organizations for all configs we use).
+  num_sets_ = uint64_t{1} << FloorLog2(num_sets_);
+  set_shift_ = FloorLog2(num_sets_);
+  entries_.assign(num_sets_ * ways_, Way{});
+}
+
+void SetAssociativeCache::Install(uint64_t addr) {
+  const uint64_t line = addr / line_bytes_;
+  const uint64_t set = line & (num_sets_ - 1);
+  const uint64_t tag = line >> set_shift_;
+  Way* set_ways = &entries_[set * ways_];
+  ++tick_;
+  uint32_t victim = 0;
+  uint64_t oldest = ~uint64_t{0};
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (set_ways[w].tag == tag) {
+      set_ways[w].last_use = tick_;
+      return;
+    }
+    if (set_ways[w].last_use < oldest) {
+      oldest = set_ways[w].last_use;
+      victim = w;
+    }
+  }
+  set_ways[victim].tag = tag;
+  set_ways[victim].last_use = tick_;
+}
+
+bool SetAssociativeCache::Access(uint64_t addr) {
+  const uint64_t line = addr / line_bytes_;
+  const uint64_t set = line & (num_sets_ - 1);
+  const uint64_t tag = line >> set_shift_;
+  Way* set_ways = &entries_[set * ways_];
+  ++tick_;
+
+  uint32_t victim = 0;
+  uint64_t oldest = ~uint64_t{0};
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (set_ways[w].tag == tag) {
+      set_ways[w].last_use = tick_;
+      ++stats_.hits;
+      return true;
+    }
+    if (set_ways[w].last_use < oldest) {
+      oldest = set_ways[w].last_use;
+      victim = w;
+    }
+  }
+  set_ways[victim].tag = tag;
+  set_ways[victim].last_use = tick_;
+  ++stats_.misses;
+  return false;
+}
+
+void SetAssociativeCache::Reset() {
+  entries_.assign(entries_.size(), Way{});
+  stats_ = AccessStats{};
+  tick_ = 0;
+}
+
+Tlb::Tlb(uint32_t entries, uint64_t page_bytes)
+    : num_entries_(entries), page_bytes_(page_bytes) {
+  MMJOIN_CHECK(entries >= 1);
+  entries_.assign(entries, Entry{});
+}
+
+bool Tlb::Access(uint64_t addr) {
+  const uint64_t page = addr / page_bytes_;
+  ++tick_;
+  // MRU shortcut: sequential streams hit the same page repeatedly.
+  if (entries_[mru_].page == page) {
+    entries_[mru_].last_use = tick_;
+    ++stats_.hits;
+    return true;
+  }
+  uint32_t victim = 0;
+  uint64_t oldest = ~uint64_t{0};
+  for (uint32_t e = 0; e < num_entries_; ++e) {
+    if (entries_[e].page == page) {
+      entries_[e].last_use = tick_;
+      mru_ = e;
+      ++stats_.hits;
+      return true;
+    }
+    if (entries_[e].last_use < oldest) {
+      oldest = entries_[e].last_use;
+      victim = e;
+    }
+  }
+  entries_[victim].page = page;
+  entries_[victim].last_use = tick_;
+  mru_ = victim;
+  ++stats_.misses;
+  return false;
+}
+
+void Tlb::Reset() {
+  entries_.assign(entries_.size(), Entry{});
+  stats_ = AccessStats{};
+  tick_ = 0;
+  mru_ = 0;
+}
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
+    : config_(config),
+      l1_(config.l1_bytes, config.l1_ways),
+      l2_(config.l2_bytes, config.l2_ways),
+      llc_(config.llc_bytes, config.llc_ways),
+      tlb_(config.tlb_entries, config.page_bytes),
+      stream_last_line_(config.prefetch_streams, ~uint64_t{0}) {}
+
+void MemoryHierarchy::MaybePrefetch(uint64_t line) {
+  if (config_.prefetch_streams == 0) return;
+  // MRU tracker shortcut (dominant case: one hot sequential stream).
+  {
+    const uint64_t last = stream_last_line_[stream_mru_];
+    if (line > last && line - last <= 2) {
+      stream_last_line_[stream_mru_] = line;
+      for (uint32_t d = 1; d <= config_.prefetch_degree; ++d) {
+        const uint64_t ahead = (line + d) * kCacheLineSize;
+        l1_.Install(ahead);
+        l2_.Install(ahead);
+        llc_.Install(ahead);
+      }
+      return;
+    }
+  }
+  // Ascending-stream detection: a hit on tracker t (line follows the
+  // tracked stream) advances the stream and pulls lines ahead into the
+  // whole hierarchy; otherwise the access starts a new stream, evicting
+  // trackers round-robin.
+  for (uint32_t t = 0; t < config_.prefetch_streams; ++t) {
+    const uint64_t last = stream_last_line_[t];
+    if (line > last && line - last <= 2) {
+      stream_last_line_[t] = line;
+      stream_mru_ = t;
+      for (uint32_t d = 1; d <= config_.prefetch_degree; ++d) {
+        const uint64_t ahead = (line + d) * kCacheLineSize;
+        l1_.Install(ahead);
+        l2_.Install(ahead);
+        llc_.Install(ahead);
+      }
+      return;
+    }
+  }
+  stream_last_line_[stream_cursor_] = line;
+  stream_cursor_ = (stream_cursor_ + 1) % config_.prefetch_streams;
+}
+
+void MemoryHierarchy::Access(uint64_t addr) {
+  tlb_.Access(addr);
+  MaybePrefetch(addr / kCacheLineSize);
+  if (l1_.Access(addr)) return;
+  if (l2_.Access(addr)) return;
+  llc_.Access(addr);
+}
+
+void MemoryHierarchy::AccessNonTemporal(uint64_t addr) { tlb_.Access(addr); }
+
+}  // namespace mmjoin::memsim

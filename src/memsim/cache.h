@@ -1,0 +1,150 @@
+// Software cache and TLB models.
+//
+// The paper measures cache misses and TLB behaviour with hardware counters
+// (Table 4) and explains the page-size results (Section 7.2) through TLB
+// reach. This host exposes no such counters, so we model them: set-
+// associative LRU caches and a fully-associative LRU TLB with configurable
+// page size, replaying the memory access streams of each join phase
+// (see replay.h). Capacities default to the paper's machine.
+
+#ifndef MMJOIN_MEMSIM_CACHE_H_
+#define MMJOIN_MEMSIM_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/macros.h"
+
+namespace mmjoin::memsim {
+
+struct AccessStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+  uint64_t total() const { return hits + misses; }
+  double hit_rate() const {
+    return total() == 0 ? 0.0 : static_cast<double>(hits) / total();
+  }
+  double miss_rate() const { return total() == 0 ? 0.0 : 1.0 - hit_rate(); }
+};
+
+// Set-associative cache with true-LRU replacement.
+class SetAssociativeCache {
+ public:
+  SetAssociativeCache(uint64_t size_bytes, uint32_t ways,
+                      uint32_t line_bytes = 64);
+
+  // Touches the line containing `addr`; returns true on hit. On miss the
+  // line is installed (allocate-on-miss for reads and writes alike).
+  bool Access(uint64_t addr);
+
+  // Installs the line without counting a demand hit/miss (prefetches).
+  void Install(uint64_t addr);
+
+  // Invalidate-free "bypass": non-temporal stores do not allocate.
+  void Reset();
+
+  const AccessStats& stats() const { return stats_; }
+  uint64_t size_bytes() const { return size_bytes_; }
+
+ private:
+  struct Way {
+    uint64_t tag = ~uint64_t{0};
+    uint64_t last_use = 0;
+  };
+
+  uint64_t size_bytes_;
+  uint32_t ways_;
+  uint32_t line_bytes_;
+  uint64_t num_sets_;
+  uint32_t set_shift_ = 0;
+  uint64_t tick_ = 0;
+  std::vector<Way> entries_;  // num_sets_ * ways_
+  AccessStats stats_;
+};
+
+// Fully-associative LRU TLB.
+class Tlb {
+ public:
+  Tlb(uint32_t entries, uint64_t page_bytes);
+
+  bool Access(uint64_t addr);
+  void Reset();
+
+  const AccessStats& stats() const { return stats_; }
+  uint64_t page_bytes() const { return page_bytes_; }
+  uint32_t entries() const { return num_entries_; }
+
+ private:
+  struct Entry {
+    uint64_t page = ~uint64_t{0};
+    uint64_t last_use = 0;
+  };
+
+  uint32_t num_entries_;
+  uint64_t page_bytes_;
+  uint64_t tick_ = 0;
+  uint32_t mru_ = 0;
+  std::vector<Entry> entries_;
+  AccessStats stats_;
+};
+
+// Three-level hierarchy + TLB, modelled after the paper machine: 32 KB/8-way
+// L1D, 256 KB/8-way L2, 30 MB/20-way shared LLC; 256 TLB entries with 4 KB
+// pages, 32 with 2 MB pages (Section 7.1).
+struct HierarchyConfig {
+  uint64_t l1_bytes = 32 * 1024;
+  uint32_t l1_ways = 8;
+  uint64_t l2_bytes = 256 * 1024;
+  uint32_t l2_ways = 8;
+  uint64_t llc_bytes = 30ull * 1024 * 1024;
+  uint32_t llc_ways = 20;
+  uint64_t page_bytes = 2 * 1024 * 1024;
+  uint32_t tlb_entries = 32;  // 256 for 4 KB pages, 32 for 2 MB pages
+  // Hardware stream prefetcher: sequential streams are detected and the
+  // next `prefetch_degree` lines installed ahead, so streaming scans cause
+  // few demand misses (as on real CPUs). 0 disables.
+  uint32_t prefetch_streams = 16;
+  uint32_t prefetch_degree = 8;
+
+  static HierarchyConfig SmallPages() {
+    HierarchyConfig config;
+    config.page_bytes = 4 * 1024;
+    config.tlb_entries = 256;
+    return config;
+  }
+  static HierarchyConfig HugePages() { return HierarchyConfig{}; }
+};
+
+class MemoryHierarchy {
+ public:
+  explicit MemoryHierarchy(const HierarchyConfig& config);
+
+  // Regular load/store of the line containing addr.
+  void Access(uint64_t addr);
+  // Non-temporal store: consults the TLB but bypasses all cache levels.
+  void AccessNonTemporal(uint64_t addr);
+
+  const AccessStats& l1() const { return l1_.stats(); }
+  const AccessStats& l2() const { return l2_.stats(); }
+  const AccessStats& llc() const { return llc_.stats(); }
+  const AccessStats& tlb() const { return tlb_.stats(); }
+  const HierarchyConfig& config() const { return config_; }
+
+ private:
+  void MaybePrefetch(uint64_t line);
+
+  HierarchyConfig config_;
+  SetAssociativeCache l1_;
+  SetAssociativeCache l2_;
+  SetAssociativeCache llc_;
+  Tlb tlb_;
+  std::vector<uint64_t> stream_last_line_;
+  uint32_t stream_cursor_ = 0;
+  uint32_t stream_mru_ = 0;
+};
+
+}  // namespace mmjoin::memsim
+
+#endif  // MMJOIN_MEMSIM_CACHE_H_

@@ -1,0 +1,203 @@
+#include "memsim/replay.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace mmjoin::memsim {
+namespace {
+
+// Disjoint synthetic address regions.
+constexpr uint64_t kInputBase = uint64_t{1} << 40;
+constexpr uint64_t kOutputBase = uint64_t{2} << 40;
+constexpr uint64_t kTableBase = uint64_t{3} << 40;
+constexpr uint64_t kBitmapBase = uint64_t{4} << 40;
+constexpr uint64_t kBufferBase = uint64_t{5} << 40;
+constexpr uint64_t kScratchBase = uint64_t{6} << 40;
+
+constexpr uint64_t kTupleBytes = 8;
+
+PhaseReport Snapshot(const MemoryHierarchy& hierarchy) {
+  PhaseReport report;
+  report.l1 = hierarchy.l1();
+  report.l2 = hierarchy.l2();
+  report.llc = hierarchy.llc();
+  report.tlb = hierarchy.tlb();
+  report.ops = hierarchy.tlb().total();  // every replayed op consults the TLB
+  return report;
+}
+
+// Bytes one table entry occupies, for sizing the random-access region.
+uint64_t TableBytesPerTuple(TableLayout layout) {
+  switch (layout) {
+    case TableLayout::kChained:
+      return 16;  // 32 B bucket / 2 tuples
+    case TableLayout::kLinear:
+      return 16;  // 8 B slot at load factor 0.5
+    case TableLayout::kArray:
+      return 4;
+    case TableLayout::kCht:
+      return 8;  // dense tuple array; bitmap modelled separately
+  }
+  return 16;
+}
+
+// One table operation (insert or lookup) at a random position.
+void TableOp(MemoryHierarchy* hierarchy, Rng* rng, TableLayout layout,
+             uint64_t table_base, uint64_t table_entries) {
+  const uint64_t index = rng->NextBelow(table_entries);
+  switch (layout) {
+    case TableLayout::kChained:
+    case TableLayout::kLinear:
+      hierarchy->Access(table_base + index * TableBytesPerTuple(layout));
+      break;
+    case TableLayout::kArray:
+      hierarchy->Access(table_base + index * 4);
+      // Validity bitmap: 1 bit per entry.
+      hierarchy->Access(kBitmapBase + index / 8);
+      break;
+    case TableLayout::kCht:
+      // Bitmap+prefix groups: 16 B per 64 buckets at 8 buckets/tuple = 2 B
+      // per tuple; then the dependent dense-array access.
+      hierarchy->Access(kBitmapBase + index * 2);
+      hierarchy->Access(table_base + index * 8);
+      break;
+  }
+}
+
+}  // namespace
+
+PhaseReport& PhaseReport::operator+=(const PhaseReport& other) {
+  ops += other.ops;
+  l1.hits += other.l1.hits;
+  l1.misses += other.l1.misses;
+  l2.hits += other.l2.hits;
+  l2.misses += other.l2.misses;
+  llc.hits += other.llc.hits;
+  llc.misses += other.llc.misses;
+  tlb.hits += other.tlb.hits;
+  tlb.misses += other.tlb.misses;
+  return *this;
+}
+
+PhaseReport ReplaySequentialScan(const HierarchyConfig& config,
+                                 uint64_t tuples) {
+  MemoryHierarchy hierarchy(config);
+  for (uint64_t i = 0; i < tuples; ++i) {
+    hierarchy.Access(kInputBase + i * kTupleBytes);
+  }
+  return Snapshot(hierarchy);
+}
+
+PhaseReport ReplayScatter(const HierarchyConfig& config, uint64_t tuples,
+                          uint32_t partitions, bool swwcb, uint64_t seed) {
+  MemoryHierarchy hierarchy(config);
+  Rng rng(seed);
+  const uint64_t partition_bytes =
+      CeilDiv(tuples, partitions) * kTupleBytes;
+  std::vector<uint64_t> cursor(partitions, 0);
+
+  // Histogram pass: sequential read of the input.
+  for (uint64_t i = 0; i < tuples; ++i) {
+    hierarchy.Access(kInputBase + i * kTupleBytes);
+  }
+  // Scatter pass: sequential re-read + partition writes.
+  for (uint64_t i = 0; i < tuples; ++i) {
+    hierarchy.Access(kInputBase + i * kTupleBytes);
+    const uint64_t p = rng.NextBelow(partitions);
+    const uint64_t dst =
+        kOutputBase + p * partition_bytes + cursor[p] * kTupleBytes;
+    ++cursor[p];
+    if (!swwcb) {
+      hierarchy.Access(dst);
+    } else {
+      // Staged write into the per-partition cache-line buffer; every 8th
+      // tuple streams the full line out, bypassing the caches.
+      hierarchy.Access(kBufferBase + p * kCacheLineSize);
+      if (cursor[p] % kTuplesPerCacheLine == 0) {
+        hierarchy.AccessNonTemporal(dst);
+      }
+    }
+  }
+  return Snapshot(hierarchy);
+}
+
+PhaseReport ReplayGlobalBuild(const HierarchyConfig& config,
+                              uint64_t build_tuples, TableLayout layout,
+                              uint64_t seed) {
+  MemoryHierarchy hierarchy(config);
+  Rng rng(seed);
+  for (uint64_t i = 0; i < build_tuples; ++i) {
+    hierarchy.Access(kInputBase + i * kTupleBytes);  // read R sequentially
+    TableOp(&hierarchy, &rng, layout, kTableBase, build_tuples);
+  }
+  return Snapshot(hierarchy);
+}
+
+PhaseReport ReplayGlobalProbe(const HierarchyConfig& config,
+                              uint64_t probe_tuples, uint64_t build_tuples,
+                              TableLayout layout, uint64_t seed) {
+  MemoryHierarchy hierarchy(config);
+  Rng rng(seed);
+  for (uint64_t i = 0; i < probe_tuples; ++i) {
+    hierarchy.Access(kInputBase + i * kTupleBytes);  // read S sequentially
+    TableOp(&hierarchy, &rng, layout, kTableBase, build_tuples);
+  }
+  return Snapshot(hierarchy);
+}
+
+PhaseReport ReplayPartitionedJoin(const HierarchyConfig& config,
+                                  uint64_t build_tuples,
+                                  uint64_t probe_tuples, uint32_t partitions,
+                                  TableLayout layout, uint64_t seed) {
+  MemoryHierarchy hierarchy(config);
+  Rng rng(seed);
+  const uint64_t build_per_part =
+      std::max<uint64_t>(build_tuples / partitions, 1);
+  const uint64_t probe_per_part =
+      std::max<uint64_t>(probe_tuples / partitions, 1);
+  const uint64_t r_part_bytes = build_per_part * kTupleBytes;
+  const uint64_t s_part_bytes = probe_per_part * kTupleBytes;
+
+  for (uint32_t p = 0; p < partitions; ++p) {
+    // Build a fresh (scratch, reused address range) per-partition table.
+    for (uint64_t i = 0; i < build_per_part; ++i) {
+      hierarchy.Access(kOutputBase + p * r_part_bytes + i * kTupleBytes);
+      TableOp(&hierarchy, &rng, layout, kTableBase, build_per_part);
+    }
+    // Probe this co-partition.
+    for (uint64_t i = 0; i < probe_per_part; ++i) {
+      hierarchy.Access(kScratchBase + p * s_part_bytes + i * kTupleBytes);
+      TableOp(&hierarchy, &rng, layout, kTableBase, build_per_part);
+    }
+  }
+  return Snapshot(hierarchy);
+}
+
+PhaseReport ReplaySortPhase(const HierarchyConfig& config, uint64_t tuples,
+                            uint64_t run_tuples) {
+  MemoryHierarchy hierarchy(config);
+  // Run generation: log2(run) passes over each run-sized block (modelled as
+  // read+write sweeps that stay run-local).
+  const uint32_t passes = CeilLog2(std::max<uint64_t>(run_tuples, 2));
+  for (uint64_t run_begin = 0; run_begin < tuples; run_begin += run_tuples) {
+    const uint64_t run_end = std::min(run_begin + run_tuples, tuples);
+    for (uint32_t pass = 0; pass < passes; ++pass) {
+      for (uint64_t i = run_begin; i < run_end; ++i) {
+        hierarchy.Access(kInputBase + i * kTupleBytes);
+        hierarchy.Access(kScratchBase + i * kTupleBytes);
+      }
+    }
+  }
+  // One multiway merge pass over everything.
+  for (uint64_t i = 0; i < tuples; ++i) {
+    hierarchy.Access(kInputBase + i * kTupleBytes);
+    hierarchy.Access(kOutputBase + i * kTupleBytes);
+  }
+  return Snapshot(hierarchy);
+}
+
+}  // namespace mmjoin::memsim

@@ -1,0 +1,80 @@
+// Join-phase access-stream replayers.
+//
+// Each function replays the memory access pattern of one join phase through
+// a fresh MemoryHierarchy and returns its hit/miss profile. The benchmark
+// harness composes them per algorithm to reproduce the paper's
+// micro-architectural analysis (Table 4) and the page-size study (Figure 8)
+// without hardware counters: miss *ratios* depend only on the access
+// pattern, which these streams model faithfully (sequential scans,
+// SWWCB-buffered vs. direct scatter, global vs. cache-sized hash tables,
+// CHT's two dependent lookups, array tables' single lookup).
+
+#ifndef MMJOIN_MEMSIM_REPLAY_H_
+#define MMJOIN_MEMSIM_REPLAY_H_
+
+#include <cstdint>
+
+#include "memsim/cache.h"
+
+namespace mmjoin::memsim {
+
+struct PhaseReport {
+  AccessStats l1;
+  AccessStats l2;
+  AccessStats llc;
+  AccessStats tlb;
+  // Logical memory operations replayed -- the analogue of Table 4's
+  // "instructions retired" column (partition-based joins execute more
+  // operations but hit caches; the ratio ops/misses drives their higher
+  // IPC).
+  uint64_t ops = 0;
+
+  PhaseReport& operator+=(const PhaseReport& other);
+};
+
+// Table flavours, with their per-entry footprint in the replayed streams.
+enum class TableLayout {
+  kChained,  // 32 B buckets, ~2 tuples/bucket: 1 random line per operation
+  kLinear,   // 8 B slots at load 0.5: 1 random line per operation
+  kArray,    // 4 B payload + bitmap: 1 random line (+1 bitmap line) per op
+  kCht,      // bitmap group + dense array: 2 dependent random lines per op
+};
+
+// Sequential read of `tuples` 8-byte tuples (histogram pass, chunk scan).
+PhaseReport ReplaySequentialScan(const HierarchyConfig& config,
+                                 uint64_t tuples);
+
+// Radix scatter of `tuples` into `partitions` output partitions.
+// swwcb=false: every tuple writes directly to a random partition cursor
+// (PRB). swwcb=true: tuples write to per-partition cache-line buffers and
+// full lines stream out with non-temporal stores (PRO and later).
+PhaseReport ReplayScatter(const HierarchyConfig& config, uint64_t tuples,
+                          uint32_t partitions, bool swwcb, uint64_t seed);
+
+// Concurrent build of one global table of `build_tuples` (NOP/NOPA/CHTJ).
+PhaseReport ReplayGlobalBuild(const HierarchyConfig& config,
+                              uint64_t build_tuples, TableLayout layout,
+                              uint64_t seed);
+
+// Probe of `probe_tuples` random keys against the global table.
+PhaseReport ReplayGlobalProbe(const HierarchyConfig& config,
+                              uint64_t probe_tuples, uint64_t build_tuples,
+                              TableLayout layout, uint64_t seed);
+
+// Join phase of a partition-based join: for each of `partitions`
+// co-partitions, build a small table (build_tuples/partitions entries) and
+// probe it with probe_tuples/partitions random keys. The table region is
+// reused per partition, so whether it fits L2 emerges from the config.
+PhaseReport ReplayPartitionedJoin(const HierarchyConfig& config,
+                                  uint64_t build_tuples,
+                                  uint64_t probe_tuples, uint32_t partitions,
+                                  TableLayout layout, uint64_t seed);
+
+// Sort phase of MWAY: run generation (sequential read/write per pass over
+// run-sized blocks) + one multiway merge pass.
+PhaseReport ReplaySortPhase(const HierarchyConfig& config, uint64_t tuples,
+                            uint64_t run_tuples);
+
+}  // namespace mmjoin::memsim
+
+#endif  // MMJOIN_MEMSIM_REPLAY_H_

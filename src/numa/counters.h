@@ -1,0 +1,146 @@
+// NUMA traffic accounting and the remote-access cost model.
+//
+// VTune's per-socket bandwidth profile (paper Figure 6) and the paper's
+// remote-write analysis (Figure 4) are reproduced in software: algorithms
+// report coarse-grained accesses (typically one call per cache line flushed
+// or per partition scanned), tagged with the node the accessing thread runs
+// on and the node the memory lives on. Counting is off by default and
+// enabled for dedicated instrumented runs so timed runs pay nothing.
+
+#ifndef MMJOIN_NUMA_COUNTERS_H_
+#define MMJOIN_NUMA_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "numa/topology.h"
+#include "util/macros.h"
+
+namespace mmjoin::numa {
+
+// A [from_node][to_node] matrix of bytes read and written plus a coarse
+// per-node bandwidth timeline (for the Figure 6 reproduction).
+class AccessCounters {
+ public:
+  static constexpr int kTimelineBuckets = 512;
+
+  AccessCounters(const Topology& topology, int64_t timeline_bucket_nanos)
+      : num_nodes_(topology.num_nodes()),
+        bucket_nanos_(timeline_bucket_nanos),
+        read_bytes_(num_nodes_ * num_nodes_),
+        write_bytes_(num_nodes_ * num_nodes_),
+        timeline_(num_nodes_ * kTimelineBuckets) {
+    for (auto& cell : read_bytes_) cell.store(0, std::memory_order_relaxed);
+    for (auto& cell : write_bytes_) cell.store(0, std::memory_order_relaxed);
+    for (auto& cell : timeline_) cell.store(0, std::memory_order_relaxed);
+  }
+
+  // Marks "now" as timeline time zero.
+  void StartTimeline(int64_t now_nanos) { epoch_nanos_ = now_nanos; }
+
+  void CountRead(int from_node, int to_node, uint64_t bytes,
+                 int64_t now_nanos) {
+    Cell(read_bytes_, from_node, to_node)
+        .fetch_add(bytes, std::memory_order_relaxed);
+    CountTimeline(to_node, bytes, now_nanos);
+  }
+
+  void CountWrite(int from_node, int to_node, uint64_t bytes,
+                  int64_t now_nanos) {
+    Cell(write_bytes_, from_node, to_node)
+        .fetch_add(bytes, std::memory_order_relaxed);
+    CountTimeline(to_node, bytes, now_nanos);
+  }
+
+  uint64_t ReadBytes(int from_node, int to_node) const {
+    return Cell(read_bytes_, from_node, to_node)
+        .load(std::memory_order_relaxed);
+  }
+  uint64_t WriteBytes(int from_node, int to_node) const {
+    return Cell(write_bytes_, from_node, to_node)
+        .load(std::memory_order_relaxed);
+  }
+
+  uint64_t TotalLocalReadBytes() const { return Diagonal(read_bytes_, true); }
+  uint64_t TotalRemoteReadBytes() const {
+    return Diagonal(read_bytes_, false);
+  }
+  uint64_t TotalLocalWriteBytes() const {
+    return Diagonal(write_bytes_, true);
+  }
+  uint64_t TotalRemoteWriteBytes() const {
+    return Diagonal(write_bytes_, false);
+  }
+
+  // Bytes that touched memory on `node` during timeline bucket `bucket`.
+  uint64_t TimelineBytes(int node, int bucket) const {
+    return timeline_[bucket * num_nodes_ + node].load(
+        std::memory_order_relaxed);
+  }
+
+  int num_nodes() const { return num_nodes_; }
+  int64_t bucket_nanos() const { return bucket_nanos_; }
+
+  // Derived runtime under the NUMA cost model: local cache lines cost
+  // `local_ns`, remote ones `remote_ns` (defaults approximate the ~1.7x
+  // latency / ~0.6x bandwidth gap of 4-socket Ivy Bridge EX machines). This
+  // is how benches expose NUMA placement quality on a UMA host.
+  double ModeledCostMillis(double local_ns_per_line = 1.0,
+                           double remote_ns_per_line = 2.2) const {
+    const double local_lines =
+        static_cast<double>(TotalLocalReadBytes() + TotalLocalWriteBytes()) /
+        64.0;
+    const double remote_lines =
+        static_cast<double>(TotalRemoteReadBytes() +
+                            TotalRemoteWriteBytes()) /
+        64.0;
+    return (local_lines * local_ns_per_line +
+            remote_lines * remote_ns_per_line) *
+           1e-6;
+  }
+
+ private:
+  using Matrix = std::vector<std::atomic<uint64_t>>;
+
+  std::atomic<uint64_t>& Cell(Matrix& m, int from, int to) {
+    MMJOIN_DCHECK(from >= 0 && from < num_nodes_);
+    MMJOIN_DCHECK(to >= 0 && to < num_nodes_);
+    return m[from * num_nodes_ + to];
+  }
+  const std::atomic<uint64_t>& Cell(const Matrix& m, int from, int to) const {
+    return m[from * num_nodes_ + to];
+  }
+
+  uint64_t Diagonal(const Matrix& m, bool local) const {
+    uint64_t total = 0;
+    for (int from = 0; from < num_nodes_; ++from) {
+      for (int to = 0; to < num_nodes_; ++to) {
+        if ((from == to) == local) {
+          total += Cell(m, from, to).load(std::memory_order_relaxed);
+        }
+      }
+    }
+    return total;
+  }
+
+  void CountTimeline(int node, uint64_t bytes, int64_t now_nanos) {
+    if (bucket_nanos_ <= 0) return;
+    int64_t bucket = (now_nanos - epoch_nanos_) / bucket_nanos_;
+    if (bucket < 0) bucket = 0;
+    if (bucket >= kTimelineBuckets) bucket = kTimelineBuckets - 1;
+    timeline_[bucket * num_nodes_ + node].fetch_add(
+        bytes, std::memory_order_relaxed);
+  }
+
+  int num_nodes_;
+  int64_t bucket_nanos_;
+  int64_t epoch_nanos_ = 0;
+  Matrix read_bytes_;
+  Matrix write_bytes_;
+  Matrix timeline_;
+};
+
+}  // namespace mmjoin::numa
+
+#endif  // MMJOIN_NUMA_COUNTERS_H_

@@ -1,0 +1,82 @@
+// Software NUMA topology.
+//
+// The paper's machine is a 4-socket (4 NUMA node) Xeon E7-4870v2. This host
+// has no NUMA, so we model the topology in software: a `Topology` describes N
+// nodes and the thread->node placement used by all algorithms, a `NodeMap`
+// resolves which node a given address "lives" on according to the placement
+// policy its allocation chose, and `AccessCounters` (see counters.h) tallies
+// local vs. remote traffic. Algorithms make exactly the placement and
+// scheduling decisions they would make on real NUMA hardware, and the
+// counters expose the consequences (the mechanism behind the paper's CPRL
+// and PR*iS results).
+
+#ifndef MMJOIN_NUMA_TOPOLOGY_H_
+#define MMJOIN_NUMA_TOPOLOGY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/macros.h"
+
+namespace mmjoin::numa {
+
+// How an allocation is spread over the nodes of the topology.
+enum class Placement {
+  kLocal,              // entire allocation on one node
+  kInterleavedPages,   // page-granular round-robin over all nodes (paper:
+                       // NOP's hash table, -basic-numa partition buffers)
+  kChunkedRoundRobin,  // contiguous 1/N-th chunks, chunk i on node i (paper:
+                       // input relations, "one quarter per NUMA-region")
+};
+
+class Topology {
+ public:
+  // `num_nodes` must be >= 1. The paper's machine has 4.
+  explicit Topology(int num_nodes) : num_nodes_(num_nodes) {
+    MMJOIN_CHECK(num_nodes >= 1);
+  }
+
+  int num_nodes() const { return num_nodes_; }
+
+  // Thread placement: threads are distributed evenly across nodes in
+  // contiguous blocks ("increase the number of threads distributing threads
+  // evenly across NUMA regions", Appendix B). Block assignment keeps thread
+  // t's 1/T input chunk on thread t's node, because relations are placed
+  // kChunkedRoundRobin -- this alignment is what makes CPRL's partition
+  // writes 100% node-local (Figure 4(d)).
+  int NodeOfThread(int thread_id, int num_threads) const {
+    MMJOIN_DCHECK(thread_id >= 0 && thread_id < num_threads);
+    if (num_threads <= num_nodes_) return thread_id % num_nodes_;
+    return static_cast<int>((static_cast<long>(thread_id) * num_nodes_) /
+                            num_threads);
+  }
+
+  // Node of byte offset `offset` within an allocation of `total_bytes` laid
+  // out with `placement` starting at `home_node`.
+  int NodeOfOffset(Placement placement, int home_node, std::size_t offset,
+                   std::size_t total_bytes) const {
+    switch (placement) {
+      case Placement::kLocal:
+        return home_node;
+      case Placement::kInterleavedPages: {
+        constexpr std::size_t kInterleaveGranule = 4096;
+        return static_cast<int>((offset / kInterleaveGranule + home_node) %
+                                num_nodes_);
+      }
+      case Placement::kChunkedRoundRobin: {
+        const std::size_t chunk =
+            (total_bytes + num_nodes_ - 1) / num_nodes_;
+        const std::size_t index = chunk == 0 ? 0 : offset / chunk;
+        return static_cast<int>((index + home_node) % num_nodes_);
+      }
+    }
+    return home_node;
+  }
+
+ private:
+  int num_nodes_;
+};
+
+}  // namespace mmjoin::numa
+
+#endif  // MMJOIN_NUMA_TOPOLOGY_H_

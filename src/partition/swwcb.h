@@ -1,0 +1,75 @@
+// Software write-combine buffers (SWWCB, paper Section 5.1, Algorithm 1).
+//
+// Instead of scattering tuples straight to their (page-sprawling) target
+// partitions, each thread stages tuples in one cache-line-sized buffer per
+// partition and flushes full lines with non-temporal stores. This cuts TLB
+// pressure by a factor of 8 (tuples per line) and avoids polluting the cache
+// with output data (Schuhknecht et al., PVLDB 2015).
+//
+// Alignment subtlety: a thread's output range for a partition starts at an
+// arbitrary tuple offset, so the first line of each range may be partial --
+// flushing a full 64-byte line there would clobber the preceding thread's
+// tuples. ScatterBuffer handles the partial head and tail with scalar
+// copies and streams only interior, line-aligned flushes.
+
+#ifndef MMJOIN_PARTITION_SWWCB_H_
+#define MMJOIN_PARTITION_SWWCB_H_
+
+#include <cstdint>
+
+#include "mem/nt_store.h"
+#include "util/macros.h"
+#include "util/types.h"
+
+namespace mmjoin::partition {
+
+// One cache line of staged tuples.
+struct alignas(kCacheLineSize) CacheLineBuffer {
+  Tuple data[kTuplesPerCacheLine];
+};
+
+// Per-thread scatter state for one target partition.
+//
+// `next` is the global tuple index (into the shared output array) the
+// thread's next tuple for this partition goes to; `start` is where the
+// thread's range began (to detect the partial head line).
+struct ScatterCursor {
+  uint64_t next;
+  uint64_t start;
+};
+
+// Pushes `t` for partition `p`, flushing on line boundaries.
+MMJOIN_ALWAYS_INLINE void SwwcbPush(Tuple* output, CacheLineBuffer* buffers,
+                                    ScatterCursor* cursors, uint32_t p,
+                                    Tuple t) {
+  ScatterCursor& cursor = cursors[p];
+  const uint64_t pos = cursor.next++;
+  const uint32_t slot = static_cast<uint32_t>(pos & (kTuplesPerCacheLine - 1));
+  buffers[p].data[slot] = t;
+  if (slot == kTuplesPerCacheLine - 1) {
+    const uint64_t line_base = pos - (kTuplesPerCacheLine - 1);
+    if (MMJOIN_LIKELY(line_base >= cursor.start)) {
+      mem::StoreCacheLineNonTemporal(output + line_base, buffers[p].data);
+    } else {
+      // Partial head line: only slots >= (start - line_base) are ours.
+      const uint64_t first = cursor.start - line_base;
+      mem::StoreTuples(output + cursor.start, buffers[p].data + first,
+                       kTuplesPerCacheLine - first);
+    }
+  }
+}
+
+// Drains the partial tail line of partition `p` after the scan finished.
+inline void SwwcbDrain(Tuple* output, const CacheLineBuffer* buffers,
+                       const ScatterCursor* cursors, uint32_t p) {
+  const ScatterCursor& cursor = cursors[p];
+  const uint64_t line_base = cursor.next & ~(kTuplesPerCacheLine - 1);
+  const uint64_t begin = line_base > cursor.start ? line_base : cursor.start;
+  for (uint64_t i = begin; i < cursor.next; ++i) {
+    output[i] = buffers[p].data[i & (kTuplesPerCacheLine - 1)];
+  }
+}
+
+}  // namespace mmjoin::partition
+
+#endif  // MMJOIN_PARTITION_SWWCB_H_

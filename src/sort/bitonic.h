@@ -1,0 +1,44 @@
+// SIMD bitonic merge kernels for packed <key, payload> tuples.
+//
+// MWAY (Balkesen et al., PVLDB 2013; paper Section 3.3) sorts with merge
+// networks vectorized over SIMD registers. Tuples are packed into one
+// 64-bit word with the key in the upper half (PackTuple), so ordering the
+// packed words orders by key. The AVX2 kernels operate on 4x64-bit vectors;
+// every entry point has a scalar fallback so the library runs on any ISA.
+//
+// AVX2 has no unsigned 64-bit compare, so callers bias the packed words by
+// XOR 2^63 (flip of the sign bit) before sorting and undo it afterwards --
+// handled inside MergeSortPacked.
+
+#ifndef MMJOIN_SORT_BITONIC_H_
+#define MMJOIN_SORT_BITONIC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mmjoin::sort {
+
+// True when the AVX2 kernels are compiled in.
+bool HasSimdMerge();
+
+// Merges two sorted (by signed int64 order) arrays into `out`
+// (non-overlapping). Uses the AVX2 bitonic merge network when available.
+void MergeSignedRuns(const int64_t* a, std::size_t na, const int64_t* b,
+                     std::size_t nb, int64_t* out);
+
+// Sorts 16 signed 64-bit values in-register with an AVX2 bitonic sorting
+// network (4 vectors of 4 lanes); falls back to insertion sort without
+// AVX2. Exposed for testing; MergeSortPacked uses it for run generation.
+void SortNetwork16Signed(int64_t* data);
+
+// Sorts `data` (packed tuples, unsigned order) using run generation +
+// iterative merging through `scratch` (same size). Stable ordering of equal
+// keys is NOT guaranteed (joins do not need it).
+void MergeSortPacked(uint64_t* data, std::size_t n, uint64_t* scratch);
+
+// Convenience: true if packed array is non-decreasing (unsigned order).
+bool IsSortedPacked(const uint64_t* data, std::size_t n);
+
+}  // namespace mmjoin::sort
+
+#endif  // MMJOIN_SORT_BITONIC_H_

@@ -1,0 +1,29 @@
+// Multi-way merging of sorted runs (MWAY's bandwidth-saving merge step,
+// paper Section 3.3).
+//
+// A loser tree merges K sorted runs of packed tuples in one pass, so large
+// sorts touch DRAM O(log_K) times instead of O(log_2). The tree is scalar;
+// the binary SIMD kernel (bitonic.h) is used when only two runs remain.
+
+#ifndef MMJOIN_SORT_MULTIWAY_MERGE_H_
+#define MMJOIN_SORT_MULTIWAY_MERGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mmjoin::sort {
+
+struct SortedRun {
+  const uint64_t* data;
+  std::size_t size;
+};
+
+// Merges `runs` into `out` (sized to the sum of run sizes). Unsigned packed
+// order. Dispatches to the SIMD binary merge for K <= 2.
+void MultiwayMerge(std::span<const SortedRun> runs, uint64_t* out);
+
+}  // namespace mmjoin::sort
+
+#endif  // MMJOIN_SORT_MULTIWAY_MERGE_H_

@@ -1,0 +1,42 @@
+#include "thread/task_queue.h"
+
+#include <algorithm>
+
+namespace mmjoin::thread {
+
+std::vector<uint32_t> SequentialOrder(uint32_t num_partitions) {
+  std::vector<uint32_t> order(num_partitions);
+  for (uint32_t p = 0; p < num_partitions; ++p) order[p] = p;
+  return order;
+}
+
+std::vector<uint32_t> RoundRobinNodeOrder(uint32_t num_partitions,
+                                          int num_nodes) {
+  MMJOIN_CHECK(num_nodes >= 1);
+  const uint32_t nodes = static_cast<uint32_t>(num_nodes);
+  const uint32_t block = (num_partitions + nodes - 1) / nodes;
+
+  std::vector<uint32_t> order;
+  order.reserve(num_partitions);
+  for (uint32_t offset = 0; offset < block; ++offset) {
+    for (uint32_t node = 0; node < nodes; ++node) {
+      const uint32_t partition = node * block + offset;
+      if (partition < num_partitions) order.push_back(partition);
+    }
+  }
+  MMJOIN_CHECK(order.size() == num_partitions);
+  return order;
+}
+
+std::vector<JoinTask> TasksFromOrder(
+    const std::vector<uint32_t>& consume_order) {
+  // The queue is a stack, so seed it in reverse consumption order.
+  std::vector<JoinTask> tasks;
+  tasks.reserve(consume_order.size());
+  for (auto it = consume_order.rbegin(); it != consume_order.rend(); ++it) {
+    tasks.push_back(JoinTask{*it});
+  }
+  return tasks;
+}
+
+}  // namespace mmjoin::thread

@@ -1,0 +1,85 @@
+// Join-task queues and NUMA-aware scheduling orders.
+//
+// After partitioning, every PR*/CPR* algorithm joins co-partitions that are
+// pulled from a shared task queue (paper Section 6.2). The original code
+// inserts partition indices in ascending order into a LIFO queue; because
+// partition indices correlate with virtual addresses, the first ~p/nodes
+// tasks all read from the same NUMA region and saturate one memory
+// controller. The improved-scheduling (iS) variants instead enqueue
+// round-robin across NUMA nodes so all memory controllers are busy at once.
+// Skew handling pushes extra sub-tasks onto the queue at runtime.
+
+#ifndef MMJOIN_THREAD_TASK_QUEUE_H_
+#define MMJOIN_THREAD_TASK_QUEUE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace mmjoin::thread {
+
+// A join task: a co-partition, optionally restricted to a slice of the probe
+// side (skew handling splits large probe partitions into slices).
+struct JoinTask {
+  uint32_t partition;
+  uint32_t probe_slice = 0;
+  uint32_t probe_slice_count = 1;
+};
+
+// Thread-safe LIFO task stack (matches the paper: "a LIFO-task queue (which
+// is actually a stack)").
+class TaskQueue {
+ public:
+  TaskQueue() = default;
+  explicit TaskQueue(std::vector<JoinTask> initial)
+      : tasks_(std::move(initial)) {}
+
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  void Push(JoinTask task) {
+    std::lock_guard lock(mutex_);
+    tasks_.push_back(task);
+  }
+
+  // Pops the most recently pushed task; returns false when empty.
+  bool Pop(JoinTask* task) {
+    std::lock_guard lock(mutex_);
+    if (tasks_.empty()) return false;
+    *task = tasks_.back();
+    tasks_.pop_back();
+    return true;
+  }
+
+  std::size_t SizeForTest() const {
+    std::lock_guard lock(mutex_);
+    return tasks_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<JoinTask> tasks_;
+};
+
+// Scheduling orders. Both return the sequence in which partition indices are
+// *consumed*; the queue is seeded so pops yield this order.
+//
+// Sequential: 0, 1, 2, ... (the original PR* behaviour -- consecutive
+// partitions live on the same node).
+std::vector<uint32_t> SequentialOrder(uint32_t num_partitions);
+
+// Round-robin over nodes: one partition from node 0's block, then one from
+// node 1's block, etc. (the iS variants). Partition p lives in block
+// floor(p / ceil(P/nodes)) because partitioned output memory is
+// chunked-round-robin over nodes.
+std::vector<uint32_t> RoundRobinNodeOrder(uint32_t num_partitions,
+                                          int num_nodes);
+
+// Builds a queue whose Pop() sequence equals `consume_order`.
+std::vector<JoinTask> TasksFromOrder(const std::vector<uint32_t>& consume_order);
+
+}  // namespace mmjoin::thread
+
+#endif  // MMJOIN_THREAD_TASK_QUEUE_H_

@@ -1,0 +1,81 @@
+// Fork/join thread team and synchronization barrier.
+//
+// Every join algorithm in the paper is a sequence of parallel phases
+// separated by barriers (histogram -> scatter -> build -> probe). A
+// ThreadTeam runs one functor per thread; the functor receives the thread id
+// and can wait on the team barrier between phases. Threads are assigned to
+// NUMA nodes round-robin via Topology::NodeOfThread, mirroring the paper's
+// even-across-regions placement (on real hardware this would also pin the
+// thread).
+
+#ifndef MMJOIN_THREAD_THREAD_TEAM_H_
+#define MMJOIN_THREAD_THREAD_TEAM_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "util/macros.h"
+
+namespace mmjoin::thread {
+
+// Reusable cyclic barrier (std::barrier-equivalent; kept self-contained so
+// the whole library builds with partial C++20 standard libraries).
+class Barrier {
+ public:
+  explicit Barrier(int parties) : parties_(parties) {
+    MMJOIN_CHECK(parties >= 1);
+  }
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  void ArriveAndWait() {
+    std::unique_lock lock(mutex_);
+    const uint64_t generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != generation; });
+  }
+
+ private:
+  const int parties_;
+  int arrived_ = 0;
+  uint64_t generation_ = 0;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+// Runs `fn(thread_id)` on `num_threads` OS threads and joins them all.
+// The calling thread blocks until every worker finished.
+void RunTeam(int num_threads, const std::function<void(int)>& fn);
+
+// Splits [0, total) into `num_threads` near-equal contiguous chunks and
+// returns [begin, end) for `thread_id`. All algorithms use this for the
+// "assign equal-sized regions (chunks) to each thread" step.
+struct Range {
+  std::size_t begin;
+  std::size_t end;
+  std::size_t size() const { return end - begin; }
+};
+
+inline Range ChunkRange(std::size_t total, int num_threads, int thread_id) {
+  const std::size_t base = total / num_threads;
+  const std::size_t extra = total % num_threads;
+  const auto tid = static_cast<std::size_t>(thread_id);
+  const std::size_t begin = tid * base + std::min<std::size_t>(tid, extra);
+  const std::size_t size = base + (tid < extra ? 1 : 0);
+  return Range{begin, begin + size};
+}
+
+}  // namespace mmjoin::thread
+
+#endif  // MMJOIN_THREAD_THREAD_TEAM_H_

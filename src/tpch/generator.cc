@@ -1,0 +1,123 @@
+#include "tpch/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "thread/thread_team.h"
+#include "util/macros.h"
+#include "util/rng.h"
+
+namespace mmjoin::tpch {
+namespace {
+
+// Generation is chunked into a fixed number of independently-seeded ranges
+// so the output is deterministic in (seed, row count) regardless of the
+// generating thread count.
+constexpr int kGenChunks = 64;
+constexpr int kGenThreads = 8;
+
+uint64_t PartRows(const GeneratorOptions& options) {
+  if (options.part_rows != 0) return options.part_rows;
+  return static_cast<uint64_t>(
+      std::llround(options.scale_factor * kPartPerScaleFactor));
+}
+
+uint64_t LineitemRows(const GeneratorOptions& options) {
+  if (options.lineitem_rows != 0) return options.lineitem_rows;
+  return static_cast<uint64_t>(
+      std::llround(options.scale_factor * kLineitemPerScaleFactor));
+}
+
+uint64_t ChunkSeed(uint64_t seed, uint64_t salt, int chunk) {
+  uint64_t state = seed ^ salt ^ (static_cast<uint64_t>(chunk) << 32);
+  return SplitMix64(state);
+}
+
+// Runs `fill(chunk_range, rng)` over kGenChunks ranges on kGenThreads
+// threads.
+template <typename Fill>
+void GenerateChunked(uint64_t rows, uint64_t seed, uint64_t salt,
+                     Fill&& fill) {
+  thread::RunTeam(kGenThreads, [&](int tid) {
+    for (int chunk = tid; chunk < kGenChunks; chunk += kGenThreads) {
+      const thread::Range range = thread::ChunkRange(rows, kGenChunks, chunk);
+      if (range.size() == 0) continue;
+      Rng rng(ChunkSeed(seed, salt, chunk));
+      fill(range, rng);
+    }
+  });
+}
+
+}  // namespace
+
+PartTable GeneratePart(numa::NumaSystem* system,
+                       const GeneratorOptions& options) {
+  const uint64_t rows = PartRows(options);
+  PartTable table(system, rows);
+
+  GenerateChunked(rows, options.seed, 0x9A27ull, [&](thread::Range range,
+                                                     Rng& rng) {
+    for (uint64_t i = range.begin; i < range.end; ++i) {
+      // Dense primary key in generation order, exactly like dbgen (paper
+      // Section 8: "the Part table is even generated in sorted order").
+      table.p_partkey()[i] =
+          Tuple{static_cast<uint32_t>(i), static_cast<uint32_t>(i)};
+      table.p_brand()[i] = static_cast<uint8_t>(rng.NextBelow(kNumBrands));
+      table.p_container()[i] =
+          static_cast<uint8_t>(rng.NextBelow(kNumContainers));
+      table.p_size()[i] = static_cast<uint32_t>(rng.NextBelow(50)) + 1;
+    }
+  });
+  return table;
+}
+
+LineitemTable GenerateLineitem(numa::NumaSystem* system,
+                               const GeneratorOptions& options) {
+  const uint64_t rows = LineitemRows(options);
+  const uint64_t parts = PartRows(options);
+  MMJOIN_CHECK(parts >= 1);
+  LineitemTable table(system, rows);
+
+  // P(pass PreJoin) = P(shipinstruct = DELIVER IN PERSON) * P(shipmode in
+  // {AIR, REG AIR}). Up to the TPC-H native 25%, shipinstruct keeps its
+  // uniform 1/4 and the AIR+REG-AIR mass scales; beyond that (Appendix E
+  // sweeps to 100%) the shipinstruct mass scales too.
+  const double target =
+      std::clamp(options.prefilter_selectivity, 0.0, 1.0);
+  const double air_mass = std::min(1.0, target * kNumShipInstructs);
+  const double instruct_mass = air_mass > 0 ? target / air_mass : 0.25;
+
+  GenerateChunked(rows, options.seed, 0x11EAull, [&](thread::Range range,
+                                                     Rng& rng) {
+    for (uint64_t i = range.begin; i < range.end; ++i) {
+      table.l_partkey()[i] =
+          Tuple{static_cast<uint32_t>(rng.NextBelow(parts)),
+                static_cast<uint32_t>(i)};
+      table.l_quantity()[i] = static_cast<uint32_t>(rng.NextBelow(50)) + 1;
+      table.l_extendedprice()[i] =
+          900.0f + static_cast<float>(rng.NextDouble()) * 104100.0f;
+      table.l_discount()[i] =
+          static_cast<float>(rng.NextBelow(11)) * 0.01f;
+      table.l_shipinstruct()[i] =
+          rng.NextDouble() < instruct_mass
+              ? static_cast<uint8_t>(kDeliverInPerson)
+              : static_cast<uint8_t>(1 +
+                                     rng.NextBelow(kNumShipInstructs - 1));
+
+      const double mode_draw = rng.NextDouble();
+      uint8_t mode;
+      if (mode_draw < air_mass / 2) {
+        mode = kAir;
+      } else if (mode_draw < air_mass) {
+        mode = kRegAir;
+      } else {
+        // Remaining mass spread over the five other modes.
+        mode = static_cast<uint8_t>(2 + rng.NextBelow(kNumShipModes - 2));
+      }
+      table.l_shipmode()[i] = mode;
+    }
+  });
+  return table;
+}
+
+}  // namespace mmjoin::tpch

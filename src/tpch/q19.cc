@@ -1,0 +1,303 @@
+#include "tpch/q19.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "hash/linear_probing_table.h"
+#include "join/join_algorithm.h"
+#include "join/materialize.h"
+#include "thread/thread_team.h"
+#include "util/timer.h"
+#include "util/types.h"
+
+namespace mmjoin::tpch {
+namespace {
+
+struct alignas(kCacheLineSize) ThreadAgg {
+  double revenue = 0.0;
+  uint64_t matches = 0;
+  uint64_t results = 0;
+};
+
+// MatchSink evaluating PostJoin + aggregation inline (late
+// materialization: attributes are touched via the row ids in the match).
+class RevenueSink final : public join::MatchSink {
+ public:
+  RevenueSink(const LineitemTable& lineitem, const PartTable& part,
+              int num_threads)
+      : lineitem_(lineitem), part_(part), aggs_(num_threads) {}
+
+  void Consume(int tid, Tuple build, Tuple probe) override {
+    ThreadAgg& agg = aggs_[tid];
+    ++agg.matches;
+    const uint64_t row_p = build.payload;
+    const uint64_t row_l = probe.payload;
+    if (PostJoin(lineitem_, part_, row_l, row_p)) {
+      ++agg.results;
+      agg.revenue +=
+          static_cast<double>(lineitem_.l_extendedprice()[row_l]) *
+          (1.0 - lineitem_.l_discount()[row_l]);
+    }
+  }
+
+  void Fold(Q19Result* result) const {
+    for (const ThreadAgg& agg : aggs_) {
+      result->revenue += agg.revenue;
+      result->join_matches += agg.matches;
+      result->result_rows += agg.results;
+    }
+  }
+
+ private:
+  const LineitemTable& lineitem_;
+  const PartTable& part_;
+  std::vector<ThreadAgg> aggs_;
+};
+
+// Parallel filter + materialization of the probe column: <l_partkey, rowid>
+// for every lineitem row passing PreJoin. Two passes (count, then fill at
+// precomputed offsets) so the output is dense and deterministic.
+numa::NumaBuffer<Tuple> FilterProbe(numa::NumaSystem* system,
+                                    const LineitemTable& lineitem,
+                                    int num_threads, uint64_t* out_count) {
+  const uint64_t rows = lineitem.num_tuples();
+  std::vector<uint64_t> counts(num_threads, 0);
+  thread::RunTeam(num_threads, [&](int tid) {
+    const thread::Range range = thread::ChunkRange(rows, num_threads, tid);
+    uint64_t count = 0;
+    for (uint64_t i = range.begin; i < range.end; ++i) {
+      count += PreJoin(lineitem, i) ? 1 : 0;
+    }
+    counts[tid] = count;
+  });
+
+  uint64_t total = 0;
+  std::vector<uint64_t> offsets(num_threads);
+  for (int t = 0; t < num_threads; ++t) {
+    offsets[t] = total;
+    total += counts[t];
+  }
+  *out_count = total;
+
+  numa::NumaBuffer<Tuple> probe(system, std::max<uint64_t>(total, 1),
+                                numa::Placement::kChunkedRoundRobin);
+  thread::RunTeam(num_threads, [&](int tid) {
+    const thread::Range range = thread::ChunkRange(rows, num_threads, tid);
+    uint64_t cursor = offsets[tid];
+    const Tuple* partkey = lineitem.l_partkey();
+    for (uint64_t i = range.begin; i < range.end; ++i) {
+      if (PreJoin(lineitem, i)) probe[cursor++] = partkey[i];
+    }
+  });
+  return probe;
+}
+
+}  // namespace
+
+Q19Result RunQ19(numa::NumaSystem* system, const LineitemTable& lineitem,
+                 const PartTable& part, join::Algorithm algorithm,
+                 int num_threads, Q19Strategy strategy) {
+  Q19Result result;
+  const int64_t start = NowNanos();
+
+  numa::NumaBuffer<Tuple> probe =
+      FilterProbe(system, lineitem, num_threads, &result.filtered_rows);
+  const int64_t filter_end = NowNanos();
+
+  join::JoinConfig config;
+  config.num_threads = num_threads;
+  const std::unique_ptr<join::JoinAlgorithm> join =
+      join::CreateJoin(algorithm);
+  const ConstTupleSpan build(part.p_partkey(), part.num_tuples());
+  const ConstTupleSpan probe_span(probe.data(), result.filtered_rows);
+
+  if (strategy == Q19Strategy::kPipelined) {
+    RevenueSink sink(lineitem, part, num_threads);
+    config.sink = &sink;
+    join->Run(system, config, build, probe_span,
+              /*key_domain=*/part.num_tuples());
+    sink.Fold(&result);
+  } else {
+    // Join-index strategy: materialize <rowP, rowL> first, then a separate
+    // parallel post-filter + aggregation pass over the index.
+    join::JoinIndexSink index(num_threads);
+    index.Reserve(result.filtered_rows);
+    config.sink = &index;
+    join->Run(system, config, build, probe_span,
+              /*key_domain=*/part.num_tuples());
+    const std::vector<join::MatchedPair> pairs = index.Gather();
+    result.join_matches = pairs.size();
+
+    std::vector<ThreadAgg> aggs(num_threads);
+    thread::RunTeam(num_threads, [&](int tid) {
+      const thread::Range range =
+          thread::ChunkRange(pairs.size(), num_threads, tid);
+      ThreadAgg& agg = aggs[tid];
+      for (uint64_t i = range.begin; i < range.end; ++i) {
+        const uint64_t row_p = pairs[i].build_payload;
+        const uint64_t row_l = pairs[i].probe_payload;
+        if (PostJoin(lineitem, part, row_l, row_p)) {
+          ++agg.results;
+          agg.revenue +=
+              static_cast<double>(lineitem.l_extendedprice()[row_l]) *
+              (1.0 - lineitem.l_discount()[row_l]);
+        }
+      }
+    });
+    for (const ThreadAgg& agg : aggs) {
+      result.revenue += agg.revenue;
+      result.result_rows += agg.results;
+    }
+  }
+
+  const int64_t end = NowNanos();
+  result.filter_ns = filter_end - start;
+  result.join_ns = end - filter_end;
+  result.total_ns = end - start;
+  return result;
+}
+
+Q19MorphResult RunQ19Morph(numa::NumaSystem* system,
+                           const LineitemTable& lineitem,
+                           const PartTable& part, int num_threads) {
+  Q19MorphResult result;
+  using Table = hash::LinearProbingTable<hash::IdentityHash>;
+  const uint64_t l_rows = lineitem.num_tuples();
+  const uint64_t p_rows = part.num_tuples();
+  const Tuple* l_partkey = lineitem.l_partkey();
+
+  uint64_t filtered = 0;
+  numa::NumaBuffer<Tuple> prefiltered =
+      FilterProbe(system, lineitem, num_threads, &filtered);
+
+  auto build_table = [&]() {
+    auto table = std::make_unique<Table>(
+        system, p_rows, numa::Placement::kInterleavedPages);
+    thread::RunTeam(num_threads, [&](int tid) {
+      const thread::Range range =
+          thread::ChunkRange(p_rows, num_threads, tid);
+      const Tuple* keys = part.p_partkey();
+      for (uint64_t i = range.begin; i < range.end; ++i) {
+        table->InsertConcurrent(keys[i]);
+      }
+    });
+    return table;
+  };
+
+  // Step 1: naked join on pre-filtered pre-materialized input.
+  {
+    Stopwatch watch;
+    auto table = build_table();
+    std::atomic<uint64_t> matches{0};
+    thread::RunTeam(num_threads, [&](int tid) {
+      const thread::Range range =
+          thread::ChunkRange(filtered, num_threads, tid);
+      uint64_t local = 0;
+      for (uint64_t i = range.begin; i < range.end; ++i) {
+        table->ProbeUnique(prefiltered[i].key, [&](Tuple) { ++local; });
+      }
+      matches.fetch_add(local, std::memory_order_relaxed);
+    });
+    result.step_ns[0] = watch.ElapsedNanos();
+  }
+
+  // Step 2: filter the input table dynamically during the probe.
+  {
+    Stopwatch watch;
+    auto table = build_table();
+    std::atomic<uint64_t> matches{0};
+    thread::RunTeam(num_threads, [&](int tid) {
+      const thread::Range range =
+          thread::ChunkRange(l_rows, num_threads, tid);
+      uint64_t local = 0;
+      for (uint64_t i = range.begin; i < range.end; ++i) {
+        if (!PreJoin(lineitem, i)) continue;
+        table->ProbeUnique(l_partkey[i].key, [&](Tuple) { ++local; });
+      }
+      matches.fetch_add(local, std::memory_order_relaxed);
+    });
+    result.step_ns[1] = watch.ElapsedNanos();
+  }
+
+  // Steps 3 and 4: dynamic filtering + join index, then post-filter +
+  // aggregate from the index.
+  {
+    Stopwatch watch;
+    auto table = build_table();
+    std::vector<std::vector<Tuple>> index(num_threads);  // <rowP, rowL>
+    thread::RunTeam(num_threads, [&](int tid) {
+      const thread::Range range =
+          thread::ChunkRange(l_rows, num_threads, tid);
+      std::vector<Tuple>& local = index[tid];
+      for (uint64_t i = range.begin; i < range.end; ++i) {
+        if (!PreJoin(lineitem, i)) continue;
+        const auto row_l = static_cast<uint32_t>(i);
+        table->ProbeUnique(l_partkey[i].key, [&](Tuple r) {
+          local.push_back(Tuple{r.payload, row_l});
+        });
+      }
+    });
+    result.step_ns[2] = watch.ElapsedNanos();
+
+    std::vector<double> revenue(num_threads, 0.0);
+    thread::RunTeam(num_threads, [&](int tid) {
+      double local = 0.0;
+      for (const Tuple& match : index[tid]) {
+        if (PostJoin(lineitem, part, match.payload, match.key)) {
+          local += static_cast<double>(
+                       lineitem.l_extendedprice()[match.payload]) *
+                   (1.0 - lineitem.l_discount()[match.payload]);
+        }
+      }
+      revenue[tid] = local;
+    });
+    result.step_ns[3] = watch.ElapsedNanos();
+    for (double r : revenue) result.revenue_step4 += r;
+  }
+
+  // Step 5: the full pipelined query (Listing 4), no join index.
+  {
+    Stopwatch watch;
+    auto table = build_table();
+    std::vector<double> revenue(num_threads, 0.0);
+    thread::RunTeam(num_threads, [&](int tid) {
+      const thread::Range range =
+          thread::ChunkRange(l_rows, num_threads, tid);
+      double local = 0.0;
+      for (uint64_t i = range.begin; i < range.end; ++i) {
+        if (!PreJoin(lineitem, i)) continue;
+        table->ProbeUnique(l_partkey[i].key, [&](Tuple r) {
+          if (PostJoin(lineitem, part, i, r.payload)) {
+            local += static_cast<double>(lineitem.l_extendedprice()[i]) *
+                     (1.0 - lineitem.l_discount()[i]);
+          }
+        });
+      }
+      revenue[tid] = local;
+    });
+    result.step_ns[4] = watch.ElapsedNanos();
+    for (double r : revenue) result.revenue_step5 += r;
+  }
+
+  return result;
+}
+
+double Q19Reference(const LineitemTable& lineitem, const PartTable& part) {
+  double revenue = 0.0;
+  for (uint64_t i = 0; i < lineitem.num_tuples(); ++i) {
+    if (!PreJoin(lineitem, i)) continue;
+    const uint32_t partkey = lineitem.l_partkey()[i].key;
+    // p_partkey is dense and sorted: key == row id.
+    const uint64_t row_p = partkey;
+    if (row_p < part.num_tuples() &&
+        PostJoin(lineitem, part, i, row_p)) {
+      revenue += static_cast<double>(lineitem.l_extendedprice()[i]) *
+                 (1.0 - lineitem.l_discount()[i]);
+    }
+  }
+  return revenue;
+}
+
+}  // namespace mmjoin::tpch

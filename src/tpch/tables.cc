@@ -1,0 +1,52 @@
+#include "tpch/tables.h"
+
+namespace mmjoin::tpch {
+
+namespace {
+constexpr auto kPlacement = numa::Placement::kChunkedRoundRobin;
+}  // namespace
+
+LineitemTable::LineitemTable(numa::NumaSystem* system, uint64_t num_tuples)
+    : num_tuples_(num_tuples),
+      l_extendedprice_(system, num_tuples, kPlacement),
+      l_discount_(system, num_tuples, kPlacement),
+      l_partkey_(system, num_tuples, kPlacement),
+      l_quantity_(system, num_tuples, kPlacement),
+      l_shipmode_(system, num_tuples, kPlacement),
+      l_shipinstruct_(system, num_tuples, kPlacement) {}
+
+PartTable::PartTable(numa::NumaSystem* system, uint64_t num_tuples)
+    : num_tuples_(num_tuples),
+      p_partkey_(system, num_tuples, kPlacement),
+      p_brand_(system, num_tuples, kPlacement),
+      p_container_(system, num_tuples, kPlacement),
+      p_size_(system, num_tuples, kPlacement) {}
+
+bool PostJoin(const LineitemTable& l, const PartTable& p, uint64_t row_l,
+              uint64_t row_p) {
+  const uint8_t brand = p.p_brand()[row_p];
+  const uint8_t container = p.p_container()[row_p];
+  const uint32_t quantity = l.l_quantity()[row_l];
+  const uint32_t size = p.p_size()[row_p];
+
+  return (brand == kBrand12 &&
+          (container == ContainerCode(kSm, kCase) ||
+           container == ContainerCode(kSm, kBox) ||
+           container == ContainerCode(kSm, kPack) ||
+           container == ContainerCode(kSm, kPkg)) &&
+          quantity >= 1 && quantity <= 1 + 10 && 1 <= size && size <= 5) ||
+         (brand == kBrand23 &&
+          (container == ContainerCode(kMed, kBag) ||
+           container == ContainerCode(kMed, kBox) ||
+           container == ContainerCode(kMed, kPkg) ||
+           container == ContainerCode(kMed, kPack)) &&
+          quantity >= 10 && quantity <= 10 + 10 && 1 <= size && size <= 10) ||
+         (brand == kBrand34 &&
+          (container == ContainerCode(kLg, kCase) ||
+           container == ContainerCode(kLg, kBox) ||
+           container == ContainerCode(kLg, kPack) ||
+           container == ContainerCode(kLg, kPkg)) &&
+          quantity >= 20 && quantity <= 20 + 10 && 1 <= size && size <= 15);
+}
+
+}  // namespace mmjoin::tpch

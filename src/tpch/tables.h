@@ -1,0 +1,130 @@
+// Column-store representation of the TPC-H tables used by Q19 (paper
+// Section 8, Appendix F, Listing 2).
+//
+// Like the paper we emulate a MonetDB-style column store: each table is a
+// struct of column arrays; the implicit position is the virtual row id;
+// string columns are dictionary-compressed to one-byte codes; monetary
+// values are floats. Only the columns Q19 touches are materialized.
+
+#ifndef MMJOIN_TPCH_TABLES_H_
+#define MMJOIN_TPCH_TABLES_H_
+
+#include <cstdint>
+
+#include "numa/system.h"
+#include "util/types.h"
+
+namespace mmjoin::tpch {
+
+// --- Dictionary codes -----------------------------------------------------
+
+// l_shipinstruct (4 values).
+enum ShipInstruct : uint8_t {
+  kDeliverInPerson = 0,
+  kCollectCod = 1,
+  kNone = 2,
+  kTakeBackReturn = 3,
+};
+inline constexpr int kNumShipInstructs = 4;
+
+// l_shipmode (7 TPC-H values).
+enum ShipMode : uint8_t {
+  kAir = 0,
+  kRegAir = 1,
+  kRail = 2,
+  kShip = 3,
+  kTruck = 4,
+  kMail = 5,
+  kFob = 6,
+};
+inline constexpr int kNumShipModes = 7;
+
+// p_brand: "Brand#MN" with M, N in 1..5 -> code (M-1)*5 + (N-1).
+inline constexpr uint8_t BrandCode(int m, int n) {
+  return static_cast<uint8_t>((m - 1) * 5 + (n - 1));
+}
+inline constexpr uint8_t kBrand12 = BrandCode(1, 2);
+inline constexpr uint8_t kBrand23 = BrandCode(2, 3);
+inline constexpr uint8_t kBrand34 = BrandCode(3, 4);
+inline constexpr int kNumBrands = 25;
+
+// p_container: 5 size words x 8 type words -> code size*8 + type.
+enum ContainerSize : uint8_t { kSm = 0, kMed = 1, kLg = 2, kJumbo = 3, kWrap = 4 };
+enum ContainerType : uint8_t {
+  kCase = 0,
+  kBox = 1,
+  kBag = 2,
+  kJar = 3,
+  kPkg = 4,
+  kPack = 5,
+  kCan = 6,
+  kDrum = 7,
+};
+inline constexpr uint8_t ContainerCode(ContainerSize size,
+                                       ContainerType type) {
+  return static_cast<uint8_t>(size * 8 + type);
+}
+inline constexpr int kNumContainers = 40;
+
+// --- Tables (Listing 2) ---------------------------------------------------
+
+class LineitemTable {
+ public:
+  LineitemTable() = default;
+  LineitemTable(numa::NumaSystem* system, uint64_t num_tuples);
+
+  uint64_t num_tuples() const { return num_tuples_; }
+
+  float* l_extendedprice() const { return l_extendedprice_.data(); }
+  float* l_discount() const { return l_discount_.data(); }
+  // <partkey, rowid> pairs, ready to feed the join implementations.
+  Tuple* l_partkey() const { return l_partkey_.data(); }
+  uint32_t* l_quantity() const { return l_quantity_.data(); }
+  uint8_t* l_shipmode() const { return l_shipmode_.data(); }
+  uint8_t* l_shipinstruct() const { return l_shipinstruct_.data(); }
+
+ private:
+  uint64_t num_tuples_ = 0;
+  numa::NumaBuffer<float> l_extendedprice_;
+  numa::NumaBuffer<float> l_discount_;
+  numa::NumaBuffer<Tuple> l_partkey_;
+  numa::NumaBuffer<uint32_t> l_quantity_;
+  numa::NumaBuffer<uint8_t> l_shipmode_;
+  numa::NumaBuffer<uint8_t> l_shipinstruct_;
+};
+
+class PartTable {
+ public:
+  PartTable() = default;
+  PartTable(numa::NumaSystem* system, uint64_t num_tuples);
+
+  uint64_t num_tuples() const { return num_tuples_; }
+
+  Tuple* p_partkey() const { return p_partkey_.data(); }
+  uint8_t* p_brand() const { return p_brand_.data(); }
+  uint8_t* p_container() const { return p_container_.data(); }
+  uint32_t* p_size() const { return p_size_.data(); }
+
+ private:
+  uint64_t num_tuples_ = 0;
+  numa::NumaBuffer<Tuple> p_partkey_;
+  numa::NumaBuffer<uint8_t> p_brand_;
+  numa::NumaBuffer<uint8_t> p_container_;
+  numa::NumaBuffer<uint32_t> p_size_;
+};
+
+// --- Q19 predicates (Listing 3) --------------------------------------------
+
+// Pushed-down selection on lineitem.
+MMJOIN_ALWAYS_INLINE bool PreJoin(const LineitemTable& l, uint64_t row) {
+  return l.l_shipinstruct()[row] == kDeliverInPerson &&
+         (l.l_shipmode()[row] == kAir || l.l_shipmode()[row] == kRegAir);
+}
+
+// Residual predicate evaluated after the join.
+bool PostJoin(const LineitemTable& l, const PartTable& p, uint64_t row_l,
+              uint64_t row_p);
+
+}  // namespace mmjoin::tpch
+
+#endif  // MMJOIN_TPCH_TABLES_H_

@@ -1,0 +1,52 @@
+// Small bit-manipulation helpers used by hashing, partitioning, and the
+// cache simulator.
+
+#ifndef MMJOIN_UTIL_BITS_H_
+#define MMJOIN_UTIL_BITS_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/macros.h"
+
+namespace mmjoin {
+
+MMJOIN_ALWAYS_INLINE constexpr bool IsPowerOfTwo(uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+// Smallest power of two >= x (x must be >= 1).
+MMJOIN_ALWAYS_INLINE constexpr uint64_t NextPowerOfTwo(uint64_t x) {
+  return std::bit_ceil(x);
+}
+
+// floor(log2(x)) for x >= 1.
+MMJOIN_ALWAYS_INLINE constexpr uint32_t FloorLog2(uint64_t x) {
+  return 63u - static_cast<uint32_t>(std::countl_zero(x));
+}
+
+// ceil(log2(x)) for x >= 1.
+MMJOIN_ALWAYS_INLINE constexpr uint32_t CeilLog2(uint64_t x) {
+  return x <= 1 ? 0 : FloorLog2(x - 1) + 1;
+}
+
+MMJOIN_ALWAYS_INLINE constexpr uint64_t RoundUp(uint64_t x, uint64_t multiple) {
+  return (x + multiple - 1) / multiple * multiple;
+}
+
+MMJOIN_ALWAYS_INLINE constexpr uint64_t CeilDiv(uint64_t x, uint64_t y) {
+  return (x + y - 1) / y;
+}
+
+// Number of set bits in `x` strictly below bit position `pos` (pos in
+// [0, 64]). The core primitive of the Concise Hash Table rank computation.
+MMJOIN_ALWAYS_INLINE constexpr uint32_t PopcountBelow(uint64_t x,
+                                                      uint32_t pos) {
+  const uint64_t mask = pos >= 64 ? ~uint64_t{0} : ((uint64_t{1} << pos) - 1);
+  return static_cast<uint32_t>(std::popcount(x & mask));
+}
+
+}  // namespace mmjoin
+
+#endif  // MMJOIN_UTIL_BITS_H_

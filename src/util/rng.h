@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation.
+//
+// All workload generators are seeded so every experiment is reproducible
+// bit-for-bit. We use splitmix64 for seeding and xoshiro256** for the bulk
+// stream; both are tiny, fast, and of well-understood quality.
+
+#ifndef MMJOIN_UTIL_RNG_H_
+#define MMJOIN_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/macros.h"
+
+namespace mmjoin {
+
+// splitmix64: used to expand a single 64-bit seed into generator state.
+MMJOIN_ALWAYS_INLINE uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna (public domain).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(sm);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Unbiased-enough uniform integer in [0, bound) via 128-bit multiply
+  // (Lemire's method without the rejection step; bias < 2^-32 for the bounds
+  // used in this project).
+  uint64_t NextBelow(uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(Next()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static MMJOIN_ALWAYS_INLINE uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace mmjoin
+
+#endif  // MMJOIN_UTIL_RNG_H_

@@ -1,0 +1,59 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/macros.h"
+
+namespace mmjoin {
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  MMJOIN_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c == 0 ? "" : "  ",
+                   static_cast<int>(widths[c]), cells[c].c_str());
+    }
+    std::fputc('\n', out);
+  };
+
+  print_row(headers_);
+  std::size_t total = headers_.size() - 1;  // separators
+  for (std::size_t w : widths) total += w + 1;
+  for (std::size_t i = 0; i < total; ++i) std::fputc('-', out);
+  std::fputc('\n', out);
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::FILE* out) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::fprintf(out, "%s%s", c == 0 ? "" : ",", cells[c].c_str());
+    }
+    std::fputc('\n', out);
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace mmjoin

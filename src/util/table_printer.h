@@ -1,0 +1,53 @@
+// Column-aligned plain-text table output for the experiment harnesses.
+//
+// Every bench binary prints the rows/series of the paper figure or table it
+// reproduces; this helper keeps that output consistent and also supports CSV
+// for downstream plotting.
+
+#ifndef MMJOIN_UTIL_TABLE_PRINTER_H_
+#define MMJOIN_UTIL_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mmjoin {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: builds a row from already-formatted cells.
+  template <typename... Args>
+  void Row(Args&&... cells) {
+    AddRow(std::vector<std::string>{ToCell(std::forward<Args>(cells))...});
+  }
+
+  // Renders an aligned table to `out` (default stdout).
+  void Print(std::FILE* out = stdout) const;
+  // Renders comma-separated values (headers + rows).
+  void PrintCsv(std::FILE* out = stdout) const;
+
+  static std::string FormatDouble(double value, int precision = 2);
+
+ private:
+  static std::string ToCell(const std::string& s) { return s; }
+  static std::string ToCell(const char* s) { return s; }
+  static std::string ToCell(double v) { return FormatDouble(v); }
+  static std::string ToCell(int v) { return std::to_string(v); }
+  static std::string ToCell(long v) { return std::to_string(v); }
+  static std::string ToCell(long long v) { return std::to_string(v); }
+  static std::string ToCell(unsigned v) { return std::to_string(v); }
+  static std::string ToCell(unsigned long v) { return std::to_string(v); }
+  static std::string ToCell(unsigned long long v) { return std::to_string(v); }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mmjoin
+
+#endif  // MMJOIN_UTIL_TABLE_PRINTER_H_

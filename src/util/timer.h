@@ -1,0 +1,51 @@
+// Wall-clock timing helpers for the benchmark harnesses and per-phase join
+// statistics.
+
+#ifndef MMJOIN_UTIL_TIMER_H_
+#define MMJOIN_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace mmjoin {
+
+// Monotonic nanosecond timestamp.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Scoped stopwatch: accumulates elapsed nanoseconds into a caller-owned
+// counter on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(int64_t* sink) : sink_(sink), start_(NowNanos()) {}
+  ~ScopedTimer() { *sink_ += NowNanos() - start_; }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  int64_t* sink_;
+  int64_t start_;
+};
+
+// Simple restartable stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowNanos()) {}
+
+  void Restart() { start_ = NowNanos(); }
+  int64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace mmjoin
+
+#endif  // MMJOIN_UTIL_TIMER_H_

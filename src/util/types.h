@@ -1,0 +1,55 @@
+// Core value types shared by every mmjoin subsystem.
+//
+// Following the experimental setup common to the join literature reproduced
+// here (Schuh et al., SIGMOD 2016, Section 7.1), a tuple is a <key, payload>
+// pair of two 4-byte integers. Join inputs are flat arrays of such tuples.
+
+#ifndef MMJOIN_UTIL_TYPES_H_
+#define MMJOIN_UTIL_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "util/macros.h"
+
+namespace mmjoin {
+
+// Join key / row-id payload. 8 bytes, trivially copyable, cache friendly:
+// 8 tuples per 64-byte cache line.
+struct Tuple {
+  uint32_t key;
+  uint32_t payload;
+
+  friend bool operator==(const Tuple&, const Tuple&) = default;
+};
+static_assert(sizeof(Tuple) == 8, "Tuple must stay 8 bytes");
+
+// Sentinel for "empty hash table slot". Generators never emit this key.
+inline constexpr uint32_t kEmptyKey = 0xFFFFFFFFu;
+
+// Size of a cache line on every platform we target.
+inline constexpr std::size_t kCacheLineSize = 64;
+inline constexpr std::size_t kTuplesPerCacheLine = kCacheLineSize / sizeof(Tuple);
+
+// Non-owning views over relations; ownership lives in numa::Allocation /
+// core::Relation.
+using TupleSpan = std::span<Tuple>;
+using ConstTupleSpan = std::span<const Tuple>;
+
+// Packs a tuple into one 64-bit word with the key in the upper half so that
+// integer comparison on the packed value orders by key first. Used by the
+// sort-merge join kernels and by the lock-free linear probing table (which
+// CASes whole slots).
+MMJOIN_ALWAYS_INLINE constexpr uint64_t PackTuple(Tuple t) {
+  return (static_cast<uint64_t>(t.key) << 32) | t.payload;
+}
+
+MMJOIN_ALWAYS_INLINE constexpr Tuple UnpackTuple(uint64_t packed) {
+  return Tuple{static_cast<uint32_t>(packed >> 32),
+               static_cast<uint32_t>(packed)};
+}
+
+}  // namespace mmjoin
+
+#endif  // MMJOIN_UTIL_TYPES_H_

@@ -1,0 +1,115 @@
+#include "workload/generator.h"
+
+#include <utility>
+#include <vector>
+
+#include "util/macros.h"
+#include "util/rng.h"
+#include "util/types.h"
+#include "workload/zipf.h"
+
+namespace mmjoin::workload {
+namespace {
+
+// Fisher-Yates shuffle of the tuple array.
+void ShuffleTuples(Relation* relation, Rng* rng) {
+  Tuple* tuples = relation->data();
+  for (uint64_t i = relation->size(); i > 1; --i) {
+    const uint64_t j = rng->NextBelow(i);
+    std::swap(tuples[i - 1], tuples[j]);
+  }
+}
+
+}  // namespace
+
+Relation MakeDenseBuild(numa::NumaSystem* system, uint64_t n, uint64_t seed) {
+  MMJOIN_CHECK(n < kEmptyKey);
+  Relation relation(system, n);
+  Tuple* tuples = relation.data();
+  for (uint64_t i = 0; i < n; ++i) {
+    const auto key = static_cast<uint32_t>(i);
+    tuples[i] = Tuple{key, key};
+  }
+  Rng rng(seed);
+  ShuffleTuples(&relation, &rng);
+  relation.set_key_domain(n);
+  return relation;
+}
+
+Relation MakeUniformProbe(numa::NumaSystem* system, uint64_t n,
+                          uint64_t build_n, uint64_t seed) {
+  MMJOIN_CHECK(build_n >= 1 && build_n < kEmptyKey);
+  Relation relation(system, n);
+  Tuple* tuples = relation.data();
+  Rng rng(seed);
+  for (uint64_t i = 0; i < n; ++i) {
+    const auto key = static_cast<uint32_t>(rng.NextBelow(build_n));
+    tuples[i] = Tuple{key, static_cast<uint32_t>(i)};
+  }
+  relation.set_key_domain(build_n);
+  return relation;
+}
+
+Relation MakeZipfProbe(numa::NumaSystem* system, uint64_t n, uint64_t build_n,
+                       double theta, uint64_t seed) {
+  MMJOIN_CHECK(build_n >= 1 && build_n < kEmptyKey);
+  Relation relation(system, n);
+  Tuple* tuples = relation.data();
+  ZipfGenerator zipf(build_n, theta, seed);
+  Rng rng(seed ^ 0x5EEDF00Dull);
+
+  // Remap the 10 hottest ranks to random keys over the full domain
+  // (Appendix A: "we map the 10 smallest keys to random keys in the full
+  // domain").
+  constexpr uint64_t kRemapped = 10;
+  uint32_t remap[kRemapped];
+  for (uint64_t r = 0; r < kRemapped && r < build_n; ++r) {
+    remap[r] = static_cast<uint32_t>(rng.NextBelow(build_n));
+  }
+
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t rank = zipf.Next();  // 1 = hottest
+    uint32_t key;
+    if (rank <= kRemapped && rank <= build_n) {
+      key = remap[rank - 1];
+    } else {
+      key = static_cast<uint32_t>(rank - 1);
+    }
+    tuples[i] = Tuple{key, static_cast<uint32_t>(i)};
+  }
+  relation.set_key_domain(build_n);
+  return relation;
+}
+
+Relation MakeSparseBuild(numa::NumaSystem* system, uint64_t n, uint64_t k,
+                         uint64_t seed) {
+  MMJOIN_CHECK(k >= 1);
+  MMJOIN_CHECK(n * k < kEmptyKey);
+  Relation relation(system, n);
+  Tuple* tuples = relation.data();
+  Rng rng(seed);
+  for (uint64_t i = 0; i < n; ++i) {
+    const auto key = static_cast<uint32_t>(i * k + rng.NextBelow(k));
+    tuples[i] = Tuple{key, static_cast<uint32_t>(i)};
+  }
+  ShuffleTuples(&relation, &rng);
+  relation.set_key_domain(n * k);
+  return relation;
+}
+
+Relation MakeProbeFromBuild(numa::NumaSystem* system, uint64_t n,
+                            const Relation& build, uint64_t seed) {
+  MMJOIN_CHECK(build.size() >= 1);
+  Relation relation(system, n);
+  Tuple* tuples = relation.data();
+  Rng rng(seed);
+  const Tuple* build_tuples = build.data();
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint32_t key = build_tuples[rng.NextBelow(build.size())].key;
+    tuples[i] = Tuple{key, static_cast<uint32_t>(i)};
+  }
+  relation.set_key_domain(build.key_domain());
+  return relation;
+}
+
+}  // namespace mmjoin::workload

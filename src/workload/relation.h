@@ -1,0 +1,48 @@
+// Owning join relation: a NUMA-placed array of <key, payload> tuples.
+
+#ifndef MMJOIN_WORKLOAD_RELATION_H_
+#define MMJOIN_WORKLOAD_RELATION_H_
+
+#include <cstdint>
+
+#include "numa/system.h"
+#include "util/types.h"
+
+namespace mmjoin::workload {
+
+class Relation {
+ public:
+  Relation() = default;
+  // Allocates `num_tuples` tuples. The default placement mirrors the paper:
+  // input relations are spread over all NUMA regions in contiguous chunks
+  // ("one quarter of each input relation is physically allocated on one of
+  // the NUMA-regions", Section 6.2).
+  Relation(numa::NumaSystem* system, uint64_t num_tuples,
+           numa::Placement placement = numa::Placement::kChunkedRoundRobin)
+      : tuples_(system, num_tuples, placement) {}
+
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+
+  uint64_t size() const { return tuples_.size(); }
+  Tuple* data() { return tuples_.data(); }
+  const Tuple* data() const { return tuples_.data(); }
+
+  TupleSpan span() { return TupleSpan(tuples_.data(), tuples_.size()); }
+  ConstTupleSpan cspan() const {
+    return ConstTupleSpan(tuples_.data(), tuples_.size());
+  }
+
+  // Exclusive upper bound of the key domain (max key + 1); array joins size
+  // their tables from this.
+  uint64_t key_domain() const { return key_domain_; }
+  void set_key_domain(uint64_t domain) { key_domain_ = domain; }
+
+ private:
+  numa::NumaBuffer<Tuple> tuples_;
+  uint64_t key_domain_ = 0;
+};
+
+}  // namespace mmjoin::workload
+
+#endif  // MMJOIN_WORKLOAD_RELATION_H_

@@ -1,0 +1,68 @@
+#include "workload/zipf.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace mmjoin::workload {
+namespace {
+
+// Incomplete zeta sum: sum_{k=1..n} 1/k^theta. Exact for small n, Euler-
+// Maclaurin approximation for large n (error < 1e-6 relative for the theta
+// range used here).
+double Zeta(uint64_t n, double theta) {
+  if (n <= 100000) {
+    double sum = 0;
+    for (uint64_t k = 1; k <= n; ++k) sum += std::pow(1.0 / k, theta);
+    return sum;
+  }
+  const double nn = static_cast<double>(n);
+  double sum = 0;
+  for (uint64_t k = 1; k <= 10000; ++k) sum += std::pow(1.0 / k, theta);
+  // Integral tail from 10000.5 to n + 0.5.
+  const double a = 10000.5;
+  const double b = nn + 0.5;
+  if (theta == 1.0) {
+    sum += std::log(b / a);
+  } else {
+    sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) /
+           (1.0 - theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  MMJOIN_CHECK(n >= 1);
+  MMJOIN_CHECK(theta >= 0.0 && theta < 1.0);
+  if (theta == 0.0) {
+    alpha_ = zetan_ = eta_ = threshold1_ = threshold2_ = 0.0;
+    return;
+  }
+  zetan_ = Zeta(n, theta);
+  const double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+  threshold1_ = 1.0 / zetan_;
+  threshold2_ = (1.0 + std::pow(0.5, theta)) / zetan_;
+}
+
+uint64_t ZipfGenerator::Next() {
+  if (theta_ == 0.0) return rng_.NextBelow(n_) + 1;
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 1;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 2;
+  const double rank =
+      1.0 + static_cast<double>(n_) *
+                std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t result = static_cast<uint64_t>(rank);
+  if (result < 1) result = 1;
+  if (result > n_) result = n_;
+  return result;
+}
+
+}  // namespace mmjoin::workload

@@ -1,0 +1,44 @@
+// Zipf-distributed key generation, following Gray et al., "Quickly
+// Generating Billion-Record Synthetic Databases" (SIGMOD 1994) -- the
+// generator the paper uses for its skew experiments (Appendix A).
+//
+// The incremental per-sample method draws u ~ U(0,1) and maps it through the
+// Zipf CDF approximation; we precompute the two constants of Gray's
+// algorithm so each sample is O(1).
+
+#ifndef MMJOIN_WORKLOAD_ZIPF_H_
+#define MMJOIN_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace mmjoin::workload {
+
+// Samples ranks in [1, n] with P(rank = k) proportional to 1/k^theta.
+// theta = 0 degenerates to uniform; theta in (0, 1) uses Gray's O(1)
+// approximation ("zipfian" in YCSB terms).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  // Returns a rank in [1, n]; rank 1 is the most frequent value.
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double threshold1_;  // probability mass of rank 1
+  double threshold2_;  // probability mass of ranks 1+2
+  Rng rng_;
+};
+
+}  // namespace mmjoin::workload
+
+#endif  // MMJOIN_WORKLOAD_ZIPF_H_

@@ -1,0 +1,58 @@
+// Tests for the JoinAdvisor heuristic (lessons learned, paper Section 9).
+
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+
+namespace mmjoin::core {
+namespace {
+
+using join::Algorithm;
+
+TEST(Advisor, LargeDenseWorkloadPicksChunkedArray) {
+  const Advice advice =
+      AdviseJoin({128u << 20, 1280u << 20, 128u << 20, 0.0}, 32);
+  EXPECT_EQ(advice.algorithm, Algorithm::kCPRA);
+  EXPECT_FALSE(advice.reason.empty());
+}
+
+TEST(Advisor, LargeSparseWorkloadPicksChunkedLinear) {
+  // Domain 100x the build side: arrays are no longer worth it.
+  const Advice advice =
+      AdviseJoin({128u << 20, 1280u << 20, 100 * (128ull << 20), 0.0}, 32);
+  EXPECT_EQ(advice.algorithm, Algorithm::kCPRL);
+}
+
+TEST(Advisor, UnknownDomainAvoidsArrays) {
+  const Advice advice = AdviseJoin({128u << 20, 1280u << 20, 0, 0.0}, 32);
+  EXPECT_EQ(advice.algorithm, Algorithm::kCPRL);
+}
+
+TEST(Advisor, SmallBuildPicksNoPartitioning) {
+  const Advice dense = AdviseJoin({1 << 20, 10 << 20, 1 << 20, 0.0}, 32);
+  EXPECT_EQ(dense.algorithm, Algorithm::kNOPA);
+  const Advice sparse =
+      AdviseJoin({1 << 20, 10 << 20, 100ull << 20, 0.0}, 32);
+  EXPECT_EQ(sparse.algorithm, Algorithm::kNOP);
+}
+
+TEST(Advisor, HighSkewPicksNoPartitioning) {
+  const Advice advice =
+      AdviseJoin({128u << 20, 1280u << 20, 0, 0.99}, 32);
+  EXPECT_EQ(advice.algorithm, Algorithm::kNOP);
+}
+
+TEST(Advisor, ModerateSkewStaysPartitionBased) {
+  // Lesson 3: NOP starts winning only beyond Zipf 0.9.
+  const Advice advice =
+      AdviseJoin({128u << 20, 1280u << 20, 128u << 20, 0.5}, 32);
+  EXPECT_EQ(advice.algorithm, Algorithm::kCPRA);
+}
+
+TEST(Advisor, SkewTrumpsSize) {
+  const Advice advice = AdviseJoin({1 << 20, 100 << 20, 1 << 20, 0.95}, 32);
+  EXPECT_EQ(advice.algorithm, Algorithm::kNOPA);
+}
+
+}  // namespace
+}  // namespace mmjoin::core

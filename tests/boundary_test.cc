@@ -1,0 +1,185 @@
+// Boundary-condition tests: extreme key values, single-tuple relations,
+// direct exercise of the parallel CHT build protocol, and chunk-boundary
+// exactness of the NUMA placements.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hash/concise_table.h"
+#include "join/join_algorithm.h"
+#include "join/reference.h"
+#include "numa/system.h"
+#include "thread/thread_team.h"
+#include "workload/relation.h"
+
+namespace mmjoin {
+namespace {
+
+numa::NumaSystem* System() {
+  static auto* system = new numa::NumaSystem(4);
+  return system;
+}
+
+// Keys at the top of the representable range (kEmptyKey - 1 is the largest
+// legal key) must work in every algorithm: they stress the sign-bit
+// handling of the SIMD sort, hash masking, and partition functions.
+TEST(Boundary, MaxLegalKeysJoinEverywhere) {
+  workload::Relation build(System(), 3);
+  build.data()[0] = Tuple{kEmptyKey - 1, 1};
+  build.data()[1] = Tuple{kEmptyKey - 2, 2};
+  build.data()[2] = Tuple{0, 3};
+  build.set_key_domain(kEmptyKey);  // sparse: domain = 2^32 - 1
+
+  workload::Relation probe(System(), 6);
+  probe.data()[0] = Tuple{kEmptyKey - 1, 10};
+  probe.data()[1] = Tuple{kEmptyKey - 2, 20};
+  probe.data()[2] = Tuple{0, 30};
+  probe.data()[3] = Tuple{kEmptyKey - 1, 40};
+  probe.data()[4] = Tuple{1, 50};           // miss
+  probe.data()[5] = Tuple{kEmptyKey - 3, 60};  // miss
+  probe.set_key_domain(kEmptyKey);
+
+  const join::JoinResult expected =
+      join::ReferenceJoin(build.cspan(), probe.cspan());
+  EXPECT_EQ(expected.matches, 4u);
+
+  join::JoinConfig config;
+  config.num_threads = 2;
+  for (const join::Algorithm algorithm : join::AllAlgorithms()) {
+    // Array joins over a 2^32-wide domain would need a 4 GB table; the
+    // registry marks them dense-only, so skip as a planner would.
+    if (join::InfoOf(algorithm).requires_dense_keys) continue;
+    const join::JoinResult result =
+        join::RunJoin(algorithm, System(), config, build, probe);
+    EXPECT_EQ(result.matches, expected.matches) << join::NameOf(algorithm);
+    EXPECT_EQ(result.checksum, expected.checksum)
+        << join::NameOf(algorithm);
+  }
+}
+
+TEST(Boundary, EmptyRelationsYieldZeroMatches) {
+  Tuple one{5, 50};
+  join::JoinConfig config;
+  config.num_threads = 4;
+  for (const join::Algorithm algorithm : join::AllAlgorithms()) {
+    const auto join = join::CreateJoin(algorithm);
+    const join::JoinResult empty_probe =
+        join->Run(System(), config, ConstTupleSpan(&one, 1),
+                  ConstTupleSpan(&one, 0), /*key_domain=*/6);
+    const join::JoinResult empty_build =
+        join->Run(System(), config, ConstTupleSpan(&one, 0),
+                  ConstTupleSpan(&one, 1), /*key_domain=*/6);
+    const join::JoinResult both_empty =
+        join->Run(System(), config, ConstTupleSpan(&one, 0),
+                  ConstTupleSpan(&one, 0), /*key_domain=*/6);
+    EXPECT_EQ(empty_probe.matches, 0u) << join::NameOf(algorithm);
+    EXPECT_EQ(empty_build.matches, 0u) << join::NameOf(algorithm);
+    EXPECT_EQ(both_empty.matches, 0u) << join::NameOf(algorithm);
+    EXPECT_EQ(both_empty.checksum, 0u) << join::NameOf(algorithm);
+  }
+}
+
+TEST(Boundary, SingleTupleRelations) {
+  workload::Relation build(System(), 1);
+  build.data()[0] = Tuple{7, 70};
+  build.set_key_domain(8);
+  workload::Relation probe(System(), 1);
+  probe.data()[0] = Tuple{7, 700};
+  probe.set_key_domain(8);
+
+  join::JoinConfig config;
+  config.num_threads = 4;  // more threads than tuples
+  for (const join::Algorithm algorithm : join::AllAlgorithms()) {
+    const join::JoinResult result =
+        join::RunJoin(algorithm, System(), config, build, probe);
+    EXPECT_EQ(result.matches, 1u) << join::NameOf(algorithm);
+    EXPECT_EQ(result.checksum, 770u) << join::NameOf(algorithm);
+  }
+}
+
+// Drives the CHT three-phase parallel build protocol directly (outside
+// CHTJ): threads mark disjoint group-aligned regions, one thread
+// finalizes, then parallel placement.
+TEST(Boundary, ConciseTableParallelRegionBuild) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kTuples = 32768;
+  hash::ConciseHashTable table(System(), kTuples, numa::Placement::kLocal);
+
+  // Pre-partition tuples by bucket region (identity hash: key == bucket
+  // for keys < num_buckets).
+  const uint64_t buckets = table.num_buckets();
+  std::vector<std::vector<Tuple>> by_region(kThreads);
+  for (uint64_t k = 0; k < kTuples; ++k) {
+    // Spread keys over the full bucket range so every region is hit.
+    const uint32_t key = static_cast<uint32_t>(k * (buckets / kTuples));
+    for (int t = 0; t < kThreads; ++t) {
+      const auto region = table.RegionForThread(t, kThreads);
+      if (key >= region.begin_bucket && key < region.end_bucket) {
+        by_region[t].push_back(Tuple{key, static_cast<uint32_t>(k)});
+        break;
+      }
+    }
+  }
+
+  std::vector<std::vector<uint64_t>> bucket_of(kThreads);
+  std::vector<std::vector<Tuple>> overflow(kThreads);
+  thread::Barrier barrier(kThreads);
+  thread::RunTeam(kThreads, [&](int tid) {
+    bucket_of[tid].resize(by_region[tid].size());
+    table.MarkBits(
+        ConstTupleSpan(by_region[tid].data(), by_region[tid].size()),
+        table.RegionForThread(tid, kThreads), bucket_of[tid].data(),
+        &overflow[tid]);
+    barrier.ArriveAndWait();
+    if (tid == 0) {
+      table.FinalizePrefix();
+      std::vector<Tuple> merged;
+      for (const auto& of : overflow) {
+        merged.insert(merged.end(), of.begin(), of.end());
+      }
+      table.SetOverflow(std::move(merged));
+    }
+    barrier.ArriveAndWait();
+    table.Place(ConstTupleSpan(by_region[tid].data(), by_region[tid].size()),
+                bucket_of[tid].data());
+  });
+
+  for (int t = 0; t < kThreads; ++t) {
+    for (const Tuple& tuple : by_region[t]) {
+      uint32_t payload = ~0u;
+      ASSERT_EQ(table.ProbeUnique(tuple.key,
+                                  [&](Tuple found) {
+                                    payload = found.payload;
+                                  }),
+                1u)
+          << "key " << tuple.key;
+      ASSERT_EQ(payload, tuple.payload);
+    }
+  }
+}
+
+TEST(Boundary, ChunkedPlacementBoundariesExact) {
+  numa::Topology topo(4);
+  const std::size_t total = 4096;  // chunk = 1024
+  EXPECT_EQ(topo.NodeOfOffset(numa::Placement::kChunkedRoundRobin, 0, 1023,
+                              total),
+            0);
+  EXPECT_EQ(topo.NodeOfOffset(numa::Placement::kChunkedRoundRobin, 0, 1024,
+                              total),
+            1);
+  EXPECT_EQ(topo.NodeOfOffset(numa::Placement::kChunkedRoundRobin, 0, 4095,
+                              total),
+            3);
+  // Non-divisible total: ceil-chunking keeps every offset in range.
+  const std::size_t odd_total = 4097;  // chunk = 1025
+  for (std::size_t off = 0; off < odd_total; off += 7) {
+    const int node = topo.NodeOfOffset(numa::Placement::kChunkedRoundRobin,
+                                       0, off, odd_total);
+    ASSERT_GE(node, 0);
+    ASSERT_LT(node, 4);
+  }
+}
+
+}  // namespace
+}  // namespace mmjoin

@@ -1,0 +1,129 @@
+// Tests for the core facade: Joiner, materialization sinks, and stray-key
+// robustness of the public API.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/mmjoin.h"
+#include "util/rng.h"
+
+namespace mmjoin::core {
+namespace {
+
+TEST(Joiner, RunMatchesReference) {
+  Joiner joiner;
+  auto build = workload::MakeDenseBuild(joiner.system(), 10000, 1);
+  auto probe =
+      workload::MakeUniformProbe(joiner.system(), 50000, 10000, 2);
+  const join::JoinResult expected =
+      join::ReferenceJoin(build.cspan(), probe.cspan());
+  const join::JoinResult result =
+      joiner.Run(join::Algorithm::kCPRA, build, probe);
+  EXPECT_EQ(result.matches, expected.matches);
+  EXPECT_EQ(result.checksum, expected.checksum);
+}
+
+TEST(Joiner, RunByName) {
+  Joiner joiner;
+  auto build = workload::MakeDenseBuild(joiner.system(), 1000, 3);
+  auto probe = workload::MakeUniformProbe(joiner.system(), 5000, 1000, 4);
+  const auto result = joiner.RunByName("NOPA", build, probe);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->matches, 5000u);
+  EXPECT_FALSE(joiner.RunByName("bogus", build, probe).has_value());
+}
+
+TEST(Joiner, RunAutoPicksAndRuns) {
+  Joiner joiner;
+  auto build = workload::MakeDenseBuild(joiner.system(), 2000, 5);
+  auto probe = workload::MakeUniformProbe(joiner.system(), 20000, 2000, 6);
+  const Joiner::AutoResult result = joiner.RunAuto(build, probe);
+  EXPECT_EQ(result.algorithm, join::Algorithm::kNOPA);  // small dense build
+  EXPECT_EQ(result.result.matches, 20000u);
+  EXPECT_FALSE(result.reason.empty());
+}
+
+TEST(Joiner, RunMaterializedReturnsAllPairs) {
+  Joiner joiner;
+  auto build = workload::MakeDenseBuild(joiner.system(), 500, 7);
+  auto probe = workload::MakeUniformProbe(joiner.system(), 3000, 500, 8);
+  auto pairs =
+      joiner.RunMaterialized(join::Algorithm::kPROiS, build, probe);
+  ASSERT_EQ(pairs.size(), 3000u);
+  // Every pair joins on the key (dense build: payload == key).
+  for (const join::MatchedPair& pair : pairs) {
+    EXPECT_EQ(pair.build_payload, pair.key);
+    EXPECT_LT(pair.probe_payload, 3000u);
+  }
+  // Probe payloads are row ids: each appears exactly once.
+  std::set<uint32_t> probe_rows;
+  for (const join::MatchedPair& pair : pairs) {
+    probe_rows.insert(pair.probe_payload);
+  }
+  EXPECT_EQ(probe_rows.size(), 3000u);
+}
+
+TEST(JoinIndexSink, GatherEmptiesTheSink) {
+  join::JoinIndexSink sink(2);
+  sink.Consume(0, Tuple{1, 10}, Tuple{1, 20});
+  sink.Consume(1, Tuple{2, 11}, Tuple{2, 21});
+  EXPECT_EQ(sink.size(), 2u);
+  auto pairs = sink.Gather();
+  EXPECT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(sink.size(), 0u);
+  std::sort(pairs.begin(), pairs.end(),
+            [](const auto& a, const auto& b) { return a.key < b.key; });
+  EXPECT_EQ(pairs[0], (join::MatchedPair{1, 10, 20}));
+  EXPECT_EQ(pairs[1], (join::MatchedPair{2, 11, 21}));
+}
+
+TEST(CallbackSink, StreamsMatches) {
+  std::vector<uint64_t> per_thread(4, 0);
+  auto sink = join::MakeCallbackSink(
+      [&](int tid, Tuple build, Tuple probe) { ++per_thread[tid]; });
+
+  Joiner joiner;
+  auto build = workload::MakeDenseBuild(joiner.system(), 1000, 9);
+  auto probe = workload::MakeUniformProbe(joiner.system(), 8000, 1000, 10);
+  join::JoinConfig config;
+  config.num_threads = 4;
+  config.sink = &sink;
+  join::RunJoin(join::Algorithm::kCPRL, joiner.system(), config, build,
+                probe);
+  uint64_t total = 0;
+  for (uint64_t c : per_thread) total += c;
+  EXPECT_EQ(total, 8000u);
+}
+
+// Probe keys outside the build key domain must miss safely, for every
+// algorithm (the array joins bounds-check, hash probes terminate, the
+// sort-merge compares full keys).
+TEST(StrayKeys, AllAlgorithmsMissSafely) {
+  Joiner joiner;
+  auto build = workload::MakeDenseBuild(joiner.system(), 4096, 11);
+  workload::Relation probe(joiner.system(), 10000);
+  Rng rng(12);
+  for (uint64_t i = 0; i < probe.size(); ++i) {
+    // Half in-domain, half far outside (up to 2^31).
+    const uint32_t key =
+        (i % 2 == 0) ? static_cast<uint32_t>(rng.NextBelow(4096))
+                     : static_cast<uint32_t>(4096 + rng.NextBelow(1u << 31));
+    probe.data()[i] = Tuple{key, static_cast<uint32_t>(i)};
+  }
+  probe.set_key_domain(build.key_domain());
+
+  const join::JoinResult expected =
+      join::ReferenceJoin(build.cspan(), probe.cspan());
+  EXPECT_EQ(expected.matches, 5000u);
+  for (const join::Algorithm algorithm : join::AllAlgorithms()) {
+    const join::JoinResult result = joiner.Run(algorithm, build, probe);
+    EXPECT_EQ(result.matches, expected.matches) << join::NameOf(algorithm);
+    EXPECT_EQ(result.checksum, expected.checksum)
+        << join::NameOf(algorithm);
+  }
+}
+
+}  // namespace
+}  // namespace mmjoin::core

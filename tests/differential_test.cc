@@ -1,0 +1,117 @@
+// Randomized differential testing: many random workload configurations
+// (sizes, domains, skew, duplicates, thread counts, radix bits) swept
+// through all thirteen algorithms, each compared exactly against the
+// reference join. Seeds are fixed, so failures are reproducible; the trial
+// parameters are printed on mismatch.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "join/join_algorithm.h"
+#include "join/reference.h"
+#include "numa/system.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace mmjoin::join {
+namespace {
+
+struct TrialConfig {
+  uint64_t build_size;
+  uint64_t probe_size;
+  uint64_t domain_factor;  // 1 = dense
+  double zipf;
+  bool duplicates;  // duplicate build keys (non-array algorithms only)
+  int threads;
+  uint32_t radix_bits;  // 0 = auto
+  uint32_t skew_factor;
+
+  std::string ToString() const {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "build=%llu probe=%llu domain_factor=%llu zipf=%.2f "
+                  "dups=%d threads=%d bits=%u skew_factor=%u",
+                  static_cast<unsigned long long>(build_size),
+                  static_cast<unsigned long long>(probe_size),
+                  static_cast<unsigned long long>(domain_factor), zipf,
+                  duplicates ? 1 : 0, threads, radix_bits, skew_factor);
+    return buf;
+  }
+};
+
+TrialConfig RandomTrial(Rng* rng) {
+  TrialConfig trial;
+  trial.build_size = 1 + rng->NextBelow(30000);
+  trial.probe_size = 1 + rng->NextBelow(120000);
+  trial.domain_factor = 1 + rng->NextBelow(10);
+  trial.zipf = rng->NextBelow(3) == 0
+                   ? 0.0
+                   : 0.3 + 0.69 * rng->NextDouble();
+  trial.duplicates = rng->NextBelow(4) == 0;
+  trial.threads = 1 + static_cast<int>(rng->NextBelow(8));
+  trial.radix_bits =
+      rng->NextBelow(3) == 0 ? 0
+                             : 1 + static_cast<uint32_t>(rng->NextBelow(11));
+  trial.skew_factor = rng->NextBelow(4) == 0
+                          ? 0
+                          : 1 + static_cast<uint32_t>(rng->NextBelow(16));
+  return trial;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialTest, RandomTrialBatch) {
+  static numa::NumaSystem* system = new numa::NumaSystem(4);
+  Rng rng(0xD1FFu + GetParam() * 1000003);
+
+  constexpr int kTrialsPerBatch = 6;
+  for (int t = 0; t < kTrialsPerBatch; ++t) {
+    const TrialConfig trial = RandomTrial(&rng);
+
+    workload::Relation build =
+        trial.domain_factor > 1
+            ? workload::MakeSparseBuild(system, trial.build_size,
+                                        trial.domain_factor, rng.Next())
+            : workload::MakeDenseBuild(system, trial.build_size, rng.Next());
+    if (trial.duplicates) {
+      // Overwrite some keys with repeats of other build keys.
+      for (uint64_t i = 0; i < build.size(); i += 7) {
+        build.data()[i].key =
+            build.data()[rng.NextBelow(build.size())].key;
+      }
+    }
+    workload::Relation probe =
+        trial.zipf > 0.0 && trial.domain_factor == 1
+            ? workload::MakeZipfProbe(system, trial.probe_size,
+                                      trial.build_size, trial.zipf,
+                                      rng.Next())
+            : workload::MakeProbeFromBuild(system, trial.probe_size, build,
+                                           rng.Next());
+
+    const JoinResult expected = ReferenceJoin(build.cspan(), probe.cspan());
+
+    JoinConfig config;
+    config.num_threads = trial.threads;
+    config.radix_bits = trial.radix_bits;
+    config.skew_task_factor = trial.skew_factor;
+    config.build_unique = !trial.duplicates;
+
+    for (const Algorithm algorithm : AllAlgorithms()) {
+      if (trial.duplicates && InfoOf(algorithm).requires_dense_keys) {
+        continue;  // array tables require unique keys by construction
+      }
+      const JoinResult result =
+          RunJoin(algorithm, system, config, build, probe);
+      ASSERT_EQ(result.matches, expected.matches)
+          << NameOf(algorithm) << " on " << trial.ToString();
+      ASSERT_EQ(result.checksum, expected.checksum)
+          << NameOf(algorithm) << " on " << trial.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, DifferentialTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace mmjoin::join

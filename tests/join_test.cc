@@ -1,0 +1,287 @@
+// Cross-algorithm correctness tests: all thirteen joins must produce the
+// exact same result as the single-threaded reference join on every workload
+// class the paper evaluates (dense/uniform, 1:1 ratio, Zipf-skewed, sparse
+// domains, tiny inputs), under varying thread counts, radix bits, and skew
+// task splitting.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "join/join_algorithm.h"
+#include "join/reference.h"
+#include "numa/system.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace mmjoin::join {
+namespace {
+
+numa::NumaSystem* System() {
+  static auto* system = new numa::NumaSystem(4);
+  return system;
+}
+
+void ExpectMatchesReference(Algorithm algorithm,
+                            const workload::Relation& build,
+                            const workload::Relation& probe,
+                            const JoinConfig& config,
+                            const std::string& context) {
+  const JoinResult expected = ReferenceJoin(build.cspan(), probe.cspan());
+  const JoinResult actual =
+      RunJoin(algorithm, System(), config, build, probe);
+  EXPECT_EQ(actual.matches, expected.matches)
+      << NameOf(algorithm) << " " << context;
+  EXPECT_EQ(actual.checksum, expected.checksum)
+      << NameOf(algorithm) << " " << context;
+  EXPECT_GT(actual.times.total_ns, 0);
+}
+
+class AllJoinsTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(AllJoinsTest, DensePkUniformFk) {
+  workload::Relation build = workload::MakeDenseBuild(System(), 20000, 1);
+  workload::Relation probe =
+      workload::MakeUniformProbe(System(), 100000, 20000, 2);
+  JoinConfig config;
+  config.num_threads = 4;
+  ExpectMatchesReference(GetParam(), build, probe, config, "dense/uniform");
+}
+
+TEST_P(AllJoinsTest, EqualSizedRelations) {
+  workload::Relation build = workload::MakeDenseBuild(System(), 30000, 3);
+  workload::Relation probe =
+      workload::MakeUniformProbe(System(), 30000, 30000, 4);
+  JoinConfig config;
+  config.num_threads = 4;
+  ExpectMatchesReference(GetParam(), build, probe, config, "1:1");
+}
+
+TEST_P(AllJoinsTest, SkewedProbeZipf099) {
+  workload::Relation build = workload::MakeDenseBuild(System(), 16384, 5);
+  workload::Relation probe =
+      workload::MakeZipfProbe(System(), 100000, 16384, 0.99, 6);
+  JoinConfig config;
+  config.num_threads = 4;
+  ExpectMatchesReference(GetParam(), build, probe, config, "zipf 0.99");
+}
+
+TEST_P(AllJoinsTest, SkewedProbeWithAggressiveTaskSplitting) {
+  workload::Relation build = workload::MakeDenseBuild(System(), 8192, 7);
+  workload::Relation probe =
+      workload::MakeZipfProbe(System(), 60000, 8192, 0.9, 8);
+  JoinConfig config;
+  config.num_threads = 4;
+  config.skew_task_factor = 2;  // force many probe slices
+  ExpectMatchesReference(GetParam(), build, probe, config, "skew slicing");
+}
+
+TEST_P(AllJoinsTest, SparseDomainHoles) {
+  workload::Relation build = workload::MakeSparseBuild(System(), 10000, 7, 9);
+  workload::Relation probe =
+      workload::MakeProbeFromBuild(System(), 80000, build, 10);
+  JoinConfig config;
+  config.num_threads = 4;
+  ExpectMatchesReference(GetParam(), build, probe, config, "holes k=7");
+}
+
+TEST_P(AllJoinsTest, TinyInputs) {
+  workload::Relation build = workload::MakeDenseBuild(System(), 10, 11);
+  workload::Relation probe =
+      workload::MakeUniformProbe(System(), 37, 10, 12);
+  JoinConfig config;
+  config.num_threads = 4;  // more threads than sensible for 10 tuples
+  ExpectMatchesReference(GetParam(), build, probe, config, "tiny");
+}
+
+TEST_P(AllJoinsTest, SingleThread) {
+  workload::Relation build = workload::MakeDenseBuild(System(), 5000, 13);
+  workload::Relation probe =
+      workload::MakeUniformProbe(System(), 25000, 5000, 14);
+  JoinConfig config;
+  config.num_threads = 1;
+  ExpectMatchesReference(GetParam(), build, probe, config, "1 thread");
+}
+
+TEST_P(AllJoinsTest, NonPowerOfTwoThreads) {
+  workload::Relation build = workload::MakeDenseBuild(System(), 12000, 15);
+  workload::Relation probe =
+      workload::MakeUniformProbe(System(), 60000, 12000, 16);
+  JoinConfig config;
+  config.num_threads = 7;
+  ExpectMatchesReference(GetParam(), build, probe, config, "7 threads");
+}
+
+TEST_P(AllJoinsTest, ExplicitRadixBits) {
+  workload::Relation build = workload::MakeDenseBuild(System(), 20000, 17);
+  workload::Relation probe =
+      workload::MakeUniformProbe(System(), 60000, 20000, 18);
+  for (const uint32_t bits : {1u, 5u, 10u}) {
+    JoinConfig config;
+    config.num_threads = 4;
+    config.radix_bits = bits;
+    ExpectMatchesReference(GetParam(), build, probe, config,
+                           "bits=" + std::to_string(bits));
+  }
+}
+
+TEST_P(AllJoinsTest, ProbeSmallerThanBuild) {
+  workload::Relation build = workload::MakeDenseBuild(System(), 20000, 19);
+  workload::Relation probe =
+      workload::MakeUniformProbe(System(), 1000, 20000, 20);
+  JoinConfig config;
+  config.num_threads = 4;
+  ExpectMatchesReference(GetParam(), build, probe, config, "small probe");
+}
+
+// Exact multiset of matched pairs via a MatchSink on a small input.
+class PairCollectorSink final : public MatchSink {
+ public:
+  explicit PairCollectorSink(int num_threads) : pairs_(num_threads) {}
+  void Consume(int tid, Tuple build, Tuple probe) override {
+    pairs_[tid].emplace_back(build.payload, probe.payload);
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> Sorted() const {
+    std::vector<std::pair<uint32_t, uint32_t>> all;
+    for (const auto& local : pairs_) {
+      all.insert(all.end(), local.begin(), local.end());
+    }
+    std::sort(all.begin(), all.end());
+    return all;
+  }
+
+ private:
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> pairs_;
+};
+
+TEST_P(AllJoinsTest, MaterializedPairsExactlyMatchReference) {
+  workload::Relation build = workload::MakeDenseBuild(System(), 3000, 21);
+  workload::Relation probe =
+      workload::MakeUniformProbe(System(), 9000, 3000, 22);
+  const auto expected = ReferenceJoinPairs(build.cspan(), probe.cspan());
+
+  PairCollectorSink sink(4);
+  JoinConfig config;
+  config.num_threads = 4;
+  config.sink = &sink;
+  RunJoin(GetParam(), System(), config, build, probe);
+  EXPECT_EQ(sink.Sorted(), expected) << NameOf(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, AllJoinsTest, ::testing::ValuesIn(AllAlgorithms()),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      return std::string(NameOf(info.param));
+    });
+
+// --- Duplicate build keys (non-array algorithms only; array tables require
+// unique keys by construction, as in the paper). ---------------------------
+
+class DuplicateJoinsTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(DuplicateJoinsTest, DuplicateBuildKeys) {
+  numa::NumaSystem* system = System();
+  workload::Relation build(system, 10000);
+  Rng rng(23);
+  for (uint64_t i = 0; i < build.size(); ++i) {
+    build.data()[i] = Tuple{static_cast<uint32_t>(rng.NextBelow(3000)),
+                            static_cast<uint32_t>(i)};
+  }
+  build.set_key_domain(3000);
+  workload::Relation probe =
+      workload::MakeUniformProbe(system, 20000, 3000, 24);
+
+  JoinConfig config;
+  config.num_threads = 4;
+  config.build_unique = false;
+  ExpectMatchesReference(GetParam(), build, probe, config, "dup builds");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NonArray, DuplicateJoinsTest,
+    ::testing::Values(Algorithm::kPRB, Algorithm::kNOP, Algorithm::kCHTJ,
+                      Algorithm::kMWAY, Algorithm::kPRO, Algorithm::kPRL,
+                      Algorithm::kCPRL, Algorithm::kPROiS,
+                      Algorithm::kPRLiS),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      return std::string(NameOf(info.param));
+    });
+
+// --- Registry metadata ------------------------------------------------------
+
+TEST(Registry, ThirteenAlgorithms) {
+  EXPECT_EQ(AllAlgorithms().size(), 13u);
+}
+
+TEST(Registry, NamesRoundTrip) {
+  for (const Algorithm algorithm : AllAlgorithms()) {
+    const auto parsed = AlgorithmFromName(NameOf(algorithm));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, algorithm);
+  }
+  EXPECT_FALSE(AlgorithmFromName("NOPE").has_value());
+}
+
+TEST(Registry, ClassTaxonomyMatchesPaperTable1) {
+  EXPECT_EQ(InfoOf(Algorithm::kPRB).join_class, JoinClass::kPartitionBased);
+  EXPECT_EQ(InfoOf(Algorithm::kNOP).join_class, JoinClass::kNoPartitioning);
+  EXPECT_EQ(InfoOf(Algorithm::kCHTJ).join_class,
+            JoinClass::kNoPartitioning);
+  EXPECT_EQ(InfoOf(Algorithm::kMWAY).join_class, JoinClass::kSortMerge);
+  EXPECT_EQ(InfoOf(Algorithm::kCPRL).join_class,
+            JoinClass::kPartitionBased);
+}
+
+TEST(Registry, ArrayJoinsFlagDenseRequirement) {
+  EXPECT_TRUE(InfoOf(Algorithm::kNOPA).requires_dense_keys);
+  EXPECT_TRUE(InfoOf(Algorithm::kPRA).requires_dense_keys);
+  EXPECT_TRUE(InfoOf(Algorithm::kCPRA).requires_dense_keys);
+  EXPECT_TRUE(InfoOf(Algorithm::kPRAiS).requires_dense_keys);
+  EXPECT_FALSE(InfoOf(Algorithm::kNOP).requires_dense_keys);
+}
+
+// --- Phase time sanity -------------------------------------------------------
+
+TEST(PhaseTimes, PartitionJoinsReportPartitionPhase) {
+  workload::Relation build = workload::MakeDenseBuild(System(), 50000, 25);
+  workload::Relation probe =
+      workload::MakeUniformProbe(System(), 200000, 50000, 26);
+  JoinConfig config;
+  config.num_threads = 4;
+  for (const Algorithm algorithm :
+       {Algorithm::kPRO, Algorithm::kCPRL, Algorithm::kPRB}) {
+    const JoinResult result =
+        RunJoin(algorithm, System(), config, build, probe);
+    EXPECT_GT(result.times.partition_ns, 0) << NameOf(algorithm);
+    EXPECT_GT(result.times.probe_ns, 0) << NameOf(algorithm);
+    EXPECT_GE(result.times.total_ns,
+              result.times.partition_ns + result.times.probe_ns - 1000000)
+        << NameOf(algorithm);
+  }
+}
+
+TEST(PhaseTimes, NopReportsBuildAndProbe) {
+  workload::Relation build = workload::MakeDenseBuild(System(), 50000, 27);
+  workload::Relation probe =
+      workload::MakeUniformProbe(System(), 200000, 50000, 28);
+  JoinConfig config;
+  config.num_threads = 4;
+  const JoinResult result =
+      RunJoin(Algorithm::kNOP, System(), config, build, probe);
+  EXPECT_GT(result.times.build_ns, 0);
+  EXPECT_GT(result.times.probe_ns, 0);
+  EXPECT_EQ(result.times.partition_ns, 0);
+}
+
+TEST(Throughput, UsesInputBasedDefinition) {
+  JoinResult result;
+  result.times.total_ns = 1'000'000'000;  // 1 s
+  result.matches = 1;                     // output-insensitive
+  EXPECT_DOUBLE_EQ(result.ThroughputMtps(600'000'000, 400'000'000), 1000.0);
+}
+
+}  // namespace
+}  // namespace mmjoin::join

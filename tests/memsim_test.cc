@@ -1,0 +1,190 @@
+// Tests for the cache/TLB simulator and the join-phase access replayers.
+// These encode the micro-architectural claims the paper makes: SWWCB cuts
+// TLB misses, huge pages extend TLB reach, partitioned joins turn a
+// miss-bound probe into a cache-resident one, CHT doubles the random
+// accesses of a probe.
+
+#include <gtest/gtest.h>
+
+#include "memsim/cache.h"
+#include "memsim/replay.h"
+
+namespace mmjoin::memsim {
+namespace {
+
+TEST(SetAssociativeCache, SequentialFitsAfterWarmup) {
+  SetAssociativeCache cache(32 * 1024, 8);
+  // Touch 16 KB twice: second pass must hit every line.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t addr = 0; addr < 16 * 1024; addr += 64) {
+      cache.Access(addr);
+    }
+  }
+  EXPECT_EQ(cache.stats().misses, 16u * 1024 / 64);
+  EXPECT_EQ(cache.stats().hits, 16u * 1024 / 64);
+}
+
+TEST(SetAssociativeCache, CapacityEviction) {
+  SetAssociativeCache cache(32 * 1024, 8);
+  // Stream 1 MB twice: nothing survives, every access misses.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t addr = 0; addr < (1 << 20); addr += 64) {
+      cache.Access(addr);
+    }
+  }
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(SetAssociativeCache, LruKeepsHotLine) {
+  SetAssociativeCache cache(8 * 64, 8);  // one set of 8 ways
+  // Hot line + 7 fillers fit; an 8th filler evicts the LRU (not the hot
+  // line if we keep touching it).
+  for (int round = 0; round < 4; ++round) {
+    cache.Access(0);  // hot
+    for (uint64_t i = 1; i <= 7; ++i) cache.Access(i * 64 * 8);
+  }
+  const uint64_t misses_before = cache.stats().misses;
+  cache.Access(0);
+  EXPECT_EQ(cache.stats().misses, misses_before);  // still resident
+}
+
+TEST(Tlb, PageSizeDeterminesReach) {
+  // 32 entries x 2 MB pages cover 64 MB; the same 32 entries with 4 KB
+  // pages cover 128 KB.
+  Tlb huge(32, 2 << 20);
+  Tlb small(32, 4 << 10);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t addr = 0; addr < (32u << 20); addr += 4096) {
+      huge.Access(addr);
+      small.Access(addr);
+    }
+  }
+  EXPECT_GT(huge.stats().hit_rate(), 0.99);
+  EXPECT_LT(small.stats().hit_rate(), 0.01);
+}
+
+TEST(Tlb, SmallWorkingSetAlwaysHits) {
+  Tlb tlb(256, 4096);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (uint64_t p = 0; p < 200; ++p) tlb.Access(p * 4096);
+  }
+  EXPECT_EQ(tlb.stats().misses, 200u);
+}
+
+TEST(MemoryHierarchy, InclusiveLookupOrder) {
+  MemoryHierarchy hierarchy(HierarchyConfig::HugePages());
+  hierarchy.Access(0);
+  hierarchy.Access(0);
+  EXPECT_EQ(hierarchy.l1().hits, 1u);
+  EXPECT_EQ(hierarchy.l1().misses, 1u);
+  EXPECT_EQ(hierarchy.l2().total(), 1u);  // only the first access descends
+}
+
+TEST(MemoryHierarchy, NonTemporalBypassesCaches) {
+  MemoryHierarchy hierarchy(HierarchyConfig::HugePages());
+  hierarchy.AccessNonTemporal(12345);
+  EXPECT_EQ(hierarchy.l1().total(), 0u);
+  EXPECT_EQ(hierarchy.tlb().total(), 1u);
+}
+
+// --- Replayers: the paper's claims ------------------------------------------
+
+TEST(Replay, SequentialScanIsCacheFriendly) {
+  const PhaseReport report =
+      ReplaySequentialScan(HierarchyConfig::HugePages(), 1 << 20);
+  // 8 tuples per line: 7/8 of accesses hit L1.
+  EXPECT_GT(report.l1.hit_rate(), 0.85);
+}
+
+TEST(Replay, SwwcbCutsTlbMisses) {
+  // The core SWWCB claim (Section 5.1): buffering full cache lines reduces
+  // TLB misses by ~the tuples-per-line factor.
+  const HierarchyConfig config = HierarchyConfig::SmallPages();
+  const PhaseReport direct =
+      ReplayScatter(config, 1 << 20, 1 << 12, /*swwcb=*/false, 1);
+  const PhaseReport buffered =
+      ReplayScatter(config, 1 << 20, 1 << 12, /*swwcb=*/true, 1);
+  EXPECT_LT(buffered.tlb.misses * 3, direct.tlb.misses);
+}
+
+TEST(Replay, HugePagesHurtDirectScatterBeyondTlbCapacity) {
+  // Figure 8's PRB anomaly: 128 partition write cursors fit 256 small-page
+  // TLB entries but not the 32 huge-page entries. Page sizes are scaled
+  // down 32x (4 KB/256 vs 64 KB/32) so each partition still spans multiple
+  // "huge" pages at unit-test input sizes; the entry-count mechanism is the
+  // same.
+  HierarchyConfig small = HierarchyConfig::SmallPages();  // 4 KB x 256
+  HierarchyConfig huge = HierarchyConfig::SmallPages();
+  huge.page_bytes = 64 * 1024;
+  huge.tlb_entries = 32;
+  const PhaseReport small_pages =
+      ReplayScatter(small, 1 << 20, 128, /*swwcb=*/false, 2);
+  const PhaseReport huge_pages =
+      ReplayScatter(huge, 1 << 20, 128, /*swwcb=*/false, 2);
+  EXPECT_LT(small_pages.tlb.miss_rate(), 0.02);
+  EXPECT_GT(huge_pages.tlb.miss_rate(), 10 * small_pages.tlb.miss_rate());
+  EXPECT_GT(huge_pages.tlb.miss_rate(), 0.15);
+}
+
+TEST(Replay, HugePagesHelpGlobalHashProbes) {
+  // For NOP's giant table, huge pages extend TLB reach (lesson 4).
+  const PhaseReport small_pages = ReplayGlobalProbe(
+      HierarchyConfig::SmallPages(), 1 << 18, 1 << 22, TableLayout::kLinear,
+      3);
+  const PhaseReport huge_pages = ReplayGlobalProbe(
+      HierarchyConfig::HugePages(), 1 << 18, 1 << 22, TableLayout::kLinear,
+      3);
+  EXPECT_LT(huge_pages.tlb.miss_rate(), small_pages.tlb.miss_rate() * 0.5);
+}
+
+TEST(Replay, PartitionedJoinIsCacheResident) {
+  // Table 4: partition-based joins reach ~99% hit rates in the join phase
+  // because each per-partition table fits L2; the global NOP table misses
+  // almost always once |R| exceeds the LLC.
+  const HierarchyConfig config = HierarchyConfig::HugePages();
+  const uint64_t build = 1 << 23, probe = 1 << 23;
+  const PhaseReport global =
+      ReplayGlobalProbe(config, probe, build, TableLayout::kLinear, 4);
+  const PhaseReport partitioned = ReplayPartitionedJoin(
+      config, build, probe, /*partitions=*/1 << 10, TableLayout::kLinear, 4);
+  EXPECT_LT(global.llc.hit_rate(), 0.35);
+  EXPECT_GT(partitioned.l2.hit_rate() + partitioned.l1.hit_rate(), 0.9);
+  EXPECT_LT(partitioned.llc.misses, global.llc.misses / 5);
+}
+
+TEST(Replay, ChtProbesTwiceThePlainTable) {
+  // Table 4: CHTJ suffers roughly 2x the cache misses of NOP due to the
+  // bitmap lookup before the dense-array access.
+  // Both tables must dwarf the LLC for every access to miss (the paper's
+  // |R| = 128M regime): 16M build tuples -> 256 MB linear table, 160 MB CHT.
+  const HierarchyConfig config = HierarchyConfig::HugePages();
+  const uint64_t build = 1 << 24, probe = 1 << 22;
+  const PhaseReport linear =
+      ReplayGlobalProbe(config, probe, build, TableLayout::kLinear, 5);
+  const PhaseReport cht =
+      ReplayGlobalProbe(config, probe, build, TableLayout::kCht, 5);
+  const double ratio = static_cast<double>(cht.llc.misses) /
+                       static_cast<double>(linear.llc.misses);
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 2.6);
+}
+
+TEST(Replay, SortPhaseTouchesMemoryMoreThanScan) {
+  const HierarchyConfig config = HierarchyConfig::HugePages();
+  const PhaseReport sort = ReplaySortPhase(config, 1 << 20, 1 << 15);
+  const PhaseReport scan = ReplaySequentialScan(config, 1 << 20);
+  EXPECT_GT(sort.l1.total(), scan.l1.total() * 4);
+}
+
+TEST(PhaseReport, Accumulates) {
+  PhaseReport a, b;
+  a.l1.hits = 10;
+  b.l1.hits = 5;
+  b.tlb.misses = 3;
+  a += b;
+  EXPECT_EQ(a.l1.hits, 15u);
+  EXPECT_EQ(a.tlb.misses, 3u);
+}
+
+}  // namespace
+}  // namespace mmjoin::memsim

@@ -1,0 +1,151 @@
+// Unit tests for the threading primitives: team, barrier, chunk ranges, and
+// the task-queue scheduling orders.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "thread/task_queue.h"
+#include "thread/thread_team.h"
+
+namespace mmjoin::thread {
+namespace {
+
+TEST(RunTeam, RunsEveryThreadExactlyOnce) {
+  std::vector<std::atomic<int>> counts(8);
+  for (auto& c : counts) c = 0;
+  RunTeam(8, [&](int tid) { counts[tid].fetch_add(1); });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(RunTeam, SingleThreadInline) {
+  int value = 0;
+  RunTeam(1, [&](int tid) {
+    EXPECT_EQ(tid, 0);
+    value = 42;
+  });
+  EXPECT_EQ(value, 42);
+}
+
+TEST(Barrier, SynchronizesPhases) {
+  constexpr int kThreads = 6;
+  Barrier barrier(kThreads);
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violated{false};
+  RunTeam(kThreads, [&](int tid) {
+    phase1.fetch_add(1);
+    barrier.ArriveAndWait();
+    // After the barrier every thread must observe all phase-1 increments.
+    if (phase1.load() != kThreads) violated = true;
+    barrier.ArriveAndWait();  // reusable
+    barrier.ArriveAndWait();
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(ChunkRange, CoversTotalWithoutOverlap) {
+  for (const std::size_t total : {0ul, 1ul, 7ul, 100ul, 1001ul}) {
+    for (const int threads : {1, 2, 3, 7, 16}) {
+      std::size_t covered = 0;
+      std::size_t prev_end = 0;
+      for (int t = 0; t < threads; ++t) {
+        const Range r = ChunkRange(total, threads, t);
+        EXPECT_EQ(r.begin, prev_end);
+        prev_end = r.end;
+        covered += r.size();
+      }
+      EXPECT_EQ(prev_end, total);
+      EXPECT_EQ(covered, total);
+    }
+  }
+}
+
+TEST(ChunkRange, NearEqualSizes) {
+  for (int t = 0; t < 7; ++t) {
+    const Range r = ChunkRange(100, 7, t);
+    EXPECT_GE(r.size(), 14u);
+    EXPECT_LE(r.size(), 15u);
+  }
+}
+
+TEST(TaskQueue, LifoOrder) {
+  TaskQueue queue;
+  queue.Push(JoinTask{1});
+  queue.Push(JoinTask{2});
+  queue.Push(JoinTask{3});
+  JoinTask task;
+  ASSERT_TRUE(queue.Pop(&task));
+  EXPECT_EQ(task.partition, 3u);
+  ASSERT_TRUE(queue.Pop(&task));
+  EXPECT_EQ(task.partition, 2u);
+  ASSERT_TRUE(queue.Pop(&task));
+  EXPECT_EQ(task.partition, 1u);
+  EXPECT_FALSE(queue.Pop(&task));
+}
+
+TEST(TaskQueue, ConcurrentDrainYieldsEveryTaskOnce) {
+  std::vector<JoinTask> initial;
+  for (uint32_t p = 0; p < 1000; ++p) initial.push_back(JoinTask{p});
+  TaskQueue queue(std::move(initial));
+
+  std::vector<std::atomic<int>> seen(1000);
+  for (auto& s : seen) s = 0;
+  RunTeam(8, [&](int) {
+    JoinTask task;
+    while (queue.Pop(&task)) seen[task.partition].fetch_add(1);
+  });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(SchedulingOrder, SequentialIsIdentity) {
+  const std::vector<uint32_t> order = SequentialOrder(5);
+  EXPECT_EQ(order, (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulingOrder, RoundRobinCyclesNodes) {
+  // 8 partitions, 4 nodes -> blocks of 2: 0,2,4,6 then 1,3,5,7.
+  const std::vector<uint32_t> order = RoundRobinNodeOrder(8, 4);
+  EXPECT_EQ(order, (std::vector<uint32_t>{0, 2, 4, 6, 1, 3, 5, 7}));
+}
+
+TEST(SchedulingOrder, RoundRobinIsAPermutation) {
+  for (const uint32_t p : {1u, 7u, 16u, 100u, 16384u}) {
+    for (const int nodes : {1, 2, 4, 8}) {
+      const std::vector<uint32_t> order = RoundRobinNodeOrder(p, nodes);
+      std::set<uint32_t> unique(order.begin(), order.end());
+      EXPECT_EQ(order.size(), p);
+      EXPECT_EQ(unique.size(), p);
+      EXPECT_EQ(*unique.rbegin(), p - 1);
+    }
+  }
+}
+
+TEST(SchedulingOrder, RoundRobinFirstTasksSpanAllNodes) {
+  // The fix the paper proposes: the first `nodes` tasks must touch distinct
+  // memory blocks so all memory controllers are busy.
+  const uint32_t partitions = 16384;
+  const int nodes = 4;
+  const std::vector<uint32_t> order = RoundRobinNodeOrder(partitions, nodes);
+  const uint32_t block = partitions / nodes;
+  std::set<uint32_t> blocks;
+  for (int i = 0; i < nodes; ++i) blocks.insert(order[i] / block);
+  EXPECT_EQ(blocks.size(), static_cast<std::size_t>(nodes));
+}
+
+TEST(SchedulingOrder, TasksFromOrderPreservesConsumeOrder) {
+  const std::vector<uint32_t> order = {5, 3, 1};
+  TaskQueue queue(TasksFromOrder(order));
+  JoinTask task;
+  ASSERT_TRUE(queue.Pop(&task));
+  EXPECT_EQ(task.partition, 5u);
+  ASSERT_TRUE(queue.Pop(&task));
+  EXPECT_EQ(task.partition, 3u);
+  ASSERT_TRUE(queue.Pop(&task));
+  EXPECT_EQ(task.partition, 1u);
+}
+
+}  // namespace
+}  // namespace mmjoin::thread

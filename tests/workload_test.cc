@@ -1,0 +1,171 @@
+// Tests for the workload generators: determinism, key-set properties, Zipf
+// distribution shape, sparse (holes) domains.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "numa/system.h"
+#include "workload/generator.h"
+#include "workload/zipf.h"
+
+namespace mmjoin::workload {
+namespace {
+
+numa::NumaSystem* System() {
+  static auto* system = new numa::NumaSystem(4);
+  return system;
+}
+
+TEST(DenseBuild, KeysAreAPermutation) {
+  const uint64_t n = 100000;
+  Relation rel = MakeDenseBuild(System(), n, 1);
+  ASSERT_EQ(rel.size(), n);
+  EXPECT_EQ(rel.key_domain(), n);
+
+  std::vector<bool> seen(n, false);
+  for (uint64_t i = 0; i < n; ++i) {
+    const Tuple t = rel.data()[i];
+    ASSERT_LT(t.key, n);
+    ASSERT_FALSE(seen[t.key]);
+    seen[t.key] = true;
+    ASSERT_EQ(t.payload, t.key);
+  }
+}
+
+TEST(DenseBuild, ShuffledNotSorted) {
+  Relation rel = MakeDenseBuild(System(), 10000, 2);
+  bool sorted = true;
+  for (uint64_t i = 1; i < rel.size(); ++i) {
+    if (rel.data()[i - 1].key > rel.data()[i].key) {
+      sorted = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(sorted);
+}
+
+TEST(DenseBuild, DeterministicInSeed) {
+  Relation a = MakeDenseBuild(System(), 1000, 7);
+  Relation b = MakeDenseBuild(System(), 1000, 7);
+  Relation c = MakeDenseBuild(System(), 1000, 8);
+  EXPECT_TRUE(std::equal(a.data(), a.data() + 1000, b.data()));
+  EXPECT_FALSE(std::equal(a.data(), a.data() + 1000, c.data()));
+}
+
+TEST(UniformProbe, KeysInDomainAndPayloadIsRowId) {
+  Relation probe = MakeUniformProbe(System(), 50000, 1000, 3);
+  for (uint64_t i = 0; i < probe.size(); ++i) {
+    ASSERT_LT(probe.data()[i].key, 1000u);
+    ASSERT_EQ(probe.data()[i].payload, i);
+  }
+}
+
+TEST(UniformProbe, CoversDomainRoughlyUniformly) {
+  const uint64_t domain = 100;
+  Relation probe = MakeUniformProbe(System(), 100000, domain, 4);
+  std::vector<uint64_t> counts(domain, 0);
+  for (uint64_t i = 0; i < probe.size(); ++i) ++counts[probe.data()[i].key];
+  const auto [min_it, max_it] =
+      std::minmax_element(counts.begin(), counts.end());
+  // Expected 1000 per key; allow generous slack.
+  EXPECT_GT(*min_it, 800u);
+  EXPECT_LT(*max_it, 1200u);
+}
+
+TEST(ZipfGenerator, ThetaZeroIsUniform) {
+  ZipfGenerator gen(1000, 0.0, 5);
+  std::vector<uint64_t> counts(1001, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t rank = gen.Next();
+    ASSERT_GE(rank, 1u);
+    ASSERT_LE(rank, 1000u);
+    ++counts[rank];
+  }
+  EXPECT_GT(*std::min_element(counts.begin() + 1, counts.end()), 40u);
+}
+
+TEST(ZipfGenerator, HighThetaConcentratesMass) {
+  ZipfGenerator gen(1u << 20, 0.99, 6);
+  uint64_t top10 = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    if (gen.Next() <= 10) ++top10;
+  }
+  // At theta=0.99 over 2^20 values, the 10 hottest ranks carry a large
+  // fraction of the mass (analytically ~19%).
+  EXPECT_GT(top10, draws / 10);
+}
+
+TEST(ZipfGenerator, RankOneIsMostFrequent) {
+  ZipfGenerator gen(10000, 0.9, 7);
+  std::map<uint64_t, uint64_t> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[gen.Next()];
+  uint64_t max_rank = 0, max_count = 0;
+  for (const auto& [rank, count] : counts) {
+    if (count > max_count) {
+      max_count = count;
+      max_rank = rank;
+    }
+  }
+  EXPECT_EQ(max_rank, 1u);
+}
+
+TEST(ZipfProbe, KeysInDomainAndHotKeysRemapped) {
+  const uint64_t build_n = 1 << 16;
+  Relation probe = MakeZipfProbe(System(), 200000, build_n, 0.99, 8);
+  std::vector<uint64_t> counts(build_n, 0);
+  for (uint64_t i = 0; i < probe.size(); ++i) {
+    ASSERT_LT(probe.data()[i].key, build_n);
+    ++counts[probe.data()[i].key];
+  }
+  // The hottest keys must NOT all be the smallest keys: the paper remaps
+  // the 10 hottest ranks into the full domain.
+  std::vector<std::pair<uint64_t, uint64_t>> by_count;
+  for (uint64_t k = 0; k < build_n; ++k) by_count.push_back({counts[k], k});
+  std::sort(by_count.rbegin(), by_count.rend());
+  uint64_t hot_outside_low = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (by_count[i].second >= 16) ++hot_outside_low;
+  }
+  EXPECT_GE(hot_outside_low, 5u);
+}
+
+TEST(SparseBuild, StratifiedUniqueKeys) {
+  const uint64_t n = 10000, k = 8;
+  Relation rel = MakeSparseBuild(System(), n, k, 9);
+  EXPECT_EQ(rel.key_domain(), n * k);
+  std::set<uint32_t> keys;
+  for (uint64_t i = 0; i < n; ++i) {
+    keys.insert(rel.data()[i].key);
+    ASSERT_LT(rel.data()[i].key, n * k);
+  }
+  EXPECT_EQ(keys.size(), n);  // unique
+}
+
+TEST(SparseBuild, KEqualsOneIsDense) {
+  Relation rel = MakeSparseBuild(System(), 1000, 1, 10);
+  std::set<uint32_t> keys;
+  for (uint64_t i = 0; i < 1000; ++i) keys.insert(rel.data()[i].key);
+  EXPECT_EQ(keys.size(), 1000u);
+  EXPECT_EQ(*keys.rbegin(), 999u);
+}
+
+TEST(ProbeFromBuild, EveryProbeKeyExistsInBuild) {
+  Relation build = MakeSparseBuild(System(), 5000, 13, 11);
+  Relation probe = MakeProbeFromBuild(System(), 50000, build, 12);
+  std::set<uint32_t> build_keys;
+  for (uint64_t i = 0; i < build.size(); ++i) {
+    build_keys.insert(build.data()[i].key);
+  }
+  for (uint64_t i = 0; i < probe.size(); ++i) {
+    ASSERT_TRUE(build_keys.count(probe.data()[i].key));
+  }
+  EXPECT_EQ(probe.key_domain(), build.key_domain());
+}
+
+}  // namespace
+}  // namespace mmjoin::workload
