@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_blackbox.dir/bench_fig01_blackbox.cc.o"
+  "CMakeFiles/bench_fig01_blackbox.dir/bench_fig01_blackbox.cc.o.d"
+  "bench_fig01_blackbox"
+  "bench_fig01_blackbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_blackbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_whitebox.dir/bench_fig03_whitebox.cc.o"
+  "CMakeFiles/bench_fig03_whitebox.dir/bench_fig03_whitebox.cc.o.d"
+  "bench_fig03_whitebox"
+  "bench_fig03_whitebox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_whitebox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_chunked.dir/bench_fig05_chunked.cc.o"
+  "CMakeFiles/bench_fig05_chunked.dir/bench_fig05_chunked.cc.o.d"
+  "bench_fig05_chunked"
+  "bench_fig05_chunked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_chunked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_bandwidth.dir/bench_fig06_bandwidth.cc.o"
+  "CMakeFiles/bench_fig06_bandwidth.dir/bench_fig06_bandwidth.cc.o.d"
+  "bench_fig06_bandwidth"
+  "bench_fig06_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

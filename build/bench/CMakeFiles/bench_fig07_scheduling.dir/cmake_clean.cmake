@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_scheduling.dir/bench_fig07_scheduling.cc.o"
+  "CMakeFiles/bench_fig07_scheduling.dir/bench_fig07_scheduling.cc.o.d"
+  "bench_fig07_scheduling"
+  "bench_fig07_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_pagesize.dir/bench_fig08_pagesize.cc.o"
+  "CMakeFiles/bench_fig08_pagesize.dir/bench_fig08_pagesize.cc.o.d"
+  "bench_fig08_pagesize"
+  "bench_fig08_pagesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_bits_model.dir/bench_fig12_bits_model.cc.o"
+  "CMakeFiles/bench_fig12_bits_model.dir/bench_fig12_bits_model.cc.o.d"
+  "bench_fig12_bits_model"
+  "bench_fig12_bits_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_bits_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_tpch_q19.dir/bench_fig14_tpch_q19.cc.o"
+  "CMakeFiles/bench_fig14_tpch_q19.dir/bench_fig14_tpch_q19.cc.o.d"
+  "bench_fig14_tpch_q19"
+  "bench_fig14_tpch_q19.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_tpch_q19.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig17_holes.cc" "bench/CMakeFiles/bench_fig17_holes.dir/bench_fig17_holes.cc.o" "gcc" "bench/CMakeFiles/bench_fig17_holes.dir/bench_fig17_holes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mmjoin_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_thread.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_holes.dir/bench_fig17_holes.cc.o"
+  "CMakeFiles/bench_fig17_holes.dir/bench_fig17_holes.cc.o.d"
+  "bench_fig17_holes"
+  "bench_fig17_holes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_holes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_q19_selectivity.dir/bench_fig18_q19_selectivity.cc.o"
+  "CMakeFiles/bench_fig18_q19_selectivity.dir/bench_fig18_q19_selectivity.cc.o.d"
+  "bench_fig18_q19_selectivity"
+  "bench_fig18_q19_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_q19_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

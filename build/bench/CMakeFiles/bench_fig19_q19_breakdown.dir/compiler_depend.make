@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig19_q19_breakdown.
+# This may be replaced when dependencies are built.

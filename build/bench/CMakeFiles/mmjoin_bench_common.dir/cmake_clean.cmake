@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmjoin_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/mmjoin_bench_common.dir/bench_common.cc.o.d"
+  "libmmjoin_bench_common.a"
+  "libmmjoin_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmjoin_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

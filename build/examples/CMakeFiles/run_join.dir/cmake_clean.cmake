@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_join.dir/run_join.cc.o"
+  "CMakeFiles/run_join.dir/run_join.cc.o.d"
+  "run_join"
+  "run_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_schema_advisor.dir/star_schema_advisor.cc.o"
+  "CMakeFiles/star_schema_advisor.dir/star_schema_advisor.cc.o.d"
+  "star_schema_advisor"
+  "star_schema_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_schema_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

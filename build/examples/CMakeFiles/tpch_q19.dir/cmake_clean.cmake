@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_q19.dir/tpch_q19.cc.o"
+  "CMakeFiles/tpch_q19.dir/tpch_q19.cc.o.d"
+  "tpch_q19"
+  "tpch_q19.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_q19.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmjoin_core.dir/core/advisor.cc.o"
+  "CMakeFiles/mmjoin_core.dir/core/advisor.cc.o.d"
+  "CMakeFiles/mmjoin_core.dir/core/joiner.cc.o"
+  "CMakeFiles/mmjoin_core.dir/core/joiner.cc.o.d"
+  "libmmjoin_core.a"
+  "libmmjoin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmjoin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

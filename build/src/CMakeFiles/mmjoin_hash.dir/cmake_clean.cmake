@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmjoin_hash.dir/hash/concise_table.cc.o"
+  "CMakeFiles/mmjoin_hash.dir/hash/concise_table.cc.o.d"
+  "libmmjoin_hash.a"
+  "libmmjoin_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmjoin_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

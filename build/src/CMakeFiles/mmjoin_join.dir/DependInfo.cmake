@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/join/chtj_join.cc" "src/CMakeFiles/mmjoin_join.dir/join/chtj_join.cc.o" "gcc" "src/CMakeFiles/mmjoin_join.dir/join/chtj_join.cc.o.d"
+  "/root/repo/src/join/cpr_join.cc" "src/CMakeFiles/mmjoin_join.dir/join/cpr_join.cc.o" "gcc" "src/CMakeFiles/mmjoin_join.dir/join/cpr_join.cc.o.d"
+  "/root/repo/src/join/factory.cc" "src/CMakeFiles/mmjoin_join.dir/join/factory.cc.o" "gcc" "src/CMakeFiles/mmjoin_join.dir/join/factory.cc.o.d"
+  "/root/repo/src/join/mway_join.cc" "src/CMakeFiles/mmjoin_join.dir/join/mway_join.cc.o" "gcc" "src/CMakeFiles/mmjoin_join.dir/join/mway_join.cc.o.d"
+  "/root/repo/src/join/nop_join.cc" "src/CMakeFiles/mmjoin_join.dir/join/nop_join.cc.o" "gcc" "src/CMakeFiles/mmjoin_join.dir/join/nop_join.cc.o.d"
+  "/root/repo/src/join/pr_join.cc" "src/CMakeFiles/mmjoin_join.dir/join/pr_join.cc.o" "gcc" "src/CMakeFiles/mmjoin_join.dir/join/pr_join.cc.o.d"
+  "/root/repo/src/join/reference.cc" "src/CMakeFiles/mmjoin_join.dir/join/reference.cc.o" "gcc" "src/CMakeFiles/mmjoin_join.dir/join/reference.cc.o.d"
+  "/root/repo/src/join/registry.cc" "src/CMakeFiles/mmjoin_join.dir/join/registry.cc.o" "gcc" "src/CMakeFiles/mmjoin_join.dir/join/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmjoin_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_thread.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

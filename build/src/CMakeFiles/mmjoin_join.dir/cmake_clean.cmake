@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmjoin_join.dir/join/chtj_join.cc.o"
+  "CMakeFiles/mmjoin_join.dir/join/chtj_join.cc.o.d"
+  "CMakeFiles/mmjoin_join.dir/join/cpr_join.cc.o"
+  "CMakeFiles/mmjoin_join.dir/join/cpr_join.cc.o.d"
+  "CMakeFiles/mmjoin_join.dir/join/factory.cc.o"
+  "CMakeFiles/mmjoin_join.dir/join/factory.cc.o.d"
+  "CMakeFiles/mmjoin_join.dir/join/mway_join.cc.o"
+  "CMakeFiles/mmjoin_join.dir/join/mway_join.cc.o.d"
+  "CMakeFiles/mmjoin_join.dir/join/nop_join.cc.o"
+  "CMakeFiles/mmjoin_join.dir/join/nop_join.cc.o.d"
+  "CMakeFiles/mmjoin_join.dir/join/pr_join.cc.o"
+  "CMakeFiles/mmjoin_join.dir/join/pr_join.cc.o.d"
+  "CMakeFiles/mmjoin_join.dir/join/reference.cc.o"
+  "CMakeFiles/mmjoin_join.dir/join/reference.cc.o.d"
+  "CMakeFiles/mmjoin_join.dir/join/registry.cc.o"
+  "CMakeFiles/mmjoin_join.dir/join/registry.cc.o.d"
+  "libmmjoin_join.a"
+  "libmmjoin_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmjoin_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmjoin_mem.dir/mem/aligned_alloc.cc.o"
+  "CMakeFiles/mmjoin_mem.dir/mem/aligned_alloc.cc.o.d"
+  "libmmjoin_mem.a"
+  "libmmjoin_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmjoin_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmjoin_memsim.dir/memsim/cache.cc.o"
+  "CMakeFiles/mmjoin_memsim.dir/memsim/cache.cc.o.d"
+  "CMakeFiles/mmjoin_memsim.dir/memsim/replay.cc.o"
+  "CMakeFiles/mmjoin_memsim.dir/memsim/replay.cc.o.d"
+  "libmmjoin_memsim.a"
+  "libmmjoin_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmjoin_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

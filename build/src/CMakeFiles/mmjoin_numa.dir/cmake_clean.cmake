@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmjoin_numa.dir/numa/system.cc.o"
+  "CMakeFiles/mmjoin_numa.dir/numa/system.cc.o.d"
+  "libmmjoin_numa.a"
+  "libmmjoin_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmjoin_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/chunked.cc" "src/CMakeFiles/mmjoin_partition.dir/partition/chunked.cc.o" "gcc" "src/CMakeFiles/mmjoin_partition.dir/partition/chunked.cc.o.d"
+  "/root/repo/src/partition/model.cc" "src/CMakeFiles/mmjoin_partition.dir/partition/model.cc.o" "gcc" "src/CMakeFiles/mmjoin_partition.dir/partition/model.cc.o.d"
+  "/root/repo/src/partition/radix.cc" "src/CMakeFiles/mmjoin_partition.dir/partition/radix.cc.o" "gcc" "src/CMakeFiles/mmjoin_partition.dir/partition/radix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmjoin_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_thread.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmjoin_partition.dir/partition/chunked.cc.o"
+  "CMakeFiles/mmjoin_partition.dir/partition/chunked.cc.o.d"
+  "CMakeFiles/mmjoin_partition.dir/partition/model.cc.o"
+  "CMakeFiles/mmjoin_partition.dir/partition/model.cc.o.d"
+  "CMakeFiles/mmjoin_partition.dir/partition/radix.cc.o"
+  "CMakeFiles/mmjoin_partition.dir/partition/radix.cc.o.d"
+  "libmmjoin_partition.a"
+  "libmmjoin_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmjoin_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmjoin_sort.dir/sort/bitonic.cc.o"
+  "CMakeFiles/mmjoin_sort.dir/sort/bitonic.cc.o.d"
+  "CMakeFiles/mmjoin_sort.dir/sort/multiway_merge.cc.o"
+  "CMakeFiles/mmjoin_sort.dir/sort/multiway_merge.cc.o.d"
+  "libmmjoin_sort.a"
+  "libmmjoin_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmjoin_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmjoin_thread.dir/thread/task_queue.cc.o"
+  "CMakeFiles/mmjoin_thread.dir/thread/task_queue.cc.o.d"
+  "CMakeFiles/mmjoin_thread.dir/thread/thread_team.cc.o"
+  "CMakeFiles/mmjoin_thread.dir/thread/thread_team.cc.o.d"
+  "libmmjoin_thread.a"
+  "libmmjoin_thread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmjoin_thread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmjoin_tpch.dir/tpch/generator.cc.o"
+  "CMakeFiles/mmjoin_tpch.dir/tpch/generator.cc.o.d"
+  "CMakeFiles/mmjoin_tpch.dir/tpch/q19.cc.o"
+  "CMakeFiles/mmjoin_tpch.dir/tpch/q19.cc.o.d"
+  "CMakeFiles/mmjoin_tpch.dir/tpch/tables.cc.o"
+  "CMakeFiles/mmjoin_tpch.dir/tpch/tables.cc.o.d"
+  "libmmjoin_tpch.a"
+  "libmmjoin_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmjoin_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmjoin_util.dir/util/cli.cc.o"
+  "CMakeFiles/mmjoin_util.dir/util/cli.cc.o.d"
+  "CMakeFiles/mmjoin_util.dir/util/table_printer.cc.o"
+  "CMakeFiles/mmjoin_util.dir/util/table_printer.cc.o.d"
+  "libmmjoin_util.a"
+  "libmmjoin_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmjoin_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

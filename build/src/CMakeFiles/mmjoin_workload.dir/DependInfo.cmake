@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/mmjoin_workload.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/mmjoin_workload.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/zipf.cc" "src/CMakeFiles/mmjoin_workload.dir/workload/zipf.cc.o" "gcc" "src/CMakeFiles/mmjoin_workload.dir/workload/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmjoin_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmjoin_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

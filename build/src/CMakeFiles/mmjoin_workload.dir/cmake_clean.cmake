@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmjoin_workload.dir/workload/generator.cc.o"
+  "CMakeFiles/mmjoin_workload.dir/workload/generator.cc.o.d"
+  "CMakeFiles/mmjoin_workload.dir/workload/zipf.cc.o"
+  "CMakeFiles/mmjoin_workload.dir/workload/zipf.cc.o.d"
+  "libmmjoin_workload.a"
+  "libmmjoin_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmjoin_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

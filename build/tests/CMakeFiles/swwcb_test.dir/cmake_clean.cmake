@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swwcb_test.dir/swwcb_test.cc.o"
+  "CMakeFiles/swwcb_test.dir/swwcb_test.cc.o.d"
+  "swwcb_test"
+  "swwcb_test.pdb"
+  "swwcb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swwcb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
