@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "thread/executor.h"
+
 namespace mmjoin::bench {
 
 BenchEnv BenchEnv::FromCli(const CommandLine& cli, uint64_t default_build,
@@ -40,17 +42,31 @@ join::JoinResult RunMedian(join::Algorithm algorithm,
                            const join::JoinConfig& config,
                            const workload::Relation& build,
                            const workload::Relation& probe, int repeat) {
+  join::JoinConfig pooled = config;
+  if (pooled.executor == nullptr) {
+    pooled.executor = &thread::GlobalExecutor();
+  }
   std::vector<join::JoinResult> results;
   results.reserve(repeat);
   for (int i = 0; i < repeat; ++i) {
     results.push_back(
-        join::RunJoin(algorithm, system, config, build, probe));
+        join::RunJoin(algorithm, system, pooled, build, probe));
   }
   std::sort(results.begin(), results.end(),
             [](const join::JoinResult& a, const join::JoinResult& b) {
               return a.times.total_ns < b.times.total_ns;
             });
   return results[results.size() / 2];
+}
+
+void PrintExecutorStats() {
+  const thread::ExecutorStats stats = thread::GlobalExecutor().stats();
+  std::printf(
+      "\n[pool] threads_spawned=%llu dispatches=%llu max_team=%llu "
+      "(persistent executor: 0 threads created per join)\n",
+      static_cast<unsigned long long>(stats.threads_spawned),
+      static_cast<unsigned long long>(stats.dispatches),
+      static_cast<unsigned long long>(stats.max_team_size));
 }
 
 }  // namespace mmjoin::bench

@@ -34,12 +34,19 @@ void PrintBanner(const char* artifact, const char* description,
                  const BenchEnv& env);
 
 // Runs `algorithm` `env.repeat` times on the given workload and returns the
-// run with the median total time (first run warms the data).
+// run with the median total time (first run warms the data). All repeats run
+// on the process-wide persistent pool (unless `config.executor` names
+// another one) -- repeated joins spawn zero threads.
 join::JoinResult RunMedian(join::Algorithm algorithm,
                            numa::NumaSystem* system,
                            const join::JoinConfig& config,
                            const workload::Relation& build,
                            const workload::Relation& probe, int repeat);
+
+// Prints the process pool's reuse counters (threads spawned vs. dispatches
+// run). Harnesses call this at exit to document that the whole run created
+// worker threads once.
+void PrintExecutorStats();
 
 }  // namespace mmjoin::bench
 

@@ -39,5 +39,6 @@ int main(int argc, char** argv) {
               result.times.total_ns / 1e6, result.matches);
   }
   table.Print();
+  bench::PrintExecutorStats();
   return 0;
 }

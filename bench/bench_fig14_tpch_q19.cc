@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "bench_common.h"
+#include "thread/executor.h"
 #include "tpch/generator.h"
 #include "tpch/q19.h"
 
@@ -48,7 +49,9 @@ int main(int argc, char** argv) {
     best.total_ns = INT64_MAX;
     for (int i = 0; i < env.repeat; ++i) {
       const tpch::Q19Result result =
-          tpch::RunQ19(&system, lineitem, part, algorithm, env.threads);
+          tpch::RunQ19(&system, lineitem, part, algorithm, env.threads,
+                       tpch::Q19Strategy::kPipelined,
+                       &thread::GlobalExecutor());
       if (result.total_ns < best.total_ns) best = result;
     }
     const double join_ms = best.join_ns / 1e6;
@@ -62,5 +65,6 @@ int main(int argc, char** argv) {
   }
   table.Print();
   std::printf("\nreference revenue: %.2f\n", reference);
+  bench::PrintExecutorStats();
   return 0;
 }

@@ -5,8 +5,21 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+# Use Ninja when available, otherwise the default generator -- the same
+# build tree the tier-1 verify line in ROADMAP.md configures. If an existing
+# build/ was configured with a different generator, reconfigure from scratch.
+GENERATOR_ARGS=()
+if command -v ninja > /dev/null 2>&1; then
+  GENERATOR_ARGS=(-G Ninja)
+  grep -q 'CMAKE_GENERATOR:INTERNAL=Ninja' build/CMakeCache.txt 2> /dev/null \
+    || rm -rf build
+elif [ -f build/CMakeCache.txt ] \
+    && grep -q 'CMAKE_GENERATOR:INTERNAL=Ninja' build/CMakeCache.txt; then
+  rm -rf build
+fi
+
+cmake -B build -S . ${GENERATOR_ARGS[@]+"${GENERATOR_ARGS[@]}"}
+cmake --build build -j "$(nproc)"
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 

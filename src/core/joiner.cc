@@ -4,7 +4,9 @@ namespace mmjoin::core {
 
 Joiner::Joiner(const JoinerOptions& options)
     : system_(options.num_nodes, options.page_policy),
-      num_threads_(options.num_threads) {
+      num_threads_(options.num_threads),
+      executor_(std::make_unique<thread::Executor>(options.num_threads,
+                                                   options.num_nodes)) {
   MMJOIN_CHECK(options.num_threads >= 1);
 }
 
@@ -13,6 +15,7 @@ join::JoinResult Joiner::Run(join::Algorithm algorithm,
                              const workload::Relation& probe) {
   join::JoinConfig config;
   config.num_threads = num_threads_;
+  config.executor = executor_.get();
   return join::RunJoin(algorithm, &system_, config, build, probe);
 }
 
@@ -43,6 +46,7 @@ std::vector<join::MatchedPair> Joiner::RunMaterialized(
   sink.Reserve(probe.size());  // FK joins: ~one match per probe tuple
   join::JoinConfig config;
   config.num_threads = num_threads_;
+  config.executor = executor_.get();
   config.sink = &sink;
   join::RunJoin(algorithm, &system_, config, build, probe);
   return sink.Gather();

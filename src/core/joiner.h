@@ -1,13 +1,16 @@
 // Joiner: the one-object entry point for applications.
 //
-// Owns a NumaSystem, exposes by-name algorithm selection, automatic
-// algorithm choice via the lessons-learned advisor, and materializing
-// variants -- everything a downstream user needs without touching the
-// individual subsystems.
+// Owns a NumaSystem and a persistent thread::Executor, exposes by-name
+// algorithm selection, automatic algorithm choice via the lessons-learned
+// advisor, and materializing variants -- everything a downstream user needs
+// without touching the individual subsystems. Worker threads are created
+// once, in the constructor, with a stable thread->NUMA-node placement; every
+// join the Joiner runs reuses that pool (no per-query thread churn).
 
 #ifndef MMJOIN_CORE_JOINER_H_
 #define MMJOIN_CORE_JOINER_H_
 
+#include <memory>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -16,6 +19,7 @@
 #include "join/join_algorithm.h"
 #include "join/materialize.h"
 #include "numa/system.h"
+#include "thread/executor.h"
 #include "workload/relation.h"
 
 namespace mmjoin::core {
@@ -35,6 +39,12 @@ class Joiner {
 
   // The NumaSystem relations for this joiner must be allocated from.
   numa::NumaSystem* system() { return &system_; }
+
+  // The persistent worker pool every join (and any caller-side parallel
+  // work, e.g. tpch::RunQ19) runs on. Its stats expose pool reuse:
+  // stats().threads_spawned stays == num_threads() across any number of
+  // joins.
+  thread::Executor* executor() { return executor_.get(); }
 
   // Runs the given algorithm; `config_override` fields other than
   // num_threads default sensibly.
@@ -67,6 +77,7 @@ class Joiner {
  private:
   numa::NumaSystem system_;
   int num_threads_;
+  std::unique_ptr<thread::Executor> executor_;
 };
 
 }  // namespace mmjoin::core

@@ -27,6 +27,7 @@
 #include "join/reference.h"           // IWYU pragma: export
 #include "numa/system.h"              // IWYU pragma: export
 #include "partition/model.h"          // IWYU pragma: export
+#include "thread/executor.h"          // IWYU pragma: export
 #include "util/types.h"               // IWYU pragma: export
 #include "workload/generator.h"       // IWYU pragma: export
 #include "workload/relation.h"        // IWYU pragma: export

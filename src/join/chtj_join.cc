@@ -62,12 +62,14 @@ class ChtJoin final : public JoinAlgorithm {
     std::vector<uint64_t> bucket_of(build.size());
     std::vector<std::vector<Tuple>> overflows(num_threads);
     std::vector<ThreadStats> stats(num_threads);
-    thread::Barrier barrier(num_threads);
     int64_t build_end = 0;
     MatchSink* sink = config.sink;
     const int64_t start = NowNanos();
 
-    thread::RunTeam(num_threads, [&](int tid) {
+    ExecutorOf(config).Dispatch(num_threads, [&](const thread::WorkerContext&
+                                                     ctx) {
+      const int tid = ctx.thread_id;
+      thread::Barrier& barrier = *ctx.barrier;
       const int node = system->topology().NodeOfThread(tid, num_threads);
 
       // --- Build: partition by hash prefix, then bulk-load regions. ---

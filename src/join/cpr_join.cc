@@ -157,7 +157,6 @@ class CprJoin final : public JoinAlgorithm {
         system, options, probe, TupleSpan(s_out.data(), s_out.size()));
 
     std::vector<ThreadStats> stats(num_threads);
-    thread::Barrier barrier(num_threads);
     int64_t partition_end = 0;
     thread::TaskQueue queue;
     uint64_t max_r_partition = 0;
@@ -165,7 +164,10 @@ class CprJoin final : public JoinAlgorithm {
     // assumption, Section 5.1).
     const int64_t start = NowNanos();
 
-    thread::RunTeam(num_threads, [&](int tid) {
+    ExecutorOf(config).Dispatch(num_threads, [&](const thread::WorkerContext&
+                                                     ctx) {
+      const int tid = ctx.thread_id;
+      thread::Barrier& barrier = *ctx.barrier;
       const int node =
           system->topology().NodeOfThread(tid, num_threads);
 

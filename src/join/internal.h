@@ -9,10 +9,18 @@
 
 #include "join/join_algorithm.h"
 #include "join/join_defs.h"
+#include "thread/executor.h"
 #include "util/macros.h"
 #include "util/types.h"
 
 namespace mmjoin::join::internal {
+
+// The worker pool a join's parallel phases run on: the caller's executor if
+// one is configured, the process-wide pool otherwise. Never spawns per-join.
+inline thread::Executor& ExecutorOf(const JoinConfig& config) {
+  return config.executor != nullptr ? *config.executor
+                                    : thread::GlobalExecutor();
+}
 
 // Per-thread match accumulator, cache-line padded against false sharing.
 struct alignas(kCacheLineSize) ThreadStats {

@@ -11,6 +11,10 @@
 
 #include "util/types.h"
 
+namespace mmjoin::thread {
+class Executor;
+}  // namespace mmjoin::thread
+
 namespace mmjoin::join {
 
 // The thirteen algorithms of the study, in the order of paper Table 2.
@@ -105,6 +109,11 @@ struct JoinConfig {
   bool build_unique = true;
   // Optional materialization of matched pairs.
   MatchSink* sink = nullptr;
+  // Worker pool running the join's parallel phases. nullptr falls back to
+  // the process-wide pool (thread::GlobalExecutor()); either way no OS
+  // threads are spawned per join. core::Joiner points this at its own
+  // persistent executor.
+  thread::Executor* executor = nullptr;
 };
 
 }  // namespace mmjoin::join

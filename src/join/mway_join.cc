@@ -122,7 +122,6 @@ class MwayJoin final : public JoinAlgorithm {
                                          numa::Placement::kInterleavedPages);
 
     std::vector<ThreadStats> stats(num_threads);
-    thread::Barrier barrier(num_threads);
     int64_t partition_end = 0;
     int64_t sort_end = 0;
     MatchSink* sink = config.sink;
@@ -130,7 +129,10 @@ class MwayJoin final : public JoinAlgorithm {
     // assumption, Section 5.1).
     const int64_t start = NowNanos();
 
-    thread::RunTeam(num_threads, [&](int tid) {
+    ExecutorOf(config).Dispatch(num_threads, [&](const thread::WorkerContext&
+                                                     ctx) {
+      const int tid = ctx.thread_id;
+      thread::Barrier& barrier = *ctx.barrier;
       const int node = system->topology().NodeOfThread(tid, num_threads);
 
       // --- Partition both relations. ---

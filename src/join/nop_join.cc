@@ -61,11 +61,13 @@ class NopFamilyJoin final : public JoinAlgorithm {
     const int64_t start = NowNanos();
 
     std::vector<ThreadStats> stats(num_threads);
-    thread::Barrier barrier(num_threads);
     int64_t build_end = 0;
     MatchSink* sink = config.sink;
 
-    thread::RunTeam(num_threads, [&](int tid) {
+    ExecutorOf(config).Dispatch(num_threads, [&](const thread::WorkerContext&
+                                                     ctx) {
+      const int tid = ctx.thread_id;
+      thread::Barrier& barrier = *ctx.barrier;
       const int node = system->topology().NodeOfThread(tid, num_threads);
 
       // Build: insert this thread's chunk of R into the global table.

@@ -287,7 +287,6 @@ class PrJoin final : public JoinAlgorithm {
         system, options, probe, TupleSpan(s_out.data(), s_out.size()));
 
     std::vector<ThreadStats> stats(num_threads);
-    thread::Barrier barrier(num_threads);
     int64_t partition_end = 0;
     thread::TaskQueue queue;
     FinalLayout r_layout, s_layout;
@@ -295,7 +294,10 @@ class PrJoin final : public JoinAlgorithm {
     // assumption, Section 5.1).
     const int64_t start = NowNanos();
 
-    thread::RunTeam(num_threads, [&](int tid) {
+    ExecutorOf(config).Dispatch(num_threads, [&](const thread::WorkerContext&
+                                                     ctx) {
+      const int tid = ctx.thread_id;
+      thread::Barrier& barrier = *ctx.barrier;
       const int node =
           system->topology().NodeOfThread(tid, num_threads);
 
@@ -361,7 +363,6 @@ class PrJoin final : public JoinAlgorithm {
         system, options, probe, TupleSpan(s_mid.data(), s_mid.size()));
 
     std::vector<ThreadStats> stats(num_threads);
-    thread::Barrier barrier(num_threads);
     int64_t partition_end = 0;
     thread::TaskQueue queue;
     FinalLayout r_layout, s_layout;
@@ -375,7 +376,10 @@ class PrJoin final : public JoinAlgorithm {
     const partition::RadixFn fn2{bits1, bits2};
     const int64_t start = NowNanos();
 
-    thread::RunTeam(num_threads, [&](int tid) {
+    ExecutorOf(config).Dispatch(num_threads, [&](const thread::WorkerContext&
+                                                     ctx) {
+      const int tid = ctx.thread_id;
+      thread::Barrier& barrier = *ctx.barrier;
       const int node =
           system->topology().NodeOfThread(tid, num_threads);
 

@@ -1,16 +1,41 @@
 #include "join/reference.h"
 
 #include <algorithm>
+#include <mutex>
 #include <unordered_map>
+
+#include "thread/executor.h"
 
 namespace mmjoin::join {
 
-JoinResult ReferenceJoin(ConstTupleSpan build, ConstTupleSpan probe) {
+JoinResult ReferenceJoin(ConstTupleSpan build, ConstTupleSpan probe,
+                         thread::Executor* executor) {
   std::unordered_multimap<uint32_t, uint32_t> table;
   table.reserve(build.size());
   for (const Tuple& t : build) table.emplace(t.key, t.payload);
 
   JoinResult result;
+  if (executor != nullptr) {
+    std::mutex fold_mutex;
+    executor->ParallelFor(
+        probe.size(), [&](std::size_t begin, std::size_t end,
+                          const thread::WorkerContext&) {
+          uint64_t matches = 0;
+          uint64_t checksum = 0;
+          for (std::size_t i = begin; i < end; ++i) {
+            const Tuple s = probe[i];
+            auto [first, last] = table.equal_range(s.key);
+            for (auto it = first; it != last; ++it) {
+              ++matches;
+              checksum += static_cast<uint64_t>(it->second) + s.payload;
+            }
+          }
+          std::scoped_lock lock(fold_mutex);
+          result.matches += matches;
+          result.checksum += checksum;
+        });
+    return result;
+  }
   for (const Tuple& s : probe) {
     auto [begin, end] = table.equal_range(s.key);
     for (auto it = begin; it != end; ++it) {

@@ -1,4 +1,4 @@
-// Single-threaded reference join used by the test suite as ground truth.
+// Reference join used by the test suite as ground truth.
 
 #ifndef MMJOIN_JOIN_REFERENCE_H_
 #define MMJOIN_JOIN_REFERENCE_H_
@@ -10,10 +10,18 @@
 #include "join/join_defs.h"
 #include "util/types.h"
 
+namespace mmjoin::thread {
+class Executor;
+}  // namespace mmjoin::thread
+
 namespace mmjoin::join {
 
 // Computes (matches, checksum) with std::unordered_multimap semantics.
-JoinResult ReferenceJoin(ConstTupleSpan build, ConstTupleSpan probe);
+// Single-threaded by default; with an executor the probe phase runs as one
+// ParallelFor over the persistent pool (the build stays serial), which keeps
+// the oracle exact while making large differential tests affordable.
+JoinResult ReferenceJoin(ConstTupleSpan build, ConstTupleSpan probe,
+                         thread::Executor* executor = nullptr);
 
 // Materializes every matched <build.payload, probe.payload> pair, sorted,
 // for exact multiset comparison on small inputs.

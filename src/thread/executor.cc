@@ -1,0 +1,111 @@
+#include "thread/executor.h"
+
+#include <algorithm>
+
+namespace mmjoin::thread {
+
+Executor::Executor(int num_threads, int num_nodes)
+    : default_team_(num_threads), topology_(num_nodes) {
+  MMJOIN_CHECK(num_threads >= 1);
+  std::unique_lock lock(mutex_);
+  EnsureWorkersLocked(num_threads);
+}
+
+Executor::~Executor() {
+  {
+    std::unique_lock lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void Executor::EnsureWorkersLocked(int count) {
+  const int have = static_cast<int>(workers_.size());
+  for (int tid = have; tid < count; ++tid) {
+    // New workers start at the current epoch so they sleep until the next
+    // dispatch instead of re-running the previous one.
+    workers_.emplace_back(&Executor::WorkerLoop, this, tid, epoch_);
+    ++threads_spawned_;
+  }
+}
+
+void Executor::WorkerLoop(int thread_id, uint64_t spawn_epoch) {
+  uint64_t seen = spawn_epoch;
+  for (;;) {
+    std::unique_lock lock(mutex_);
+    work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+    if (stop_) return;
+    seen = epoch_;
+    if (thread_id >= team_size_) continue;  // sitting this epoch out
+
+    const auto* task = task_;
+    WorkerContext ctx;
+    ctx.thread_id = thread_id;
+    ctx.num_threads = team_size_;
+    ctx.node = topology_.NodeOfThread(thread_id, team_size_);
+    ctx.barrier = barrier_.get();
+    ctx.executor = this;
+    lock.unlock();
+
+    (*task)(ctx);
+
+    lock.lock();
+    if (--remaining_ == 0) done_cv_.notify_all();
+  }
+}
+
+void Executor::Dispatch(int team_size,
+                        const std::function<void(const WorkerContext&)>& fn) {
+  MMJOIN_CHECK(team_size >= 1);
+  std::scoped_lock dispatch_lock(dispatch_mutex_);
+  std::unique_lock lock(mutex_);
+  EnsureWorkersLocked(team_size);
+  if (barrier_parties_ != team_size) {
+    barrier_ = std::make_unique<Barrier>(team_size);
+    barrier_parties_ = team_size;
+  }
+  task_ = &fn;
+  team_size_ = team_size;
+  remaining_ = team_size;
+  ++epoch_;
+  ++dispatches_;
+  max_team_size_ = std::max<uint64_t>(max_team_size_, team_size);
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return remaining_ == 0; });
+  task_ = nullptr;
+}
+
+void Executor::ParallelFor(
+    int team_size, std::size_t total,
+    const std::function<void(std::size_t, std::size_t, const WorkerContext&)>&
+        fn) {
+  if (total == 0) return;
+  Dispatch(team_size, [total, &fn](const WorkerContext& ctx) {
+    const Range range = ChunkRange(total, ctx.num_threads, ctx.thread_id);
+    if (range.begin < range.end) fn(range.begin, range.end, ctx);
+  });
+}
+
+int Executor::pool_size() const {
+  std::unique_lock lock(mutex_);
+  return static_cast<int>(workers_.size());
+}
+
+ExecutorStats Executor::stats() const {
+  std::unique_lock lock(mutex_);
+  ExecutorStats stats;
+  stats.threads_spawned = threads_spawned_;
+  stats.dispatches = dispatches_;
+  stats.max_team_size = max_team_size_;
+  return stats;
+}
+
+Executor& GlobalExecutor() {
+  // Intentionally leaked: workers must outlive every static that might run a
+  // team during its destructor, and the OS reclaims them at process exit.
+  static Executor* global = new Executor(/*num_threads=*/1);
+  return *global;
+}
+
+}  // namespace mmjoin::thread

@@ -1,0 +1,137 @@
+// Persistent NUMA-aware executor.
+//
+// The paper's methodology (Sections 5/6, Appendix B) assumes a fixed team of
+// worker threads pinned evenly across NUMA regions for the whole experiment;
+// every join is a sequence of parallel phases separated by barriers running
+// on that team. An Executor is that substrate: workers are OS threads
+// created once and reused across dispatches (epochs), each with a stable
+// thread-id and a NUMA node assigned via Topology::NodeOfThread. A dispatch
+// runs one closure on every member of a team and blocks the caller until the
+// whole team finished; the team barrier separates phases *inside* a
+// dispatch (histogram -> scatter -> build -> probe).
+//
+// Teams may be smaller than the pool (extra workers sit out the epoch) and
+// larger (the pool grows, once, and keeps the new workers). Stats record how
+// many threads were ever spawned and how many dispatches ran, so benches and
+// tests can assert that running N joins creates workers exactly once.
+
+#ifndef MMJOIN_THREAD_EXECUTOR_H_
+#define MMJOIN_THREAD_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "numa/topology.h"
+#include "thread/thread_team.h"
+#include "util/macros.h"
+
+namespace mmjoin::thread {
+
+class Executor;
+
+// Everything a worker closure needs: its identity within the team, the
+// team's size, the NUMA node the thread is placed on (stable for a given
+// team size, via Topology::NodeOfThread), and the team barrier separating
+// phases of this dispatch.
+struct WorkerContext {
+  int thread_id = 0;
+  int num_threads = 1;
+  int node = 0;
+  Barrier* barrier = nullptr;
+  Executor* executor = nullptr;
+};
+
+// Pool-reuse accounting. `threads_spawned` only grows when the pool does;
+// a steady-state process shows threads_spawned == num_threads while
+// `dispatches` keeps counting.
+struct ExecutorStats {
+  uint64_t threads_spawned = 0;
+  uint64_t dispatches = 0;
+  uint64_t max_team_size = 0;
+};
+
+class Executor {
+ public:
+  // Spawns `num_threads` workers immediately; `num_nodes` fixes the software
+  // NUMA topology used for the thread -> node placement.
+  explicit Executor(int num_threads, int num_nodes = 4);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // Runs `fn(ctx)` on a team of `team_size` workers (thread ids
+  // [0, team_size)) and blocks until all of them finished. Grows the pool if
+  // the team is larger than it; never shrinks. Dispatching from inside a
+  // worker closure is not supported (it would deadlock the pool).
+  void Dispatch(int team_size, const std::function<void(const WorkerContext&)>& fn);
+
+  // Dispatch on the default team (the constructor's num_threads).
+  void Dispatch(const std::function<void(const WorkerContext&)>& fn) {
+    Dispatch(default_team_, fn);
+  }
+
+  // Splits [0, total) into team-sized chunks via ChunkRange and runs
+  // `fn(begin, end, ctx)` on each non-empty chunk. total == 0 dispatches
+  // nothing; total < team leaves the surplus workers with empty chunks.
+  void ParallelFor(int team_size, std::size_t total,
+                   const std::function<void(std::size_t, std::size_t,
+                                            const WorkerContext&)>& fn);
+  void ParallelFor(std::size_t total,
+                   const std::function<void(std::size_t, std::size_t,
+                                            const WorkerContext&)>& fn) {
+    ParallelFor(default_team_, total, fn);
+  }
+
+  // The default team size (constructor argument).
+  int num_threads() const { return default_team_; }
+  // Current pool size (>= num_threads(); grows with oversized teams).
+  int pool_size() const;
+
+  ExecutorStats stats() const;
+
+  const numa::Topology& topology() const { return topology_; }
+
+ private:
+  void WorkerLoop(int thread_id, uint64_t spawn_epoch);
+  // Grows the pool to `count` workers. Requires mutex_ held.
+  void EnsureWorkersLocked(int count);
+
+  const int default_team_;
+  const numa::Topology topology_;
+
+  // One dispatch at a time; callers queue here, not on the epoch state.
+  std::mutex dispatch_mutex_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  uint64_t epoch_ = 0;
+  int team_size_ = 0;
+  int remaining_ = 0;
+  const std::function<void(const WorkerContext&)>* task_ = nullptr;
+  std::unique_ptr<Barrier> barrier_;
+  int barrier_parties_ = 0;
+  bool stop_ = false;
+
+  uint64_t threads_spawned_ = 0;
+  uint64_t dispatches_ = 0;
+  uint64_t max_team_size_ = 0;
+};
+
+// The process-wide pool behind the RunTeam compatibility shim and every
+// caller that does not own an Executor (benches, the TPC-H generator). Lazily
+// created on first use, grows to the largest team ever requested, and lives
+// until process exit.
+Executor& GlobalExecutor();
+
+}  // namespace mmjoin::thread
+
+#endif  // MMJOIN_THREAD_EXECUTOR_H_

@@ -1,22 +1,13 @@
 #include "thread/thread_team.h"
 
-#include <thread>
-#include <vector>
+#include "thread/executor.h"
 
 namespace mmjoin::thread {
 
 void RunTeam(int num_threads, const std::function<void(int)>& fn) {
   MMJOIN_CHECK(num_threads >= 1);
-  if (num_threads == 1) {
-    fn(0);
-    return;
-  }
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (int tid = 0; tid < num_threads; ++tid) {
-    workers.emplace_back([&fn, tid] { fn(tid); });
-  }
-  for (auto& worker : workers) worker.join();
+  GlobalExecutor().Dispatch(
+      num_threads, [&fn](const WorkerContext& ctx) { fn(ctx.thread_id); });
 }
 
 }  // namespace mmjoin::thread

@@ -1,12 +1,11 @@
-// Fork/join thread team and synchronization barrier.
+// Synchronization barrier, chunk partitioning, and the legacy fork/join
+// RunTeam entry point.
 //
 // Every join algorithm in the paper is a sequence of parallel phases
-// separated by barriers (histogram -> scatter -> build -> probe). A
-// ThreadTeam runs one functor per thread; the functor receives the thread id
-// and can wait on the team barrier between phases. Threads are assigned to
-// NUMA nodes round-robin via Topology::NodeOfThread, mirroring the paper's
-// even-across-regions placement (on real hardware this would also pin the
-// thread).
+// separated by barriers (histogram -> scatter -> build -> probe). Parallel
+// phases run on a persistent worker pool (thread/executor.h); RunTeam
+// remains as a thin compatibility shim that dispatches on the process-wide
+// pool, so out-of-tree callers keep working without per-call thread spawns.
 
 #ifndef MMJOIN_THREAD_THREAD_TEAM_H_
 #define MMJOIN_THREAD_THREAD_TEAM_H_
@@ -54,8 +53,11 @@ class Barrier {
   std::condition_variable cv_;
 };
 
-// Runs `fn(thread_id)` on `num_threads` OS threads and joins them all.
-// The calling thread blocks until every worker finished.
+// Compatibility shim: runs `fn(thread_id)` on `num_threads` workers of the
+// process-wide persistent pool (thread::GlobalExecutor()) and blocks until
+// every worker finished. No OS threads are spawned per call; prefer
+// Executor::Dispatch for new code (it also hands out the team barrier and
+// the thread's NUMA node).
 void RunTeam(int num_threads, const std::function<void(int)>& fn);
 
 // Splits [0, total) into `num_threads` near-equal contiguous chunks and

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "thread/thread_team.h"
+#include "thread/executor.h"
 #include "util/macros.h"
 #include "util/rng.h"
 
@@ -34,18 +34,22 @@ uint64_t ChunkSeed(uint64_t seed, uint64_t salt, int chunk) {
 }
 
 // Runs `fill(chunk_range, rng)` over kGenChunks ranges on kGenThreads
-// threads.
+// workers of the process-wide pool (one pool per process; repeated
+// generation calls respawn nothing).
 template <typename Fill>
 void GenerateChunked(uint64_t rows, uint64_t seed, uint64_t salt,
                      Fill&& fill) {
-  thread::RunTeam(kGenThreads, [&](int tid) {
-    for (int chunk = tid; chunk < kGenChunks; chunk += kGenThreads) {
-      const thread::Range range = thread::ChunkRange(rows, kGenChunks, chunk);
-      if (range.size() == 0) continue;
-      Rng rng(ChunkSeed(seed, salt, chunk));
-      fill(range, rng);
-    }
-  });
+  thread::GlobalExecutor().Dispatch(
+      kGenThreads, [&](const thread::WorkerContext& ctx) {
+        for (int chunk = ctx.thread_id; chunk < kGenChunks;
+             chunk += kGenThreads) {
+          const thread::Range range =
+              thread::ChunkRange(rows, kGenChunks, chunk);
+          if (range.size() == 0) continue;
+          Rng rng(ChunkSeed(seed, salt, chunk));
+          fill(range, rng);
+        }
+      });
 }
 
 }  // namespace

@@ -8,7 +8,7 @@
 #include "hash/linear_probing_table.h"
 #include "join/join_algorithm.h"
 #include "join/materialize.h"
-#include "thread/thread_team.h"
+#include "thread/executor.h"
 #include "util/timer.h"
 #include "util/types.h"
 
@@ -61,16 +61,18 @@ class RevenueSink final : public join::MatchSink {
 // precomputed offsets) so the output is dense and deterministic.
 numa::NumaBuffer<Tuple> FilterProbe(numa::NumaSystem* system,
                                     const LineitemTable& lineitem,
+                                    thread::Executor& executor,
                                     int num_threads, uint64_t* out_count) {
   const uint64_t rows = lineitem.num_tuples();
   std::vector<uint64_t> counts(num_threads, 0);
-  thread::RunTeam(num_threads, [&](int tid) {
-    const thread::Range range = thread::ChunkRange(rows, num_threads, tid);
+  executor.Dispatch(num_threads, [&](const thread::WorkerContext& ctx) {
+    const thread::Range range =
+        thread::ChunkRange(rows, ctx.num_threads, ctx.thread_id);
     uint64_t count = 0;
     for (uint64_t i = range.begin; i < range.end; ++i) {
       count += PreJoin(lineitem, i) ? 1 : 0;
     }
-    counts[tid] = count;
+    counts[ctx.thread_id] = count;
   });
 
   uint64_t total = 0;
@@ -83,9 +85,10 @@ numa::NumaBuffer<Tuple> FilterProbe(numa::NumaSystem* system,
 
   numa::NumaBuffer<Tuple> probe(system, std::max<uint64_t>(total, 1),
                                 numa::Placement::kChunkedRoundRobin);
-  thread::RunTeam(num_threads, [&](int tid) {
-    const thread::Range range = thread::ChunkRange(rows, num_threads, tid);
-    uint64_t cursor = offsets[tid];
+  executor.Dispatch(num_threads, [&](const thread::WorkerContext& ctx) {
+    const thread::Range range =
+        thread::ChunkRange(rows, ctx.num_threads, ctx.thread_id);
+    uint64_t cursor = offsets[ctx.thread_id];
     const Tuple* partkey = lineitem.l_partkey();
     for (uint64_t i = range.begin; i < range.end; ++i) {
       if (PreJoin(lineitem, i)) probe[cursor++] = partkey[i];
@@ -98,16 +101,21 @@ numa::NumaBuffer<Tuple> FilterProbe(numa::NumaSystem* system,
 
 Q19Result RunQ19(numa::NumaSystem* system, const LineitemTable& lineitem,
                  const PartTable& part, join::Algorithm algorithm,
-                 int num_threads, Q19Strategy strategy) {
+                 int num_threads, Q19Strategy strategy,
+                 thread::Executor* executor) {
+  thread::Executor& exec =
+      executor != nullptr ? *executor : thread::GlobalExecutor();
   Q19Result result;
   const int64_t start = NowNanos();
 
-  numa::NumaBuffer<Tuple> probe =
-      FilterProbe(system, lineitem, num_threads, &result.filtered_rows);
+  numa::NumaBuffer<Tuple> probe = FilterProbe(system, lineitem, exec,
+                                              num_threads,
+                                              &result.filtered_rows);
   const int64_t filter_end = NowNanos();
 
   join::JoinConfig config;
   config.num_threads = num_threads;
+  config.executor = &exec;
   const std::unique_ptr<join::JoinAlgorithm> join =
       join::CreateJoin(algorithm);
   const ConstTupleSpan build(part.p_partkey(), part.num_tuples());
@@ -131,10 +139,12 @@ Q19Result RunQ19(numa::NumaSystem* system, const LineitemTable& lineitem,
     result.join_matches = pairs.size();
 
     std::vector<ThreadAgg> aggs(num_threads);
-    thread::RunTeam(num_threads, [&](int tid) {
-      const thread::Range range =
-          thread::ChunkRange(pairs.size(), num_threads, tid);
-      ThreadAgg& agg = aggs[tid];
+    exec.ParallelFor(num_threads, pairs.size(), [&](std::size_t begin,
+                                                    std::size_t end,
+                                                    const thread::WorkerContext&
+                                                        ctx) {
+      const thread::Range range{begin, end};
+      ThreadAgg& agg = aggs[ctx.thread_id];
       for (uint64_t i = range.begin; i < range.end; ++i) {
         const uint64_t row_p = pairs[i].build_payload;
         const uint64_t row_l = pairs[i].probe_payload;
@@ -161,7 +171,10 @@ Q19Result RunQ19(numa::NumaSystem* system, const LineitemTable& lineitem,
 
 Q19MorphResult RunQ19Morph(numa::NumaSystem* system,
                            const LineitemTable& lineitem,
-                           const PartTable& part, int num_threads) {
+                           const PartTable& part, int num_threads,
+                           thread::Executor* executor) {
+  thread::Executor& exec =
+      executor != nullptr ? *executor : thread::GlobalExecutor();
   Q19MorphResult result;
   using Table = hash::LinearProbingTable<hash::IdentityHash>;
   const uint64_t l_rows = lineitem.num_tuples();
@@ -170,16 +183,16 @@ Q19MorphResult RunQ19Morph(numa::NumaSystem* system,
 
   uint64_t filtered = 0;
   numa::NumaBuffer<Tuple> prefiltered =
-      FilterProbe(system, lineitem, num_threads, &filtered);
+      FilterProbe(system, lineitem, exec, num_threads, &filtered);
 
   auto build_table = [&]() {
     auto table = std::make_unique<Table>(
         system, p_rows, numa::Placement::kInterleavedPages);
-    thread::RunTeam(num_threads, [&](int tid) {
-      const thread::Range range =
-          thread::ChunkRange(p_rows, num_threads, tid);
+    exec.ParallelFor(num_threads, p_rows, [&](std::size_t begin,
+                                              std::size_t end,
+                                              const thread::WorkerContext&) {
       const Tuple* keys = part.p_partkey();
-      for (uint64_t i = range.begin; i < range.end; ++i) {
+      for (uint64_t i = begin; i < end; ++i) {
         table->InsertConcurrent(keys[i]);
       }
     });
@@ -191,11 +204,11 @@ Q19MorphResult RunQ19Morph(numa::NumaSystem* system,
     Stopwatch watch;
     auto table = build_table();
     std::atomic<uint64_t> matches{0};
-    thread::RunTeam(num_threads, [&](int tid) {
-      const thread::Range range =
-          thread::ChunkRange(filtered, num_threads, tid);
+    exec.ParallelFor(num_threads, filtered, [&](std::size_t begin,
+                                                std::size_t end,
+                                                const thread::WorkerContext&) {
       uint64_t local = 0;
-      for (uint64_t i = range.begin; i < range.end; ++i) {
+      for (uint64_t i = begin; i < end; ++i) {
         table->ProbeUnique(prefiltered[i].key, [&](Tuple) { ++local; });
       }
       matches.fetch_add(local, std::memory_order_relaxed);
@@ -208,11 +221,11 @@ Q19MorphResult RunQ19Morph(numa::NumaSystem* system,
     Stopwatch watch;
     auto table = build_table();
     std::atomic<uint64_t> matches{0};
-    thread::RunTeam(num_threads, [&](int tid) {
-      const thread::Range range =
-          thread::ChunkRange(l_rows, num_threads, tid);
+    exec.ParallelFor(num_threads, l_rows, [&](std::size_t begin,
+                                              std::size_t end,
+                                              const thread::WorkerContext&) {
       uint64_t local = 0;
-      for (uint64_t i = range.begin; i < range.end; ++i) {
+      for (uint64_t i = begin; i < end; ++i) {
         if (!PreJoin(lineitem, i)) continue;
         table->ProbeUnique(l_partkey[i].key, [&](Tuple) { ++local; });
       }
@@ -227,11 +240,12 @@ Q19MorphResult RunQ19Morph(numa::NumaSystem* system,
     Stopwatch watch;
     auto table = build_table();
     std::vector<std::vector<Tuple>> index(num_threads);  // <rowP, rowL>
-    thread::RunTeam(num_threads, [&](int tid) {
-      const thread::Range range =
-          thread::ChunkRange(l_rows, num_threads, tid);
-      std::vector<Tuple>& local = index[tid];
-      for (uint64_t i = range.begin; i < range.end; ++i) {
+    exec.ParallelFor(num_threads, l_rows, [&](std::size_t begin,
+                                              std::size_t end,
+                                              const thread::WorkerContext&
+                                                  ctx) {
+      std::vector<Tuple>& local = index[ctx.thread_id];
+      for (uint64_t i = begin; i < end; ++i) {
         if (!PreJoin(lineitem, i)) continue;
         const auto row_l = static_cast<uint32_t>(i);
         table->ProbeUnique(l_partkey[i].key, [&](Tuple r) {
@@ -242,7 +256,8 @@ Q19MorphResult RunQ19Morph(numa::NumaSystem* system,
     result.step_ns[2] = watch.ElapsedNanos();
 
     std::vector<double> revenue(num_threads, 0.0);
-    thread::RunTeam(num_threads, [&](int tid) {
+    exec.Dispatch(num_threads, [&](const thread::WorkerContext& ctx) {
+      const int tid = ctx.thread_id;
       double local = 0.0;
       for (const Tuple& match : index[tid]) {
         if (PostJoin(lineitem, part, match.payload, match.key)) {
@@ -262,11 +277,13 @@ Q19MorphResult RunQ19Morph(numa::NumaSystem* system,
     Stopwatch watch;
     auto table = build_table();
     std::vector<double> revenue(num_threads, 0.0);
-    thread::RunTeam(num_threads, [&](int tid) {
-      const thread::Range range =
-          thread::ChunkRange(l_rows, num_threads, tid);
+    exec.ParallelFor(num_threads, l_rows, [&](std::size_t begin,
+                                              std::size_t end,
+                                              const thread::WorkerContext&
+                                                  ctx) {
+      const int tid = ctx.thread_id;
       double local = 0.0;
-      for (uint64_t i = range.begin; i < range.end; ++i) {
+      for (uint64_t i = begin; i < end; ++i) {
         if (!PreJoin(lineitem, i)) continue;
         table->ProbeUnique(l_partkey[i].key, [&](Tuple r) {
           if (PostJoin(lineitem, part, i, r.payload)) {

@@ -22,6 +22,7 @@
 
 #include "join/join_defs.h"
 #include "numa/system.h"
+#include "thread/executor.h"
 #include "tpch/tables.h"
 
 namespace mmjoin::tpch {
@@ -49,11 +50,15 @@ enum class Q19Strategy {
 };
 
 // Executes Q19 with the given join algorithm (the paper evaluates NOP,
-// NOPA, CPRL, CPRA; any of the thirteen works).
+// NOPA, CPRL, CPRA; any of the thirteen works). All parallel phases --
+// filter/materialize, the join itself, and the post-join pass -- run on
+// `executor` (the process-wide pool when nullptr); no threads are spawned
+// per query.
 Q19Result RunQ19(numa::NumaSystem* system, const LineitemTable& lineitem,
                  const PartTable& part, join::Algorithm algorithm,
                  int num_threads,
-                 Q19Strategy strategy = Q19Strategy::kPipelined);
+                 Q19Strategy strategy = Q19Strategy::kPipelined,
+                 thread::Executor* executor = nullptr);
 
 // Appendix G morphing steps, all with the NOP join:
 //  step 1: naked join on pre-filtered, pre-materialized inputs
@@ -69,7 +74,8 @@ struct Q19MorphResult {
 
 Q19MorphResult RunQ19Morph(numa::NumaSystem* system,
                            const LineitemTable& lineitem,
-                           const PartTable& part, int num_threads);
+                           const PartTable& part, int num_threads,
+                           thread::Executor* executor = nullptr);
 
 // Reference single-threaded scan-based evaluation (ground truth for tests).
 double Q19Reference(const LineitemTable& lineitem, const PartTable& part);

@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "core/mmjoin.h"
+#include "tpch/generator.h"
+#include "tpch/q19.h"
 #include "util/rng.h"
 
 namespace mmjoin::core {
@@ -123,6 +126,49 @@ TEST(StrayKeys, AllAlgorithmsMissSafely) {
     EXPECT_EQ(result.checksum, expected.checksum)
         << join::NameOf(algorithm);
   }
+}
+
+// Acceptance: one Joiner lifetime covering all thirteen algorithms plus a
+// TPC-H Q19 execution reuses the same worker pool throughout -- the executor
+// spawned exactly num_threads threads once, while dispatches kept counting.
+TEST(Joiner, PoolReusedAcrossJoinsAndQ19) {
+  JoinerOptions options;
+  options.num_threads = 4;
+  Joiner joiner(options);
+
+  auto build = workload::MakeDenseBuild(joiner.system(), 8192, 13);
+  auto probe = workload::MakeUniformProbe(joiner.system(), 40000, 8192, 14);
+  const join::JoinResult expected =
+      join::ReferenceJoin(build.cspan(), probe.cspan());
+
+  // >= 10 joins: all thirteen algorithms, each checked against the
+  // reference (matches, checksum).
+  for (const join::Algorithm algorithm : join::AllAlgorithms()) {
+    const join::JoinResult result = joiner.Run(algorithm, build, probe);
+    EXPECT_EQ(result.matches, expected.matches) << join::NameOf(algorithm);
+    EXPECT_EQ(result.checksum, expected.checksum)
+        << join::NameOf(algorithm);
+  }
+
+  // One full TPC-H Q19 on the same pool.
+  tpch::GeneratorOptions tpch_options;
+  tpch_options.scale_factor = 0.01;
+  tpch_options.seed = 15;
+  tpch::LineitemTable lineitem =
+      tpch::GenerateLineitem(joiner.system(), tpch_options);
+  tpch::PartTable part = tpch::GeneratePart(joiner.system(), tpch_options);
+  const double reference = tpch::Q19Reference(lineitem, part);
+  const tpch::Q19Result q19 = tpch::RunQ19(
+      joiner.system(), lineitem, part, join::Algorithm::kCPRL,
+      joiner.num_threads(), tpch::Q19Strategy::kPipelined, joiner.executor());
+  EXPECT_NEAR(q19.revenue, reference, std::abs(reference) * 1e-9 + 1e-6);
+
+  const thread::ExecutorStats stats = joiner.executor()->stats();
+  EXPECT_EQ(stats.threads_spawned,
+            static_cast<uint64_t>(joiner.num_threads()));
+  EXPECT_GE(stats.dispatches, 10u);
+  EXPECT_EQ(stats.max_team_size,
+            static_cast<uint64_t>(joiner.num_threads()));
 }
 
 }  // namespace

@@ -18,8 +18,14 @@ namespace {
 
 using InvariantDeathTest = ::testing::Test;
 
+// GTEST_FLAG_SET is unavailable before GoogleTest 1.12; the flag variable
+// itself works on every version.
+void UseThreadsafeDeathTests() {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+}
+
 TEST(InvariantDeathTest, LinearTableResetBeyondAllocationAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  UseThreadsafeDeathTests();
   numa::NumaSystem system(1);
   hash::LinearProbingTable<hash::IdentityHash> table(
       &system, 100, numa::Placement::kLocal);
@@ -27,14 +33,14 @@ TEST(InvariantDeathTest, LinearTableResetBeyondAllocationAborts) {
 }
 
 TEST(InvariantDeathTest, CliRejectsMalformedInteger) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  UseThreadsafeDeathTests();
   const char* argv[] = {"prog", "--threads=abc"};
   CommandLine cli(2, const_cast<char**>(argv));
   EXPECT_DEATH(cli.GetInt("threads", 1), "check failed");
 }
 
 TEST(InvariantDeathTest, NumaFreeOfUnknownPointerAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  UseThreadsafeDeathTests();
   numa::NumaSystem system(2);
   int local = 0;
   EXPECT_DEATH(system.Free(&local), "check failed");

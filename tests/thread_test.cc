@@ -1,5 +1,5 @@
-// Unit tests for the threading primitives: team, barrier, chunk ranges, and
-// the task-queue scheduling orders.
+// Unit tests for the threading primitives: the persistent executor, team
+// shim, barrier, chunk ranges, and the task-queue scheduling orders.
 
 #include <gtest/gtest.h>
 
@@ -8,6 +8,7 @@
 #include <set>
 #include <vector>
 
+#include "thread/executor.h"
 #include "thread/task_queue.h"
 #include "thread/thread_team.h"
 
@@ -69,6 +70,163 @@ TEST(ChunkRange, NearEqualSizes) {
     EXPECT_GE(r.size(), 14u);
     EXPECT_LE(r.size(), 15u);
   }
+}
+
+TEST(ChunkRange, MoreThreadsThanElements) {
+  // num_threads > total: the first `total` threads get one element each, the
+  // surplus threads get empty ranges at the boundary, never out of range.
+  const std::size_t total = 3;
+  const int threads = 8;
+  std::size_t covered = 0;
+  for (int t = 0; t < threads; ++t) {
+    const Range r = ChunkRange(total, threads, t);
+    EXPECT_LE(r.begin, total);
+    EXPECT_LE(r.end, total);
+    EXPECT_LE(r.begin, r.end);
+    if (t < static_cast<int>(total)) {
+      EXPECT_EQ(r.size(), 1u);
+    } else {
+      EXPECT_EQ(r.size(), 0u);
+      EXPECT_EQ(r.begin, total);
+    }
+    covered += r.size();
+  }
+  EXPECT_EQ(covered, total);
+}
+
+TEST(Executor, PoolIsReusedAcrossManyDispatches) {
+  Executor executor(8);
+  EXPECT_EQ(executor.num_threads(), 8);
+  EXPECT_EQ(executor.pool_size(), 8);
+
+  std::atomic<uint64_t> sum{0};
+  constexpr int kDispatches = 120;
+  for (int i = 0; i < kDispatches; ++i) {
+    executor.Dispatch([&](const WorkerContext& ctx) {
+      sum.fetch_add(static_cast<uint64_t>(ctx.thread_id) + 1);
+    });
+  }
+  EXPECT_EQ(sum.load(), static_cast<uint64_t>(kDispatches) * (1 + 8) * 8 / 2);
+
+  // Pool reuse: >= 100 dispatches, zero thread growth.
+  const ExecutorStats stats = executor.stats();
+  EXPECT_EQ(stats.threads_spawned, 8u);
+  EXPECT_EQ(executor.pool_size(), 8);
+  EXPECT_EQ(stats.dispatches, static_cast<uint64_t>(kDispatches));
+  EXPECT_EQ(stats.max_team_size, 8u);
+}
+
+TEST(Executor, SmallerTeamsRunOnTheSamePool) {
+  Executor executor(6);
+  for (const int team : {1, 2, 5, 6, 3}) {
+    std::vector<std::atomic<int>> counts(team);
+    for (auto& c : counts) c = 0;
+    executor.Dispatch(team, [&](const WorkerContext& ctx) {
+      EXPECT_EQ(ctx.num_threads, team);
+      counts[ctx.thread_id].fetch_add(1);
+    });
+    for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+  }
+  EXPECT_EQ(executor.stats().threads_spawned, 6u);
+}
+
+TEST(Executor, GrowsOnceForOversizedTeams) {
+  Executor executor(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    executor.Dispatch(9, [&](const WorkerContext&) { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(ran.load(), 90);
+  // Grown to 9 on the first oversized dispatch, then reused.
+  EXPECT_EQ(executor.stats().threads_spawned, 9u);
+  EXPECT_EQ(executor.pool_size(), 9);
+}
+
+TEST(Executor, BarrierSeparatesPhasesAcrossEpochs) {
+  Executor executor(5);
+  // Run several epochs; within each, three barrier-separated phases must
+  // never observe a stale previous phase (the reusable-barrier guarantee all
+  // join algorithms depend on).
+  for (int epoch = 0; epoch < 25; ++epoch) {
+    std::atomic<int> phase1{0};
+    std::atomic<int> phase2{0};
+    std::atomic<bool> violated{false};
+    executor.Dispatch([&](const WorkerContext& ctx) {
+      phase1.fetch_add(1);
+      ctx.barrier->ArriveAndWait();
+      if (phase1.load() != ctx.num_threads) violated = true;
+      phase2.fetch_add(1);
+      ctx.barrier->ArriveAndWait();
+      if (phase2.load() != ctx.num_threads) violated = true;
+      ctx.barrier->ArriveAndWait();  // trailing barrier reuses cleanly
+    });
+    EXPECT_FALSE(violated.load());
+  }
+}
+
+TEST(Executor, NodeAssignmentFollowsTopology) {
+  const numa::Topology topology(4);
+  Executor executor(8, /*num_nodes=*/4);
+  std::vector<int> nodes(8, -1);
+  executor.Dispatch([&](const WorkerContext& ctx) {
+    nodes[ctx.thread_id] = ctx.node;
+  });
+  for (int tid = 0; tid < 8; ++tid) {
+    EXPECT_EQ(nodes[tid], topology.NodeOfThread(tid, 8)) << tid;
+  }
+  // The placement is stable: a second dispatch sees identical nodes.
+  executor.Dispatch([&](const WorkerContext& ctx) {
+    EXPECT_EQ(ctx.node, nodes[ctx.thread_id]);
+  });
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  Executor executor(4);
+  std::vector<std::atomic<int>> hits(1001);
+  for (auto& h : hits) h = 0;
+  executor.ParallelFor(hits.size(), [&](std::size_t begin, std::size_t end,
+                                        const WorkerContext&) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, TotalSmallerThanTeam) {
+  Executor executor(8);
+  std::vector<std::atomic<int>> hits(3);
+  for (auto& h : hits) h = 0;
+  std::atomic<int> nonempty_chunks{0};
+  executor.ParallelFor(hits.size(), [&](std::size_t begin, std::size_t end,
+                                        const WorkerContext&) {
+    nonempty_chunks.fetch_add(1);
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Surplus workers received empty chunks and never saw the closure.
+  EXPECT_EQ(nonempty_chunks.load(), 3);
+}
+
+TEST(ParallelFor, TotalZeroDispatchesNothing) {
+  Executor executor(4);
+  const uint64_t before = executor.stats().dispatches;
+  std::atomic<int> calls{0};
+  executor.ParallelFor(0, [&](std::size_t, std::size_t,
+                              const WorkerContext&) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(executor.stats().dispatches, before);
+}
+
+TEST(RunTeamShim, RoutesOverThePersistentPool) {
+  // RunTeam is a shim over the process-wide executor: consecutive calls must
+  // not grow the pool.
+  RunTeam(4, [](int) {});
+  const ExecutorStats before = GlobalExecutor().stats();
+  for (int i = 0; i < 50; ++i) {
+    RunTeam(4, [](int) {});
+  }
+  const ExecutorStats after = GlobalExecutor().stats();
+  EXPECT_EQ(after.threads_spawned, before.threads_spawned);
+  EXPECT_EQ(after.dispatches, before.dispatches + 50);
 }
 
 TEST(TaskQueue, LifoOrder) {
