@@ -31,9 +31,9 @@ int main(int argc, char** argv) {
   // --- (a) Skew task splitting. ---
   {
     workload::Relation build =
-        workload::MakeDenseBuild(&system, env.build_size, env.seed);
+        workload::MakeDenseBuild(&system, env.build_size, env.seed).value();
     workload::Relation probe = workload::MakeZipfProbe(
-        &system, env.probe_size, env.build_size, 0.99, env.seed + 1);
+        &system, env.probe_size, env.build_size, 0.99, env.seed + 1).value();
     TablePrinter table({"skew_task_factor", "CPRL_total_ms", "PROiS_total_ms"});
     for (const uint32_t factor : {0u, 32u, 8u, 2u}) {
       join::JoinConfig config;
@@ -55,9 +55,9 @@ int main(int argc, char** argv) {
   // --- (b) SWWCB on/off at fixed bits. ---
   {
     workload::Relation build =
-        workload::MakeDenseBuild(&system, env.build_size, env.seed);
+        workload::MakeDenseBuild(&system, env.build_size, env.seed).value();
     workload::Relation probe = workload::MakeUniformProbe(
-        &system, env.probe_size, env.build_size, env.seed + 1);
+        &system, env.probe_size, env.build_size, env.seed + 1).value();
     TablePrinter table({"config", "partition_ms", "total_ms"});
     for (const bool swwcb : {false, true}) {
       // PRB forced to one pass == PRO without SWWCB; PRO == with.
@@ -83,9 +83,9 @@ int main(int argc, char** argv) {
     // O(|R|) per probe on this workload, so full-size runs take minutes.
     const uint64_t r = std::min<uint64_t>(env.build_size, 50000);
     const uint64_t s = std::min<uint64_t>(env.probe_size, 200000);
-    workload::Relation build = workload::MakeDenseBuild(&system, r, env.seed);
+    workload::Relation build = workload::MakeDenseBuild(&system, r, env.seed).value();
     workload::Relation probe =
-        workload::MakeUniformProbe(&system, s, r, env.seed + 1);
+        workload::MakeUniformProbe(&system, s, r, env.seed + 1).value();
     TablePrinter table({"probe_semantics", "NOP_total_ms", "PRL_total_ms"});
     for (const bool unique : {true, false}) {
       join::JoinConfig config;

@@ -49,8 +49,17 @@ join::JoinResult RunMedian(join::Algorithm algorithm,
   std::vector<join::JoinResult> results;
   results.reserve(repeat);
   for (int i = 0; i < repeat; ++i) {
-    results.push_back(
-        join::RunJoin(algorithm, system, pooled, build, probe));
+    StatusOr<join::JoinResult> result =
+        join::RunJoin(algorithm, system, pooled, build, probe);
+    if (!result.ok()) {
+      // Fail fast: a harness that silently drops a failed repeat would
+      // report a median over fewer runs than requested.
+      std::fprintf(stderr, "[mmjoin] bench: %s join failed: %s\n",
+                   join::NameOf(algorithm),
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    results.push_back(std::move(result).value());
   }
   std::sort(results.begin(), results.end(),
             [](const join::JoinResult& a, const join::JoinResult& b) {
@@ -67,6 +76,23 @@ void PrintExecutorStats() {
       static_cast<unsigned long long>(stats.threads_spawned),
       static_cast<unsigned long long>(stats.dispatches),
       static_cast<unsigned long long>(stats.max_team_size));
+  const mem::AllocStats alloc = mem::GetAllocStats();
+  std::printf(
+      "[alloc] allocations=%llu mmap=%llu huge_requests=%llu "
+      "huge_fallbacks=%llu mmap_failures=%llu injected_failures=%llu "
+      "numa_degradations=%llu\n",
+      static_cast<unsigned long long>(alloc.total_allocations),
+      static_cast<unsigned long long>(alloc.mmap_allocations),
+      static_cast<unsigned long long>(alloc.huge_page_requests),
+      static_cast<unsigned long long>(alloc.huge_page_fallbacks),
+      static_cast<unsigned long long>(alloc.mmap_failures),
+      static_cast<unsigned long long>(alloc.injected_failures),
+      static_cast<unsigned long long>(alloc.numa_degradations));
+  if (alloc.huge_page_fallbacks > 0) {
+    std::printf(
+        "[alloc] note: %llu huge-page request(s) degraded to default pages\n",
+        static_cast<unsigned long long>(alloc.huge_page_fallbacks));
+  }
 }
 
 }  // namespace mmjoin::bench

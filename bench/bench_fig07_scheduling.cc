@@ -23,9 +23,9 @@ int main(int argc, char** argv) {
 
   numa::NumaSystem system(env.nodes, env.pages);
   workload::Relation build =
-      workload::MakeDenseBuild(&system, env.build_size, env.seed);
+      workload::MakeDenseBuild(&system, env.build_size, env.seed).value();
   workload::Relation probe = workload::MakeUniformProbe(
-      &system, env.probe_size, env.build_size, env.seed + 1);
+      &system, env.probe_size, env.build_size, env.seed + 1).value();
 
   join::JoinConfig config;
   config.num_threads = env.threads;

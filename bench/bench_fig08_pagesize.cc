@@ -32,9 +32,9 @@ int main(int argc, char** argv) {
        {mem::PagePolicy::kSmall, mem::PagePolicy::kHuge}) {
     numa::NumaSystem system(env.nodes, policy);
     workload::Relation build =
-        workload::MakeDenseBuild(&system, env.build_size, env.seed);
+        workload::MakeDenseBuild(&system, env.build_size, env.seed).value();
     workload::Relation probe = workload::MakeUniformProbe(
-        &system, env.probe_size, env.build_size, env.seed + 1);
+        &system, env.probe_size, env.build_size, env.seed + 1).value();
     join::JoinConfig config;
     config.num_threads = env.threads;
     int index = 0;

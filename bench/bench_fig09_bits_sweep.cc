@@ -38,9 +38,9 @@ int main(int argc, char** argv) {
                 ratio);
     for (uint64_t r = env.build_size / 4; r <= env.build_size; r *= 2) {
       workload::Relation build =
-          workload::MakeDenseBuild(&system, r, env.seed);
+          workload::MakeDenseBuild(&system, r, env.seed).value();
       workload::Relation probe = workload::MakeUniformProbe(
-          &system, r * ratio, r, env.seed + 1);
+          &system, r * ratio, r, env.seed + 1).value();
 
       // Naive L2-fit choice (first branch of Equation (1) unconditionally).
       const double table_bytes = static_cast<double>(r) * 16.0;

@@ -42,9 +42,9 @@ int main(int argc, char** argv) {
     }());
     for (uint64_t r = min_build; r <= env.build_size; r *= 4) {
       workload::Relation build =
-          workload::MakeDenseBuild(&system, r, env.seed);
+          workload::MakeDenseBuild(&system, r, env.seed).value();
       workload::Relation probe = workload::MakeUniformProbe(
-          &system, r * ratio, r, env.seed + 1);
+          &system, r * ratio, r, env.seed + 1).value();
       join::JoinConfig config;
       config.num_threads = env.threads;
 

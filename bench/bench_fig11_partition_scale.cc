@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
     const uint32_t bits = std::max<uint32_t>(
         1, CeilLog2(std::max<uint64_t>(n * 16 / (256 * 1024), 2)));
     workload::Relation input =
-        workload::MakeDenseBuild(&system, n, env.seed);
+        workload::MakeDenseBuild(&system, n, env.seed).value();
 
     double global_best = 1e100, chunked_best = 1e100;
     for (int i = 0; i < env.repeat; ++i) {

@@ -28,9 +28,9 @@ int main(int argc, char** argv) {
   TablePrinter table({"R_tuples", "predicted_bits", "predicted_ns/t",
                       "best_bits", "best_ns/t", "overhead_%"});
   for (uint64_t r = min_build; r <= env.build_size; r *= 2) {
-    workload::Relation build = workload::MakeDenseBuild(&system, r, env.seed);
+    workload::Relation build = workload::MakeDenseBuild(&system, r, env.seed).value();
     workload::Relation probe = workload::MakeUniformProbe(
-        &system, r * ratio, r, env.seed + 1);
+        &system, r * ratio, r, env.seed + 1).value();
     const double tuples = static_cast<double>(r + r * ratio);
 
     const uint32_t predicted = partition::PredictRadixBits(

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   for (const int ratio : {10, 1}) {
     std::printf("--- |S| = %d x |R| ---\n", ratio);
     workload::Relation build =
-        workload::MakeDenseBuild(&system, env.build_size, env.seed);
+        workload::MakeDenseBuild(&system, env.build_size, env.seed).value();
     TablePrinter table([&] {
       std::vector<std::string> headers{"zipf"};
       for (const auto algorithm : algorithms) {
@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     for (const double theta : thetas) {
       workload::Relation probe = workload::MakeZipfProbe(
           &system, env.build_size * ratio, env.build_size, theta,
-          env.seed + 1);
+          env.seed + 1).value();
       join::JoinConfig config;
       config.num_threads = env.threads;
       std::vector<std::string> row{TablePrinter::FormatDouble(theta)};

@@ -44,9 +44,9 @@ int main(int argc, char** argv) {
 
   for (const uint64_t k : {1ull, 2ull, 4ull, 8ull, 12ull, 16ull, 20ull}) {
     workload::Relation build =
-        workload::MakeSparseBuild(&system, env.build_size, k, env.seed);
+        workload::MakeSparseBuild(&system, env.build_size, k, env.seed).value();
     workload::Relation probe = workload::MakeProbeFromBuild(
-        &system, env.probe_size, build, env.seed + 1);
+        &system, env.probe_size, build, env.seed + 1).value();
     std::vector<std::string> row{std::to_string(k)};
 
     join::JoinConfig config;

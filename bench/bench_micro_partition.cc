@@ -25,7 +25,7 @@ numa::NumaSystem* System() {
 void BM_Histogram(benchmark::State& state) {
   numa::NumaSystem* system = System();
   workload::Relation input =
-      workload::MakeDenseBuild(system, state.range(0), 1);
+      workload::MakeDenseBuild(system, state.range(0), 1).value();
   const partition::RadixFn fn{0, 10};
   std::vector<uint64_t> hist(fn.num_partitions());
   for (auto _ : state) {
@@ -44,7 +44,7 @@ void BM_GlobalScatter(benchmark::State& state) {
   numa::NumaSystem* system = System();
   const uint64_t n = state.range(0);
   const auto bits = static_cast<uint32_t>(state.range(1));
-  workload::Relation input = workload::MakeDenseBuild(system, n, 1);
+  workload::Relation input = workload::MakeDenseBuild(system, n, 1).value();
   numa::NumaBuffer<Tuple> output(system, n,
                                  numa::Placement::kChunkedRoundRobin);
   for (auto _ : state) {
@@ -76,7 +76,7 @@ void BM_ChunkedPartition(benchmark::State& state) {
   const uint64_t n = state.range(0);
   const auto bits = static_cast<uint32_t>(state.range(1));
   const int threads = 4;
-  workload::Relation input = workload::MakeDenseBuild(system, n, 1);
+  workload::Relation input = workload::MakeDenseBuild(system, n, 1).value();
   numa::NumaBuffer<Tuple> output(system, n,
                                  numa::Placement::kChunkedRoundRobin);
   for (auto _ : state) {
@@ -100,7 +100,7 @@ BENCHMARK(BM_ChunkedPartition)->Args({1 << 20, 10});
 void BM_SubPartitionSerial(benchmark::State& state) {
   numa::NumaSystem* system = System();
   const uint64_t n = state.range(0);
-  workload::Relation input = workload::MakeDenseBuild(system, n, 1);
+  workload::Relation input = workload::MakeDenseBuild(system, n, 1).value();
   std::vector<Tuple> output(n);
   for (auto _ : state) {
     const partition::PartitionLayout layout = partition::SubPartitionSerial(

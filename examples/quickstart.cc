@@ -25,9 +25,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(build_size),
               static_cast<unsigned long long>(probe_size));
   workload::Relation build =
-      workload::MakeDenseBuild(&system, build_size, /*seed=*/1);
+      workload::MakeDenseBuild(&system, build_size, /*seed=*/1).value();
   workload::Relation probe =
-      workload::MakeUniformProbe(&system, probe_size, build_size, /*seed=*/2);
+      workload::MakeUniformProbe(&system, probe_size, build_size, /*seed=*/2).value();
 
   join::JoinConfig config;
   config.num_threads = threads;
@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
        {join::Algorithm::kNOP, join::Algorithm::kCPRL,
         join::Algorithm::kCPRA}) {
     const join::JoinResult result =
-        join::RunJoin(algorithm, &system, config, build, probe);
+        join::RunJoin(algorithm, &system, config, build, probe).value();
     table.Row(join::NameOf(algorithm), result.matches,
               result.times.partition_ns / 1e6,
               (result.times.build_ns + result.times.probe_ns) / 1e6,

@@ -48,14 +48,26 @@ int main(int argc, char** argv) {
 
   numa::NumaSystem system(static_cast<int>(cli.GetInt("nodes", 4)));
 
-  workload::Relation build =
+  StatusOr<workload::Relation> build_or =
       holes > 1 ? workload::MakeSparseBuild(&system, build_size, holes, seed)
                 : workload::MakeDenseBuild(&system, build_size, seed);
-  workload::Relation probe =
+  if (!build_or.ok()) {
+    std::fprintf(stderr, "invalid build workload: %s\n",
+                 build_or.status().ToString().c_str());
+    return 1;
+  }
+  workload::Relation build = std::move(build_or).value();
+  StatusOr<workload::Relation> probe_or =
       zipf > 0.0
           ? workload::MakeZipfProbe(&system, probe_size, build_size, zipf,
                                     seed + 1)
           : workload::MakeProbeFromBuild(&system, probe_size, build, seed + 1);
+  if (!probe_or.ok()) {
+    std::fprintf(stderr, "invalid probe workload: %s\n",
+                 probe_or.status().ToString().c_str());
+    return 1;
+  }
+  workload::Relation probe = std::move(probe_or).value();
 
   join::JoinConfig config;
   config.num_threads = threads;
@@ -63,8 +75,17 @@ int main(int argc, char** argv) {
 
   if (cli.Has("numa_profile")) system.EnableAccounting();
 
-  const join::JoinResult result =
+  StatusOr<join::JoinResult> result_or =
       join::RunJoin(*algorithm, &system, config, build, probe);
+  if (!result_or.ok()) {
+    // Exit code 2 distinguishes a cleanly-reported join failure (e.g. an
+    // injected allocation fault via MMJOIN_FAILPOINTS) from usage errors
+    // (1) and crashes; CI's fault-injection smoke test asserts on it.
+    std::fprintf(stderr, "%s join failed: %s\n", join::NameOf(*algorithm),
+                 result_or.status().ToString().c_str());
+    return 2;
+  }
+  const join::JoinResult result = std::move(result_or).value();
 
   std::printf("%s: |R|=%llu |S|=%llu threads=%d zipf=%.2f holes=%llu\n",
               join::NameOf(*algorithm),

@@ -45,16 +45,16 @@ int main(int argc, char** argv) {
     workload::Relation dimension =
         scenario.domain_factor > 1
             ? workload::MakeSparseBuild(&system, scenario.dimension_rows,
-                                        scenario.domain_factor, seed)
+                                        scenario.domain_factor, seed).value()
             : workload::MakeDenseBuild(&system, scenario.dimension_rows,
-                                       seed);
+                                       seed).value();
     workload::Relation fact =
         scenario.zipf > 0.0
             ? workload::MakeZipfProbe(&system, fact_rows,
                                       scenario.dimension_rows, scenario.zipf,
-                                      seed + 1)
+                                      seed + 1).value()
             : workload::MakeProbeFromBuild(&system, fact_rows, dimension,
-                                           seed + 1);
+                                           seed + 1).value();
 
     const core::Advice advice = core::AdviseJoin(
         core::WorkloadProfile{scenario.dimension_rows, fact_rows,
@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
     }
     for (const join::Algorithm algorithm : contenders) {
       const join::JoinResult result =
-          join::RunJoin(algorithm, &system, config, dimension, fact);
+          join::RunJoin(algorithm, &system, config, dimension, fact).value();
       table.Row(join::NameOf(algorithm), result.times.total_ns / 1e6,
                 result.ThroughputMtps(scenario.dimension_rows, fact_rows),
                 algorithm == advice.algorithm ? "<== advisor" : "");

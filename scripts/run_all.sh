@@ -23,9 +23,21 @@ cmake --build build -j "$(nproc)"
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Each harness gets BENCH_TIMEOUT seconds (default 900); the sweep stops at
+# the first harness that fails or hangs, with a diagnostic naming it, so a
+# broken bench cannot scroll by unnoticed in bench_output.txt.
+BENCH_TIMEOUT="${BENCH_TIMEOUT:-900}"
 (for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   echo "######## $b ########"
-  timeout 900 "$b"
+  rc=0
+  timeout "$BENCH_TIMEOUT" "$b" || rc=$?
+  if [ "$rc" -eq 124 ]; then
+    echo "FAILED: $b exceeded ${BENCH_TIMEOUT}s timeout" >&2
+    exit 1
+  elif [ "$rc" -ne 0 ]; then
+    echo "FAILED: $b exited with status $rc" >&2
+    exit 1
+  fi
   echo
 done) 2>&1 | tee bench_output.txt

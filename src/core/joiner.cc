@@ -1,54 +1,86 @@
 #include "core/joiner.h"
 
+#include <string>
+
 namespace mmjoin::core {
+
+Status JoinerOptions::Validate() const {
+  if (num_nodes < 1) {
+    return InvalidArgumentError("num_nodes=" + std::to_string(num_nodes) +
+                                " must be >= 1");
+  }
+  if (num_threads < 1 || num_threads > join::JoinConfig::kMaxThreads) {
+    return InvalidArgumentError(
+        "num_threads=" + std::to_string(num_threads) + " outside [1, " +
+        std::to_string(join::JoinConfig::kMaxThreads) + "]");
+  }
+  return OkStatus();
+}
 
 Joiner::Joiner(const JoinerOptions& options)
     : system_(options.num_nodes, options.page_policy),
       num_threads_(options.num_threads),
       executor_(std::make_unique<thread::Executor>(options.num_threads,
                                                    options.num_nodes)) {
-  MMJOIN_CHECK(options.num_threads >= 1);
+  const Status status = options.Validate();
+  if (!status.ok()) {
+    std::fprintf(stderr, "[mmjoin] invalid JoinerOptions: %s\n",
+                 status.ToString().c_str());
+  }
+  MMJOIN_CHECK(status.ok());
 }
 
-join::JoinResult Joiner::Run(join::Algorithm algorithm,
-                             const workload::Relation& build,
-                             const workload::Relation& probe) {
-  join::JoinConfig config;
+StatusOr<std::unique_ptr<Joiner>> Joiner::Create(const JoinerOptions& options) {
+  MMJOIN_RETURN_IF_ERROR(options.Validate());
+  return std::make_unique<Joiner>(options);
+}
+
+StatusOr<join::JoinResult> Joiner::Run(join::Algorithm algorithm,
+                                       const workload::Relation& build,
+                                       const workload::Relation& probe) {
+  return Run(algorithm, join::JoinConfig{}, build, probe);
+}
+
+StatusOr<join::JoinResult> Joiner::Run(join::Algorithm algorithm,
+                                       const join::JoinConfig& base_config,
+                                       const workload::Relation& build,
+                                       const workload::Relation& probe) {
+  join::JoinConfig config = base_config;
   config.num_threads = num_threads_;
   config.executor = executor_.get();
   return join::RunJoin(algorithm, &system_, config, build, probe);
 }
 
-std::optional<join::JoinResult> Joiner::RunByName(
-    std::string_view name, const workload::Relation& build,
-    const workload::Relation& probe) {
+StatusOr<join::JoinResult> Joiner::RunByName(std::string_view name,
+                                             const workload::Relation& build,
+                                             const workload::Relation& probe) {
   const auto algorithm = join::AlgorithmFromName(name);
-  if (!algorithm.has_value()) return std::nullopt;
+  if (!algorithm.has_value()) {
+    return NotFoundError("unknown join algorithm '" + std::string(name) + "'");
+  }
   return Run(*algorithm, build, probe);
 }
 
-Joiner::AutoResult Joiner::RunAuto(const workload::Relation& build,
-                                   const workload::Relation& probe,
-                                   double probe_skew_theta) {
+StatusOr<Joiner::AutoResult> Joiner::RunAuto(const workload::Relation& build,
+                                             const workload::Relation& probe,
+                                             double probe_skew_theta) {
   const Advice advice = AdviseJoin(
       WorkloadProfile{build.size(), probe.size(), build.key_domain(),
                       probe_skew_theta},
       num_threads_);
-  AutoResult result{advice.algorithm, advice.reason, {}};
-  result.result = Run(advice.algorithm, build, probe);
-  return result;
+  MMJOIN_ASSIGN_OR_RETURN(join::JoinResult join_result,
+                          Run(advice.algorithm, build, probe));
+  return AutoResult{advice.algorithm, advice.reason, join_result};
 }
 
-std::vector<join::MatchedPair> Joiner::RunMaterialized(
+StatusOr<std::vector<join::MatchedPair>> Joiner::RunMaterialized(
     join::Algorithm algorithm, const workload::Relation& build,
     const workload::Relation& probe) {
   join::JoinIndexSink sink(num_threads_);
   sink.Reserve(probe.size());  // FK joins: ~one match per probe tuple
   join::JoinConfig config;
-  config.num_threads = num_threads_;
-  config.executor = executor_.get();
   config.sink = &sink;
-  join::RunJoin(algorithm, &system_, config, build, probe);
+  MMJOIN_RETURN_IF_ERROR(Run(algorithm, config, build, probe).status());
   return sink.Gather();
 }
 

@@ -20,6 +20,7 @@
 #include "join/materialize.h"
 #include "numa/system.h"
 #include "thread/executor.h"
+#include "util/status.h"
 #include "workload/relation.h"
 
 namespace mmjoin::core {
@@ -28,11 +29,18 @@ struct JoinerOptions {
   int num_nodes = 4;
   mem::PagePolicy page_policy = mem::PagePolicy::kHuge;
   int num_threads = 4;
+
+  // Rejects option sets the constructor would otherwise abort on.
+  Status Validate() const;
 };
 
 class Joiner {
  public:
   explicit Joiner(const JoinerOptions& options = JoinerOptions{});
+
+  // Recoverable construction: InvalidArgument instead of abort for bad
+  // options.
+  static StatusOr<std::unique_ptr<Joiner>> Create(const JoinerOptions& options);
 
   Joiner(const Joiner&) = delete;
   Joiner& operator=(const Joiner&) = delete;
@@ -46,15 +54,23 @@ class Joiner {
   // joins.
   thread::Executor* executor() { return executor_.get(); }
 
-  // Runs the given algorithm; `config_override` fields other than
-  // num_threads default sensibly.
-  join::JoinResult Run(join::Algorithm algorithm,
-                       const workload::Relation& build,
-                       const workload::Relation& probe);
-  // By name ("CPRL", "NOPA", ...); returns nullopt for unknown names.
-  std::optional<join::JoinResult> RunByName(
-      std::string_view name, const workload::Relation& build,
-      const workload::Relation& probe);
+  // Runs the given algorithm on this joiner's executor and NumaSystem.
+  // Failures (allocation pressure, fault injection, invalid config) come
+  // back as a non-OK Status instead of aborting the process.
+  StatusOr<join::JoinResult> Run(join::Algorithm algorithm,
+                                 const workload::Relation& build,
+                                 const workload::Relation& probe);
+  // Like Run, but with caller-supplied config fields (sink, build_unique,
+  // radix_bits, ...). num_threads and executor are always overridden to this
+  // joiner's pool.
+  StatusOr<join::JoinResult> Run(join::Algorithm algorithm,
+                                 const join::JoinConfig& base_config,
+                                 const workload::Relation& build,
+                                 const workload::Relation& probe);
+  // By name ("CPRL", "NOPA", ...); NotFound for unknown names.
+  StatusOr<join::JoinResult> RunByName(std::string_view name,
+                                       const workload::Relation& build,
+                                       const workload::Relation& probe);
 
   // Picks the algorithm via the paper's lessons (probe skew unknown -> 0).
   struct AutoResult {
@@ -62,13 +78,13 @@ class Joiner {
     std::string reason;
     join::JoinResult result;
   };
-  AutoResult RunAuto(const workload::Relation& build,
-                     const workload::Relation& probe,
-                     double probe_skew_theta = 0.0);
+  StatusOr<AutoResult> RunAuto(const workload::Relation& build,
+                               const workload::Relation& probe,
+                               double probe_skew_theta = 0.0);
 
   // Materializing variant: returns the joined <key, build_payload,
   // probe_payload> triples.
-  std::vector<join::MatchedPair> RunMaterialized(
+  StatusOr<std::vector<join::MatchedPair>> RunMaterialized(
       join::Algorithm algorithm, const workload::Relation& build,
       const workload::Relation& probe);
 

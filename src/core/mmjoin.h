@@ -28,6 +28,8 @@
 #include "numa/system.h"              // IWYU pragma: export
 #include "partition/model.h"          // IWYU pragma: export
 #include "thread/executor.h"          // IWYU pragma: export
+#include "util/failpoint.h"           // IWYU pragma: export
+#include "util/status.h"              // IWYU pragma: export
 #include "util/types.h"               // IWYU pragma: export
 #include "workload/generator.h"       // IWYU pragma: export
 #include "workload/relation.h"        // IWYU pragma: export

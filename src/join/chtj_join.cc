@@ -28,10 +28,12 @@ class ChtJoin final : public JoinAlgorithm {
  public:
   Algorithm id() const override { return Algorithm::kCHTJ; }
 
-  JoinResult Run(numa::NumaSystem* system, const JoinConfig& config,
-                 ConstTupleSpan build, ConstTupleSpan probe,
-                 uint64_t key_domain) override {
+  StatusOr<JoinResult> Run(numa::NumaSystem* system, const JoinConfig& config,
+                           ConstTupleSpan build, ConstTupleSpan probe,
+                           uint64_t key_domain) override {
     const int num_threads = config.num_threads;
+
+    if (BuildAllocFailpoint()) return InjectedAllocError("build");
 
     // Allocate + prefault all working memory before timing (buffer-manager
     // assumption, Section 5.1).
@@ -49,8 +51,12 @@ class ChtJoin final : public JoinAlgorithm {
         /*shift=*/bucket_bits - region_bits, /*bits=*/region_bits};
     const uint64_t buckets_per_region = table.num_buckets() >> region_bits;
 
-    numa::NumaBuffer<Tuple> partitioned(system, build.size(),
-                                        numa::Placement::kInterleavedPages);
+    if (PartitionAllocFailpoint()) return InjectedAllocError("partition");
+    MMJOIN_ASSIGN_OR_RETURN(
+        numa::NumaBuffer<Tuple> partitioned,
+        TryBuffer<Tuple>(system, build.size(),
+                         numa::Placement::kInterleavedPages,
+                         "CHTJ partition buffer"));
     partition::RadixOptions options;
     options.fn = region_fn;
     options.use_swwcb = true;
@@ -64,10 +70,11 @@ class ChtJoin final : public JoinAlgorithm {
     std::vector<ThreadStats> stats(num_threads);
     int64_t build_end = 0;
     MatchSink* sink = config.sink;
+    JoinAbort abort;
     const int64_t start = NowNanos();
 
-    ExecutorOf(config).Dispatch(num_threads, [&](const thread::WorkerContext&
-                                                     ctx) {
+    const Status dispatch_status = ExecutorOf(config).Dispatch(
+        num_threads, [&](const thread::WorkerContext& ctx) {
       const int tid = ctx.thread_id;
       thread::Barrier& barrier = *ctx.barrier;
       const int node = system->topology().NodeOfThread(tid, num_threads);
@@ -114,7 +121,13 @@ class ChtJoin final : public JoinAlgorithm {
         table.Place(ConstTupleSpan(partitioned.data() + begin, size),
                     bucket_of.data() + begin);
       }
+      // Probe-phase scratch: check the failpoint before the barrier so every
+      // thread still arrives, unwind after it.
+      if (tid == 0 && ProbeAllocFailpoint()) {
+        abort.Set(InjectedAllocError("probe"));
+      }
       barrier.ArriveAndWait();
+      if (abort.IsSet()) return;
       if (tid == 0) build_end = NowNanos();
 
       // --- Probe (NOP-style). Each CHT lookup needs two dependent random
@@ -128,6 +141,8 @@ class ChtJoin final : public JoinAlgorithm {
       system->CountRead(node, partitioned.data(),
                         s_range.size() * 2 * kCacheLineSize);
     });
+    MMJOIN_RETURN_IF_ERROR(dispatch_status);
+    if (abort.IsSet()) return abort.status();
 
     const int64_t end = NowNanos();
     JoinResult result = ReduceStats(stats.data(), num_threads);

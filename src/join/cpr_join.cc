@@ -27,6 +27,8 @@
 namespace mmjoin::join::internal {
 namespace {
 
+// Runs after the last barrier of the dispatch: a worker that hits a failure
+// (or sees one via `abort`) simply stops pulling tasks.
 template <typename Scratch>
 void JoinChunkedPartitions(numa::NumaSystem* system, int tid, int node,
                            thread::TaskQueue* queue,
@@ -34,10 +36,12 @@ void JoinChunkedPartitions(numa::NumaSystem* system, int tid, int node,
                            const partition::ChunkedLayout& s_layout,
                            const Tuple* r_data, const Tuple* s_data,
                            bool build_unique, MatchSink* sink,
-                           Scratch* scratch, ThreadStats* local) {
+                           Scratch* scratch, ThreadStats* local,
+                           JoinAbort* abort) {
   const int num_chunks = r_layout.num_chunks;
   thread::JoinTask task;
   while (queue->Pop(&task)) {
+    if (abort->IsSet()) return;
     const uint32_t p = task.partition;
     const uint64_t r_size = r_layout.PartitionSize(p);
     if (r_size == 0 || s_layout.PartitionSize(p) == 0) continue;
@@ -51,6 +55,10 @@ void JoinChunkedPartitions(numa::NumaSystem* system, int tid, int node,
       for (uint64_t i = 0; i < size; ++i) scratch->Insert(fragment[i]);
     }
 
+    if (ProbeAllocFailpoint()) {
+      abort->Set(InjectedAllocError("probe"));
+      return;
+    }
     // Probe: skew slices partition the chunk range.
     const int chunk_begin = static_cast<int>(
         static_cast<uint64_t>(num_chunks) * task.probe_slice /
@@ -120,9 +128,9 @@ class CprJoin final : public JoinAlgorithm {
 
   Algorithm id() const override { return id_; }
 
-  JoinResult Run(numa::NumaSystem* system, const JoinConfig& config,
-                 ConstTupleSpan build, ConstTupleSpan probe,
-                 uint64_t key_domain) override {
+  StatusOr<JoinResult> Run(numa::NumaSystem* system, const JoinConfig& config,
+                           ConstTupleSpan build, ConstTupleSpan probe,
+                           uint64_t key_domain) override {
     const int num_threads = config.num_threads;
     const bool array = id_ == Algorithm::kCPRA;
 
@@ -142,10 +150,17 @@ class CprJoin final : public JoinAlgorithm {
     const uint64_t partition_domain =
         domain == 0 ? 0 : CeilDiv(domain, uint64_t{1} << bits);
 
-    numa::NumaBuffer<Tuple> r_out(system, build.size(),
-                                  numa::Placement::kChunkedRoundRobin);
-    numa::NumaBuffer<Tuple> s_out(system, probe.size(),
-                                  numa::Placement::kChunkedRoundRobin);
+    if (PartitionAllocFailpoint()) return InjectedAllocError("partition");
+    MMJOIN_ASSIGN_OR_RETURN(
+        numa::NumaBuffer<Tuple> r_out,
+        TryBuffer<Tuple>(system, build.size(),
+                         numa::Placement::kChunkedRoundRobin,
+                         "CPR R partition buffer"));
+    MMJOIN_ASSIGN_OR_RETURN(
+        numa::NumaBuffer<Tuple> s_out,
+        TryBuffer<Tuple>(system, probe.size(),
+                         numa::Placement::kChunkedRoundRobin,
+                         "CPR S partition buffer"));
 
     partition::RadixOptions options;
     options.fn = partition::RadixFn{0, bits};
@@ -160,12 +175,13 @@ class CprJoin final : public JoinAlgorithm {
     int64_t partition_end = 0;
     thread::TaskQueue queue;
     uint64_t max_r_partition = 0;
+    JoinAbort abort;
     // Partition buffers were allocated + prefaulted untimed (buffer-manager
     // assumption, Section 5.1).
     const int64_t start = NowNanos();
 
-    ExecutorOf(config).Dispatch(num_threads, [&](const thread::WorkerContext&
-                                                     ctx) {
+    const Status dispatch_status = ExecutorOf(config).Dispatch(
+        num_threads, [&](const thread::WorkerContext& ctx) {
       const int tid = ctx.thread_id;
       thread::Barrier& barrier = *ctx.barrier;
       const int node =
@@ -186,22 +202,31 @@ class CprJoin final : public JoinAlgorithm {
       }
       barrier.ArriveAndWait();
 
+      // The per-worker scratch table is the join phase's build-side
+      // allocation. No barrier follows, so a failed worker just returns;
+      // the others drain or abandon the queue via the abort flag.
+      if (BuildAllocFailpoint()) {
+        abort.Set(InjectedAllocError("build"));
+        return;
+      }
       if (array) {
         ArrayChunkScratch scratch(system, max_r_partition, partition_domain,
                                   bits, node);
         JoinChunkedPartitions(system, tid, node, &queue,
                               r_partitioner.layout(), s_partitioner.layout(),
                               r_out.data(), s_out.data(), config.build_unique,
-                              config.sink, &scratch, &stats[tid]);
+                              config.sink, &scratch, &stats[tid], &abort);
       } else {
         LinearChunkScratch scratch(system, max_r_partition, partition_domain,
                                    bits, node);
         JoinChunkedPartitions(system, tid, node, &queue,
                               r_partitioner.layout(), s_partitioner.layout(),
                               r_out.data(), s_out.data(), config.build_unique,
-                              config.sink, &scratch, &stats[tid]);
+                              config.sink, &scratch, &stats[tid], &abort);
       }
     });
+    MMJOIN_RETURN_IF_ERROR(dispatch_status);
+    if (abort.IsSet()) return abort.status();
 
     const int64_t end = NowNanos();
     JoinResult result = ReduceStats(stats.data(), num_threads);

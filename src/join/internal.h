@@ -4,13 +4,19 @@
 #ifndef MMJOIN_JOIN_INTERNAL_H_
 #define MMJOIN_JOIN_INTERNAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <string>
 
 #include "join/join_algorithm.h"
 #include "join/join_defs.h"
+#include "numa/system.h"
 #include "thread/executor.h"
+#include "util/failpoint.h"
 #include "util/macros.h"
+#include "util/status.h"
 #include "util/types.h"
 
 namespace mmjoin::join::internal {
@@ -20,6 +26,64 @@ namespace mmjoin::join::internal {
 inline thread::Executor& ExecutorOf(const JoinConfig& config) {
   return config.executor != nullptr ? *config.executor
                                     : thread::GlobalExecutor();
+}
+
+// Cooperative failure flag for barrier-synchronized worker closures. A
+// worker that hits a failure *before* a barrier records it here and still
+// arrives at the barrier (so nobody deadlocks); every worker tests the flag
+// after the barrier and unwinds. The first status wins.
+class JoinAbort {
+ public:
+  void Set(Status status) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!failed_.load(std::memory_order_relaxed)) {
+      status_ = std::move(status);
+      failed_.store(true, std::memory_order_release);
+    }
+  }
+
+  bool IsSet() const { return failed_.load(std::memory_order_acquire); }
+
+  Status status() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return status_;
+  }
+
+ private:
+  std::atomic<bool> failed_{false};
+  mutable std::mutex mutex_;
+  Status status_;
+};
+
+// Canonical per-phase allocation failpoints. Inline functions (not the
+// macro) so every join TU evaluates the *same* registered failpoint --
+// `alloc.partition=once` must be able to fail whichever algorithm runs
+// next, exactly once, regardless of which TU it lives in.
+inline bool PartitionAllocFailpoint() {
+  return MMJOIN_FAILPOINT("alloc.partition");
+}
+inline bool BuildAllocFailpoint() { return MMJOIN_FAILPOINT("alloc.build"); }
+inline bool ProbeAllocFailpoint() { return MMJOIN_FAILPOINT("alloc.probe"); }
+
+inline Status InjectedAllocError(const char* phase) {
+  return ResourceExhaustedError(
+      std::string("injected allocation failure in ") + phase +
+      " phase (failpoint alloc." + phase + ")");
+}
+
+// NumaBuffer::TryCreate with a phase-tagged error message.
+template <typename T>
+StatusOr<numa::NumaBuffer<T>> TryBuffer(numa::NumaSystem* system,
+                                        std::size_t count,
+                                        numa::Placement placement,
+                                        const char* what, int home_node = 0) {
+  auto buffer =
+      numa::NumaBuffer<T>::TryCreate(system, count, placement, home_node);
+  if (!buffer.ok()) {
+    return ResourceExhaustedError(std::string(what) + ": " +
+                                  buffer.status().message());
+  }
+  return buffer;
 }
 
 // Per-thread match accumulator, cache-line padded against false sharing.

@@ -12,6 +12,7 @@
 
 #include "join/join_defs.h"
 #include "numa/system.h"
+#include "util/status.h"
 #include "util/types.h"
 #include "workload/relation.h"
 
@@ -26,17 +27,32 @@ class JoinAlgorithm {
   // Executes the join. `key_domain` is the exclusive upper bound of the
   // build key domain (required by the array joins; pass 0 when unknown --
   // algorithms that need it will scan for the maximum).
-  virtual JoinResult Run(numa::NumaSystem* system, const JoinConfig& config,
-                         ConstTupleSpan build, ConstTupleSpan probe,
-                         uint64_t key_domain) = 0;
+  //
+  // Recoverable failures -- allocation failure (real or via the alloc.*
+  // failpoints), invalid configuration, a poisoned executor -- come back as
+  // a non-OK Status with all phase buffers released; invariant violations
+  // still abort. A non-OK return leaves `system` without leaked regions.
+  virtual StatusOr<JoinResult> Run(numa::NumaSystem* system,
+                                   const JoinConfig& config,
+                                   ConstTupleSpan build, ConstTupleSpan probe,
+                                   uint64_t key_domain) = 0;
 };
 
 std::unique_ptr<JoinAlgorithm> CreateJoin(Algorithm algorithm);
 
-// Convenience wrapper over CreateJoin + Run for Relation inputs.
-JoinResult RunJoin(Algorithm algorithm, numa::NumaSystem* system,
-                   const JoinConfig& config, const workload::Relation& build,
-                   const workload::Relation& probe);
+// Convenience wrapper over CreateJoin + Run for Relation inputs. Validates
+// `config` against the relation sizes first.
+StatusOr<JoinResult> RunJoin(Algorithm algorithm, numa::NumaSystem* system,
+                             const JoinConfig& config,
+                             const workload::Relation& build,
+                             const workload::Relation& probe);
+
+// For benches and examples that have no recovery path: prints the status to
+// stderr and aborts on failure.
+JoinResult RunJoinOrDie(Algorithm algorithm, numa::NumaSystem* system,
+                        const JoinConfig& config,
+                        const workload::Relation& build,
+                        const workload::Relation& probe);
 
 }  // namespace mmjoin::join
 

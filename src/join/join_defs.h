@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/status.h"
 #include "util/types.h"
 
 namespace mmjoin::thread {
@@ -114,6 +115,16 @@ struct JoinConfig {
   // threads are spawned per join. core::Joiner points this at its own
   // persistent executor.
   thread::Executor* executor = nullptr;
+
+  // Rejects configurations the kernels cannot execute safely: thread counts
+  // outside [1, kMaxThreads], radix bits above kMaxRadixBits, more than two
+  // partitioning passes, and relation sizes whose partition buffers would
+  // overflow size_t arithmetic. Checked by RunJoin before any allocation.
+  Status Validate(uint64_t build_size, uint64_t probe_size) const;
+
+  static constexpr int kMaxThreads = 1024;
+  static constexpr uint32_t kMaxRadixBits = 27;
+  static constexpr uint64_t kMaxRelationSize = 1ull << 40;
 };
 
 }  // namespace mmjoin::join

@@ -84,9 +84,9 @@ class MwayJoin final : public JoinAlgorithm {
  public:
   Algorithm id() const override { return Algorithm::kMWAY; }
 
-  JoinResult Run(numa::NumaSystem* system, const JoinConfig& config,
-                 ConstTupleSpan build, ConstTupleSpan probe,
-                 uint64_t key_domain) override {
+  StatusOr<JoinResult> Run(numa::NumaSystem* system, const JoinConfig& config,
+                           ConstTupleSpan build, ConstTupleSpan probe,
+                           uint64_t key_domain) override {
     const int num_threads = config.num_threads;
 
     const uint64_t domain = InferKeyDomain(build, key_domain);
@@ -97,10 +97,17 @@ class MwayJoin final : public JoinAlgorithm {
     const partition::RadixFn fn{shift, bits};
     const uint32_t num_partitions = fn.num_partitions();
 
-    numa::NumaBuffer<Tuple> r_part(system, build.size(),
-                                   numa::Placement::kInterleavedPages);
-    numa::NumaBuffer<Tuple> s_part(system, probe.size(),
-                                   numa::Placement::kInterleavedPages);
+    if (PartitionAllocFailpoint()) return InjectedAllocError("partition");
+    MMJOIN_ASSIGN_OR_RETURN(
+        numa::NumaBuffer<Tuple> r_part,
+        TryBuffer<Tuple>(system, build.size(),
+                         numa::Placement::kInterleavedPages,
+                         "MWAY R partition buffer"));
+    MMJOIN_ASSIGN_OR_RETURN(
+        numa::NumaBuffer<Tuple> s_part,
+        TryBuffer<Tuple>(system, probe.size(),
+                         numa::Placement::kInterleavedPages,
+                         "MWAY S partition buffer"));
 
     partition::RadixOptions options;
     options.fn = fn;
@@ -111,26 +118,41 @@ class MwayJoin final : public JoinAlgorithm {
     partition::GlobalRadixPartitioner s_partitioner(
         system, options, probe, TupleSpan(s_part.data(), s_part.size()));
 
-    // Packed sort buffers (key in the high 32 bits) + merge scratch.
-    numa::NumaBuffer<uint64_t> r_packed(system, build.size(),
-                                        numa::Placement::kInterleavedPages);
-    numa::NumaBuffer<uint64_t> s_packed(system, probe.size(),
-                                        numa::Placement::kInterleavedPages);
-    numa::NumaBuffer<uint64_t> r_scratch(system, build.size(),
-                                         numa::Placement::kInterleavedPages);
-    numa::NumaBuffer<uint64_t> s_scratch(system, probe.size(),
-                                         numa::Placement::kInterleavedPages);
+    // Packed sort buffers (key in the high 32 bits) + merge scratch. These
+    // feed the sort phase (MWAY's "build"), hence the build failpoint.
+    if (BuildAllocFailpoint()) return InjectedAllocError("build");
+    MMJOIN_ASSIGN_OR_RETURN(
+        numa::NumaBuffer<uint64_t> r_packed,
+        TryBuffer<uint64_t>(system, build.size(),
+                            numa::Placement::kInterleavedPages,
+                            "MWAY R sort buffer"));
+    MMJOIN_ASSIGN_OR_RETURN(
+        numa::NumaBuffer<uint64_t> s_packed,
+        TryBuffer<uint64_t>(system, probe.size(),
+                            numa::Placement::kInterleavedPages,
+                            "MWAY S sort buffer"));
+    MMJOIN_ASSIGN_OR_RETURN(
+        numa::NumaBuffer<uint64_t> r_scratch,
+        TryBuffer<uint64_t>(system, build.size(),
+                            numa::Placement::kInterleavedPages,
+                            "MWAY R merge scratch"));
+    MMJOIN_ASSIGN_OR_RETURN(
+        numa::NumaBuffer<uint64_t> s_scratch,
+        TryBuffer<uint64_t>(system, probe.size(),
+                            numa::Placement::kInterleavedPages,
+                            "MWAY S merge scratch"));
 
     std::vector<ThreadStats> stats(num_threads);
     int64_t partition_end = 0;
     int64_t sort_end = 0;
     MatchSink* sink = config.sink;
+    JoinAbort abort;
     // Buffers above are allocated + prefaulted untimed (buffer-manager
     // assumption, Section 5.1).
     const int64_t start = NowNanos();
 
-    ExecutorOf(config).Dispatch(num_threads, [&](const thread::WorkerContext&
-                                                     ctx) {
+    const Status dispatch_status = ExecutorOf(config).Dispatch(
+        num_threads, [&](const thread::WorkerContext& ctx) {
       const int tid = ctx.thread_id;
       thread::Barrier& barrier = *ctx.barrier;
       const int node = system->topology().NodeOfThread(tid, num_threads);
@@ -159,7 +181,12 @@ class MwayJoin final : public JoinAlgorithm {
         SortPartition(s_part.data(), s_layout, p, s_packed.data(),
                       s_scratch.data());
       }
+      // Merge-join scratch: failpoint before the barrier, unwind after.
+      if (tid == 0 && ProbeAllocFailpoint()) {
+        abort.Set(InjectedAllocError("probe"));
+      }
       barrier.ArriveAndWait();
+      if (abort.IsSet()) return;
       if (tid == 0) sort_end = NowNanos();
 
       // --- Merge-join co-partitions. ---
@@ -186,6 +213,8 @@ class MwayJoin final : public JoinAlgorithm {
         }
       }
     });
+    MMJOIN_RETURN_IF_ERROR(dispatch_status);
+    if (abort.IsSet()) return abort.status();
 
     const int64_t end = NowNanos();
     JoinResult result = ReduceStats(stats.data(), num_threads);

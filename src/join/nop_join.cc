@@ -49,10 +49,16 @@ class NopFamilyJoin final : public JoinAlgorithm {
 
   Algorithm id() const override { return id_; }
 
-  JoinResult Run(numa::NumaSystem* system, const JoinConfig& config,
-                 ConstTupleSpan build, ConstTupleSpan probe,
-                 uint64_t key_domain) override {
+  StatusOr<JoinResult> Run(numa::NumaSystem* system, const JoinConfig& config,
+                           ConstTupleSpan build, ConstTupleSpan probe,
+                           uint64_t key_domain) override {
     const int num_threads = config.num_threads;
+
+    // NOP has no partition phase; the partition failpoint covers its
+    // (degenerate) working-memory setup so `alloc.partition` fails every
+    // algorithm uniformly.
+    if (PartitionAllocFailpoint()) return InjectedAllocError("partition");
+    if (BuildAllocFailpoint()) return InjectedAllocError("build");
 
     // Working memory is allocated and prefaulted before timing starts: the
     // paper assumes a buffer manager has faulted pages in already
@@ -63,39 +69,48 @@ class NopFamilyJoin final : public JoinAlgorithm {
     std::vector<ThreadStats> stats(num_threads);
     int64_t build_end = 0;
     MatchSink* sink = config.sink;
+    JoinAbort abort;
 
-    ExecutorOf(config).Dispatch(num_threads, [&](const thread::WorkerContext&
-                                                     ctx) {
-      const int tid = ctx.thread_id;
-      thread::Barrier& barrier = *ctx.barrier;
-      const int node = system->topology().NodeOfThread(tid, num_threads);
+    const Status dispatch_status = ExecutorOf(config).Dispatch(
+        num_threads, [&](const thread::WorkerContext& ctx) {
+          const int tid = ctx.thread_id;
+          thread::Barrier& barrier = *ctx.barrier;
+          const int node = system->topology().NodeOfThread(tid, num_threads);
 
-      // Build: insert this thread's chunk of R into the global table.
-      const thread::Range r_range =
-          thread::ChunkRange(build.size(), num_threads, tid);
-      system->CountRead(node, build.data() + r_range.begin,
-                        r_range.size() * sizeof(Tuple));
-      for (std::size_t i = r_range.begin; i < r_range.end; ++i) {
-        table->InsertConcurrent(build[i]);
-      }
-      // Random writes into the interleaved table: one cache line per insert.
-      system->CountWrite(node, table->raw_data(),
-                         r_range.size() * kCacheLineSize);
+          // Build: insert this thread's chunk of R into the global table.
+          const thread::Range r_range =
+              thread::ChunkRange(build.size(), num_threads, tid);
+          system->CountRead(node, build.data() + r_range.begin,
+                            r_range.size() * sizeof(Tuple));
+          for (std::size_t i = r_range.begin; i < r_range.end; ++i) {
+            table->InsertConcurrent(build[i]);
+          }
+          // Random writes into the interleaved table: one line per insert.
+          system->CountWrite(node, table->raw_data(),
+                             r_range.size() * kCacheLineSize);
 
-      barrier.ArriveAndWait();
-      if (tid == 0) build_end = NowNanos();
+          // Probe-phase scratch would be acquired here; check the failpoint
+          // before the barrier (everyone must arrive), unwind after it.
+          if (tid == 0 && ProbeAllocFailpoint()) {
+            abort.Set(InjectedAllocError("probe"));
+          }
+          barrier.ArriveAndWait();
+          if (abort.IsSet()) return;
+          if (tid == 0) build_end = NowNanos();
 
-      // Probe this thread's chunk of S.
-      const thread::Range s_range =
-          thread::ChunkRange(probe.size(), num_threads, tid);
-      system->CountRead(node, probe.data() + s_range.begin,
-                        s_range.size() * sizeof(Tuple));
-      ProbeRange(*table, probe.data(), s_range.begin, s_range.end,
-                 config.build_unique, sink, tid, &stats[tid]);
-      // Random reads from the interleaved table: one line per probe.
-      system->CountRead(node, table->raw_data(),
-                        s_range.size() * kCacheLineSize);
-    });
+          // Probe this thread's chunk of S.
+          const thread::Range s_range =
+              thread::ChunkRange(probe.size(), num_threads, tid);
+          system->CountRead(node, probe.data() + s_range.begin,
+                            s_range.size() * sizeof(Tuple));
+          ProbeRange(*table, probe.data(), s_range.begin, s_range.end,
+                     config.build_unique, sink, tid, &stats[tid]);
+          // Random reads from the interleaved table: one line per probe.
+          system->CountRead(node, table->raw_data(),
+                            s_range.size() * kCacheLineSize);
+        });
+    MMJOIN_RETURN_IF_ERROR(dispatch_status);
+    if (abort.IsSet()) return abort.status();
 
     const int64_t end = NowNanos();
     JoinResult result = ReduceStats(stats.data(), num_threads);

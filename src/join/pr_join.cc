@@ -167,17 +167,26 @@ struct ArrayScratch {
 };
 
 // Joins co-partitions pulled from `queue` with a per-thread scratch table.
+// Runs after the last barrier of the dispatch, so a worker that hits a
+// failure (or sees one via `abort`) may simply stop pulling tasks.
 template <typename Scratch>
 void JoinPartitions(numa::NumaSystem* system, int tid, int node,
                     int num_threads, thread::TaskQueue* queue,
                     const FinalLayout& r_layout, const FinalLayout& s_layout,
                     const Tuple* r_data, const Tuple* s_data,
                     uint64_t partition_domain, uint32_t total_bits,
-                    bool build_unique, MatchSink* sink, ThreadStats* local) {
+                    bool build_unique, MatchSink* sink, ThreadStats* local,
+                    JoinAbort* abort) {
+  // The per-worker scratch table is the join phase's build-side allocation.
+  if (BuildAllocFailpoint()) {
+    abort->Set(InjectedAllocError("build"));
+    return;
+  }
   Scratch scratch(system, r_layout.MaxPartitionSize(), partition_domain,
                   total_bits, node);
   thread::JoinTask task;
   while (queue->Pop(&task)) {
+    if (abort->IsSet()) return;
     const uint32_t p = task.partition;
     const uint64_t r_size = r_layout.size[p];
     const uint64_t s_size = s_layout.size[p];
@@ -191,6 +200,10 @@ void JoinPartitions(numa::NumaSystem* system, int tid, int node,
     system->CountRead(node, r_part, r_size * sizeof(Tuple));
     for (uint64_t i = 0; i < r_size; ++i) scratch.Insert(r_part[i]);
 
+    if (ProbeAllocFailpoint()) {
+      abort->Set(InjectedAllocError("probe"));
+      return;
+    }
     const uint64_t slice_begin =
         s_size * task.probe_slice / task.probe_slice_count;
     const uint64_t slice_end =
@@ -234,9 +247,9 @@ class PrJoin final : public JoinAlgorithm {
 
   Algorithm id() const override { return id_; }
 
-  JoinResult Run(numa::NumaSystem* system, const JoinConfig& config,
-                 ConstTupleSpan build, ConstTupleSpan probe,
-                 uint64_t key_domain) override {
+  StatusOr<JoinResult> Run(numa::NumaSystem* system, const JoinConfig& config,
+                           ConstTupleSpan build, ConstTupleSpan probe,
+                           uint64_t key_domain) override {
     const int num_threads = config.num_threads;
 
     uint32_t total_bits = config.radix_bits;
@@ -258,24 +271,30 @@ class PrJoin final : public JoinAlgorithm {
     if (config.num_passes == 1) two_pass = false;
     if (config.num_passes == 2) two_pass = true;
 
-    JoinResult result = two_pass
-                            ? RunTwoPass(system, config, build, probe, domain,
-                                         total_bits)
-                            : RunOnePass(system, config, build, probe, domain,
-                                         total_bits);
-    return result;
+    return two_pass ? RunTwoPass(system, config, build, probe, domain,
+                                 total_bits)
+                    : RunOnePass(system, config, build, probe, domain,
+                                 total_bits);
   }
 
  private:
-  JoinResult RunOnePass(numa::NumaSystem* system, const JoinConfig& config,
-                        ConstTupleSpan build, ConstTupleSpan probe,
-                        uint64_t domain, uint32_t total_bits) {
+  StatusOr<JoinResult> RunOnePass(numa::NumaSystem* system,
+                                  const JoinConfig& config,
+                                  ConstTupleSpan build, ConstTupleSpan probe,
+                                  uint64_t domain, uint32_t total_bits) {
     const int num_threads = config.num_threads;
 
-    numa::NumaBuffer<Tuple> r_out(system, build.size(),
-                                  numa::Placement::kChunkedRoundRobin);
-    numa::NumaBuffer<Tuple> s_out(system, probe.size(),
-                                  numa::Placement::kChunkedRoundRobin);
+    if (PartitionAllocFailpoint()) return InjectedAllocError("partition");
+    MMJOIN_ASSIGN_OR_RETURN(
+        numa::NumaBuffer<Tuple> r_out,
+        TryBuffer<Tuple>(system, build.size(),
+                         numa::Placement::kChunkedRoundRobin,
+                         "PR R partition buffer"));
+    MMJOIN_ASSIGN_OR_RETURN(
+        numa::NumaBuffer<Tuple> s_out,
+        TryBuffer<Tuple>(system, probe.size(),
+                         numa::Placement::kChunkedRoundRobin,
+                         "PR S partition buffer"));
 
     partition::RadixOptions options;
     options.fn = partition::RadixFn{0, total_bits};
@@ -290,12 +309,13 @@ class PrJoin final : public JoinAlgorithm {
     int64_t partition_end = 0;
     thread::TaskQueue queue;
     FinalLayout r_layout, s_layout;
+    JoinAbort abort;
     // Partition buffers were allocated + prefaulted untimed (buffer-manager
     // assumption, Section 5.1).
     const int64_t start = NowNanos();
 
-    ExecutorOf(config).Dispatch(num_threads, [&](const thread::WorkerContext&
-                                                     ctx) {
+    const Status dispatch_status = ExecutorOf(config).Dispatch(
+        num_threads, [&](const thread::WorkerContext& ctx) {
       const int tid = ctx.thread_id;
       thread::Barrier& barrier = *ctx.barrier;
       const int node =
@@ -324,8 +344,10 @@ class PrJoin final : public JoinAlgorithm {
 
       RunJoinPhase(system, tid, node, num_threads, &queue, r_layout,
                    s_layout, r_out.data(), s_out.data(), domain, total_bits,
-                   config.build_unique, config.sink, &stats[tid]);
+                   config.build_unique, config.sink, &stats[tid], &abort);
     });
+    MMJOIN_RETURN_IF_ERROR(dispatch_status);
+    if (abort.IsSet()) return abort.status();
 
     const int64_t end = NowNanos();
     JoinResult result = ReduceStats(stats.data(), num_threads);
@@ -335,23 +357,37 @@ class PrJoin final : public JoinAlgorithm {
     return result;
   }
 
-  JoinResult RunTwoPass(numa::NumaSystem* system, const JoinConfig& config,
-                        ConstTupleSpan build, ConstTupleSpan probe,
-                        uint64_t domain, uint32_t total_bits) {
+  StatusOr<JoinResult> RunTwoPass(numa::NumaSystem* system,
+                                  const JoinConfig& config,
+                                  ConstTupleSpan build, ConstTupleSpan probe,
+                                  uint64_t domain, uint32_t total_bits) {
     const int num_threads = config.num_threads;
     const uint32_t bits1 = (total_bits + 1) / 2;
     const uint32_t bits2 = total_bits - bits1;
     const uint32_t P1 = uint32_t{1} << bits1;
     const uint32_t P2 = uint32_t{1} << bits2;
 
-    numa::NumaBuffer<Tuple> r_mid(system, build.size(),
-                                  numa::Placement::kChunkedRoundRobin);
-    numa::NumaBuffer<Tuple> s_mid(system, probe.size(),
-                                  numa::Placement::kChunkedRoundRobin);
-    numa::NumaBuffer<Tuple> r_out(system, build.size(),
-                                  numa::Placement::kChunkedRoundRobin);
-    numa::NumaBuffer<Tuple> s_out(system, probe.size(),
-                                  numa::Placement::kChunkedRoundRobin);
+    if (PartitionAllocFailpoint()) return InjectedAllocError("partition");
+    MMJOIN_ASSIGN_OR_RETURN(
+        numa::NumaBuffer<Tuple> r_mid,
+        TryBuffer<Tuple>(system, build.size(),
+                         numa::Placement::kChunkedRoundRobin,
+                         "PR R pass-1 buffer"));
+    MMJOIN_ASSIGN_OR_RETURN(
+        numa::NumaBuffer<Tuple> s_mid,
+        TryBuffer<Tuple>(system, probe.size(),
+                         numa::Placement::kChunkedRoundRobin,
+                         "PR S pass-1 buffer"));
+    MMJOIN_ASSIGN_OR_RETURN(
+        numa::NumaBuffer<Tuple> r_out,
+        TryBuffer<Tuple>(system, build.size(),
+                         numa::Placement::kChunkedRoundRobin,
+                         "PR R pass-2 buffer"));
+    MMJOIN_ASSIGN_OR_RETURN(
+        numa::NumaBuffer<Tuple> s_out,
+        TryBuffer<Tuple>(system, probe.size(),
+                         numa::Placement::kChunkedRoundRobin,
+                         "PR S pass-2 buffer"));
 
     partition::RadixOptions options;
     options.fn = partition::RadixFn{0, bits1};
@@ -374,10 +410,11 @@ class PrJoin final : public JoinAlgorithm {
     // Second-pass task counter: pass-1 partitions are tasks.
     std::atomic<uint32_t> next_sub{0};
     const partition::RadixFn fn2{bits1, bits2};
+    JoinAbort abort;
     const int64_t start = NowNanos();
 
-    ExecutorOf(config).Dispatch(num_threads, [&](const thread::WorkerContext&
-                                                     ctx) {
+    const Status dispatch_status = ExecutorOf(config).Dispatch(
+        num_threads, [&](const thread::WorkerContext& ctx) {
       const int tid = ctx.thread_id;
       thread::Barrier& barrier = *ctx.barrier;
       const int node =
@@ -419,8 +456,10 @@ class PrJoin final : public JoinAlgorithm {
 
       RunJoinPhase(system, tid, node, num_threads, &queue, r_layout,
                    s_layout, r_out.data(), s_out.data(), domain, total_bits,
-                   config.build_unique, config.sink, &stats[tid]);
+                   config.build_unique, config.sink, &stats[tid], &abort);
     });
+    MMJOIN_RETURN_IF_ERROR(dispatch_status);
+    if (abort.IsSet()) return abort.status();
 
     const int64_t end = NowNanos();
     JoinResult result = ReduceStats(stats.data(), num_threads);
@@ -470,7 +509,7 @@ class PrJoin final : public JoinAlgorithm {
                     const FinalLayout& r_layout, const FinalLayout& s_layout,
                     const Tuple* r_data, const Tuple* s_data, uint64_t domain,
                     uint32_t total_bits, bool build_unique, MatchSink* sink,
-                    ThreadStats* local) const {
+                    ThreadStats* local, JoinAbort* abort) const {
     const uint64_t partition_domain =
         domain == 0 ? 0 : CeilDiv(domain, uint64_t{1} << total_bits);
     switch (spec_.table) {
@@ -478,19 +517,19 @@ class PrJoin final : public JoinAlgorithm {
         JoinPartitions<ChainedScratch>(system, tid, node, num_threads, queue,
                                        r_layout, s_layout, r_data, s_data,
                                        partition_domain, total_bits,
-                                       build_unique, sink, local);
+                                       build_unique, sink, local, abort);
         break;
       case TableKind::kLinear:
         JoinPartitions<LinearScratch>(system, tid, node, num_threads, queue,
                                       r_layout, s_layout, r_data, s_data,
                                       partition_domain, total_bits,
-                                      build_unique, sink, local);
+                                      build_unique, sink, local, abort);
         break;
       case TableKind::kArray:
         JoinPartitions<ArrayScratch>(system, tid, node, num_threads, queue,
                                      r_layout, s_layout, r_data, s_data,
                                      partition_domain, total_bits,
-                                     build_unique, sink, local);
+                                     build_unique, sink, local, abort);
         break;
     }
   }

@@ -1,8 +1,13 @@
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "join/join_algorithm.h"
 #include "join/join_defs.h"
+#include "util/failpoint.h"
 #include "util/macros.h"
+#include "util/status.h"
 
 namespace mmjoin::join {
 namespace {
@@ -65,12 +70,58 @@ const std::vector<Algorithm>& AllAlgorithms() {
   return *kAll;
 }
 
-JoinResult RunJoin(Algorithm algorithm, numa::NumaSystem* system,
-                   const JoinConfig& config, const workload::Relation& build,
-                   const workload::Relation& probe) {
+Status JoinConfig::Validate(uint64_t build_size, uint64_t probe_size) const {
+  if (num_threads < 1 || num_threads > kMaxThreads) {
+    return InvalidArgumentError("num_threads=" + std::to_string(num_threads) +
+                                " outside [1, " +
+                                std::to_string(kMaxThreads) + "]");
+  }
+  if (radix_bits > kMaxRadixBits) {
+    return InvalidArgumentError(
+        "radix_bits=" + std::to_string(radix_bits) + " exceeds " +
+        std::to_string(kMaxRadixBits));
+  }
+  if (num_passes > 2) {
+    return InvalidArgumentError("num_passes=" + std::to_string(num_passes) +
+                                " (the radix joins support at most 2)");
+  }
+  // Partition buffers are sized as tuples * fan-out with size_t arithmetic;
+  // bound the inputs so that cannot overflow (and keys stay addressable).
+  if (build_size > kMaxRelationSize || probe_size > kMaxRelationSize) {
+    return InvalidArgumentError(
+        "relation sizes (" + std::to_string(build_size) + ", " +
+        std::to_string(probe_size) + ") exceed the supported maximum 2^40");
+  }
+  return OkStatus();
+}
+
+StatusOr<JoinResult> RunJoin(Algorithm algorithm, numa::NumaSystem* system,
+                             const JoinConfig& config,
+                             const workload::Relation& build,
+                             const workload::Relation& probe) {
+  MMJOIN_RETURN_IF_ERROR(config.Validate(build.size(), probe.size()));
+  if (config.sink != nullptr && MMJOIN_FAILPOINT("alloc.materialize")) {
+    return ResourceExhaustedError(
+        "injected allocation failure in materialize phase "
+        "(failpoint alloc.materialize)");
+  }
   const std::unique_ptr<JoinAlgorithm> join = CreateJoin(algorithm);
   return join->Run(system, config, build.cspan(), probe.cspan(),
                    build.key_domain());
+}
+
+JoinResult RunJoinOrDie(Algorithm algorithm, numa::NumaSystem* system,
+                        const JoinConfig& config,
+                        const workload::Relation& build,
+                        const workload::Relation& probe) {
+  StatusOr<JoinResult> result =
+      RunJoin(algorithm, system, config, build, probe);
+  if (!result.ok()) {
+    std::fprintf(stderr, "[mmjoin] %s join failed: %s\n", NameOf(algorithm),
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(result);
 }
 
 }  // namespace mmjoin::join

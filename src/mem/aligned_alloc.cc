@@ -1,8 +1,10 @@
 #include "mem/aligned_alloc.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #if defined(__linux__)
 #include <sys/mman.h>
@@ -10,6 +12,7 @@
 #endif
 
 #include "util/bits.h"
+#include "util/failpoint.h"
 #include "util/macros.h"
 
 namespace mmjoin::mem {
@@ -26,15 +29,73 @@ struct MmapTag {
   std::size_t length;
 };
 
+struct AtomicAllocStats {
+  std::atomic<uint64_t> total_allocations{0};
+  std::atomic<uint64_t> mmap_allocations{0};
+  std::atomic<uint64_t> huge_page_requests{0};
+  std::atomic<uint64_t> huge_page_fallbacks{0};
+  std::atomic<uint64_t> mmap_failures{0};
+  std::atomic<uint64_t> injected_failures{0};
+  std::atomic<uint64_t> numa_degradations{0};
+};
+
+AtomicAllocStats g_alloc_stats;
+
+void Bump(std::atomic<uint64_t>& counter) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
-void* AllocateAligned(std::size_t bytes, std::size_t alignment,
-                      PagePolicy policy) {
+AllocStats GetAllocStats() {
+  AllocStats out;
+  out.total_allocations =
+      g_alloc_stats.total_allocations.load(std::memory_order_relaxed);
+  out.mmap_allocations =
+      g_alloc_stats.mmap_allocations.load(std::memory_order_relaxed);
+  out.huge_page_requests =
+      g_alloc_stats.huge_page_requests.load(std::memory_order_relaxed);
+  out.huge_page_fallbacks =
+      g_alloc_stats.huge_page_fallbacks.load(std::memory_order_relaxed);
+  out.mmap_failures =
+      g_alloc_stats.mmap_failures.load(std::memory_order_relaxed);
+  out.injected_failures =
+      g_alloc_stats.injected_failures.load(std::memory_order_relaxed);
+  out.numa_degradations =
+      g_alloc_stats.numa_degradations.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ResetAllocStats() {
+  g_alloc_stats.total_allocations.store(0, std::memory_order_relaxed);
+  g_alloc_stats.mmap_allocations.store(0, std::memory_order_relaxed);
+  g_alloc_stats.huge_page_requests.store(0, std::memory_order_relaxed);
+  g_alloc_stats.huge_page_fallbacks.store(0, std::memory_order_relaxed);
+  g_alloc_stats.mmap_failures.store(0, std::memory_order_relaxed);
+  g_alloc_stats.injected_failures.store(0, std::memory_order_relaxed);
+  g_alloc_stats.numa_degradations.store(0, std::memory_order_relaxed);
+}
+
+void CountNumaDegradation() { Bump(g_alloc_stats.numa_degradations); }
+
+StatusOr<void*> TryAllocateAligned(std::size_t bytes, std::size_t alignment,
+                                   PagePolicy policy) {
   MMJOIN_CHECK(IsPowerOfTwo(alignment) && alignment >= 64);
   if (bytes == 0) bytes = alignment;
 
+  Bump(g_alloc_stats.total_allocations);
+  if (policy == PagePolicy::kHuge) Bump(g_alloc_stats.huge_page_requests);
+
+  if (MMJOIN_FAILPOINT("alloc.mmap")) {
+    Bump(g_alloc_stats.injected_failures);
+    return ResourceExhaustedError(
+        "injected allocation failure (failpoint alloc.mmap, " +
+        std::to_string(bytes) + " bytes)");
+  }
+
 #if defined(__linux__)
   if (bytes >= kMmapThreshold) {
+    Bump(g_alloc_stats.mmap_allocations);
     const std::size_t align = policy == PagePolicy::kSmall
                                   ? std::max(alignment, kSmallPageSize)
                                   : std::max(alignment, kHugePageSize);
@@ -43,20 +104,33 @@ void* AllocateAligned(std::size_t bytes, std::size_t alignment,
         RoundUp(bytes, kSmallPageSize) + align + kSmallPageSize;
     void* raw = ::mmap(nullptr, length, PROT_READ | PROT_WRITE,
                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-    if (raw == MAP_FAILED) return nullptr;
+    if (raw == MAP_FAILED) {
+      Bump(g_alloc_stats.mmap_failures);
+      return ResourceExhaustedError("mmap of " + std::to_string(length) +
+                                    " bytes failed");
+    }
 
     const auto raw_addr = reinterpret_cast<std::uintptr_t>(raw);
     std::uintptr_t user_addr =
         RoundUp(raw_addr + kSmallPageSize, align);
     void* user = reinterpret_cast<void*>(user_addr);
 
-#if defined(MADV_HUGEPAGE)
     if (policy == PagePolicy::kHuge) {
-      ::madvise(user, RoundUp(bytes, kHugePageSize), MADV_HUGEPAGE);
-    } else if (policy == PagePolicy::kSmall) {
-      ::madvise(raw, length, MADV_NOHUGEPAGE);
-    }
+      bool advised = false;
+#if defined(MADV_HUGEPAGE)
+      if (!MMJOIN_FAILPOINT("alloc.madvise_huge")) {
+        advised =
+            ::madvise(user, RoundUp(bytes, kHugePageSize), MADV_HUGEPAGE) == 0;
+      }
 #endif
+      // Degrade gracefully: the mapping stays valid on default pages.
+      if (!advised) Bump(g_alloc_stats.huge_page_fallbacks);
+    } else if (policy == PagePolicy::kSmall) {
+#if defined(MADV_NOHUGEPAGE)
+      // Best effort: failure just means the system default page policy.
+      (void)::madvise(raw, length, MADV_NOHUGEPAGE);
+#endif
+    }
 
     auto* tag = reinterpret_cast<MmapTag*>(user_addr - sizeof(MmapTag));
     tag->base = raw;
@@ -65,13 +139,23 @@ void* AllocateAligned(std::size_t bytes, std::size_t alignment,
   }
 #endif  // __linux__
 
-  (void)policy;
+  // No madvise control below the mmap threshold: a huge-page request
+  // degrades to whatever the C library hands back.
+  if (policy == PagePolicy::kHuge) Bump(g_alloc_stats.huge_page_fallbacks);
   void* ptr = nullptr;
   if (::posix_memalign(&ptr, alignment, RoundUp(bytes, alignment)) != 0) {
-    return nullptr;
+    Bump(g_alloc_stats.mmap_failures);
+    return ResourceExhaustedError("posix_memalign of " +
+                                  std::to_string(bytes) + " bytes failed");
   }
   std::memset(ptr, 0, bytes);
   return ptr;
+}
+
+void* AllocateAligned(std::size_t bytes, std::size_t alignment,
+                      PagePolicy policy) {
+  StatusOr<void*> result = TryAllocateAligned(bytes, alignment, policy);
+  return result.ok() ? *result : nullptr;
 }
 
 void FreeAligned(void* ptr, std::size_t bytes) {

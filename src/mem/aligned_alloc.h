@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <utility>
 
+#include "util/status.h"
+
 namespace mmjoin::mem {
 
 enum class PagePolicy {
@@ -25,9 +27,35 @@ enum class PagePolicy {
 inline constexpr std::size_t kSmallPageSize = 4096;
 inline constexpr std::size_t kHugePageSize = 2 * 1024 * 1024;
 
+// Process-wide allocation counters. Degradations (huge-page request that
+// fell back to default pages, clamped NUMA placement) are recoverable events
+// the bench harness surfaces in its `[alloc]` summary line.
+struct AllocStats {
+  uint64_t total_allocations = 0;
+  uint64_t mmap_allocations = 0;
+  uint64_t huge_page_requests = 0;
+  uint64_t huge_page_fallbacks = 0;  // MADV_HUGEPAGE refused/unavailable
+  uint64_t mmap_failures = 0;        // real mmap/posix_memalign failures
+  uint64_t injected_failures = 0;    // failpoint-triggered failures
+  uint64_t numa_degradations = 0;    // NUMA placement unavailable -> local
+};
+
+AllocStats GetAllocStats();
+void ResetAllocStats();
+
+// Bumps the NUMA-degradation counter (called by numa::NumaSystem when a
+// requested placement cannot be honored and is downgraded to local).
+void CountNumaDegradation();
+
 // Allocates `bytes` aligned to `alignment` (power of two, >= 64). Memory is
 // zero-initialized lazily by the OS (mmap-backed for large requests).
-// Returns nullptr only on out-of-memory.
+// Reports out-of-memory (real, or injected via the `alloc.mmap` failpoint)
+// as ResourceExhausted. A huge-page request whose madvise fails degrades to
+// default pages (counted in AllocStats) -- that path still succeeds.
+StatusOr<void*> TryAllocateAligned(std::size_t bytes, std::size_t alignment,
+                                   PagePolicy policy);
+
+// Legacy wrapper: returns nullptr where TryAllocateAligned reports an error.
 void* AllocateAligned(std::size_t bytes, std::size_t alignment,
                       PagePolicy policy);
 

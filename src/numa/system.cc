@@ -18,8 +18,20 @@ NumaSystem::~NumaSystem() {
 void* NumaSystem::Allocate(std::size_t bytes, Placement placement,
                            int home_node, std::size_t alignment) {
   MMJOIN_CHECK(home_node >= 0 && home_node < topology_.num_nodes());
-  void* ptr = mem::AllocateAligned(bytes, alignment, page_policy_);
+  void* ptr = TryAllocate(bytes, placement, home_node, alignment);
   MMJOIN_CHECK(ptr != nullptr);
+  return ptr;
+}
+
+void* NumaSystem::TryAllocate(std::size_t bytes, Placement placement,
+                              int home_node, std::size_t alignment) {
+  if (home_node < 0 || home_node >= topology_.num_nodes()) {
+    // Placement is advisory: degrade to node 0 instead of aborting.
+    mem::CountNumaDegradation();
+    home_node = 0;
+  }
+  void* ptr = mem::AllocateAligned(bytes, alignment, page_policy_);
+  if (ptr == nullptr) return nullptr;
   mem::PrefaultPages(ptr, bytes);
 
   Region region{reinterpret_cast<std::uintptr_t>(ptr), bytes, placement,

@@ -16,11 +16,13 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <vector>
 
 #include "mem/aligned_alloc.h"
 #include "numa/counters.h"
 #include "numa/topology.h"
+#include "util/status.h"
 #include "util/timer.h"
 #include "util/types.h"
 
@@ -45,8 +47,17 @@ class NumaSystem {
 
   // Allocates `bytes` with the given placement, registers the region, and
   // prefaults the pages (buffer-manager assumption, paper Section 5.1).
+  // Aborts on allocation failure (legacy contract; prefer TryAllocate).
   void* Allocate(std::size_t bytes, Placement placement, int home_node = 0,
                  std::size_t alignment = kCacheLineSize);
+
+  // Like Allocate but recoverable: returns nullptr when the underlying
+  // allocation fails (real or fault-injected). An out-of-range `home_node`
+  // degrades to node 0 (counted as a NUMA degradation in mem::AllocStats)
+  // rather than aborting -- placement is a hint, not a correctness property.
+  void* TryAllocate(std::size_t bytes, Placement placement, int home_node = 0,
+                    std::size_t alignment = kCacheLineSize);
+
   void Free(void* ptr);
 
   // Node an address lives on, or -1 for memory not allocated through this
@@ -71,6 +82,14 @@ class NumaSystem {
   void CountWrite(int from_node, const void* addr, std::size_t bytes) {
     if (MMJOIN_LIKELY(!accounting_enabled_)) return;
     CountRange(from_node, addr, bytes, /*is_write=*/true);
+  }
+
+  // Number of currently registered (live) allocations. Fault-injection
+  // tests assert a failed join unwinds back to the pre-join count (no
+  // leaked regions).
+  std::size_t num_live_regions() const {
+    std::shared_lock lock(regions_mutex_);
+    return regions_.size();
   }
 
  private:
@@ -107,6 +126,27 @@ class NumaBuffer {
         data_(static_cast<T*>(system->Allocate(
             count * sizeof(T) > 0 ? count * sizeof(T) : sizeof(T), placement,
             home_node))) {}
+
+  // Recoverable construction: ResourceExhausted instead of abort when the
+  // allocation fails. The join kernels allocate all phase buffers through
+  // this so partition/build failures propagate out of Joiner::Run.
+  static StatusOr<NumaBuffer> TryCreate(NumaSystem* system, std::size_t count,
+                                        Placement placement,
+                                        int home_node = 0) {
+    const std::size_t bytes =
+        count * sizeof(T) > 0 ? count * sizeof(T) : sizeof(T);
+    void* ptr = system->TryAllocate(bytes, placement, home_node);
+    if (ptr == nullptr) {
+      return ResourceExhaustedError(
+          "NumaBuffer allocation of " + std::to_string(bytes) +
+          " bytes failed");
+    }
+    NumaBuffer buffer;
+    buffer.system_ = system;
+    buffer.size_ = count;
+    buffer.data_ = static_cast<T*>(ptr);
+    return buffer;
+  }
 
   ~NumaBuffer() { reset(); }
 

@@ -1,12 +1,22 @@
 #include "thread/executor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
 namespace mmjoin::thread {
 
 Executor::Executor(int num_threads, int num_nodes)
     : default_team_(num_threads), topology_(num_nodes) {
   MMJOIN_CHECK(num_threads >= 1);
+  if (const char* env = std::getenv("MMJOIN_DISPATCH_TIMEOUT_MS")) {
+    char* end = nullptr;
+    const long long ms = std::strtoll(env, &end, 10);
+    if (end != nullptr && *end == '\0' && ms >= 0) {
+      watchdog_timeout_ms_.store(ms, std::memory_order_relaxed);
+    }
+  }
   std::unique_lock lock(mutex_);
   EnsureWorkersLocked(num_threads);
 }
@@ -39,7 +49,9 @@ void Executor::WorkerLoop(int thread_id, uint64_t spawn_epoch) {
     seen = epoch_;
     if (thread_id >= team_size_) continue;  // sitting this epoch out
 
-    const auto* task = task_;
+    // Own a reference: a watchdog-timed-out Dispatch may return (and its
+    // caller destroy the original closure) while this worker still runs.
+    const auto task = task_;
     WorkerContext ctx;
     ctx.thread_id = thread_id;
     ctx.num_threads = team_size_;
@@ -55,36 +67,74 @@ void Executor::WorkerLoop(int thread_id, uint64_t spawn_epoch) {
   }
 }
 
-void Executor::Dispatch(int team_size,
-                        const std::function<void(const WorkerContext&)>& fn) {
+Status Executor::Dispatch(
+    int team_size, const std::function<void(const WorkerContext&)>& fn) {
   MMJOIN_CHECK(team_size >= 1);
   std::scoped_lock dispatch_lock(dispatch_mutex_);
+  if (poisoned_.load(std::memory_order_relaxed)) {
+    return FailedPreconditionError(
+        "executor poisoned by an earlier dispatch timeout; refusing work");
+  }
   std::unique_lock lock(mutex_);
   EnsureWorkersLocked(team_size);
   if (barrier_parties_ != team_size) {
     barrier_ = std::make_unique<Barrier>(team_size);
     barrier_parties_ = team_size;
   }
-  task_ = &fn;
+  task_ = std::make_shared<const std::function<void(const WorkerContext&)>>(fn);
   team_size_ = team_size;
   remaining_ = team_size;
-  ++epoch_;
+  const uint64_t this_epoch = ++epoch_;
   ++dispatches_;
   max_team_size_ = std::max<uint64_t>(max_team_size_, team_size);
   work_cv_.notify_all();
-  done_cv_.wait(lock, [&] { return remaining_ == 0; });
-  task_ = nullptr;
+
+  const int64_t timeout_ms =
+      watchdog_timeout_ms_.load(std::memory_order_relaxed);
+  if (timeout_ms <= 0) {
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    task_.reset();
+    return OkStatus();
+  }
+
+  if (done_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                        [&] { return remaining_ == 0; })) {
+    task_.reset();
+    return OkStatus();
+  }
+
+  // Watchdog fired: a worker is stuck (most likely a barrier some thread
+  // never reached). Dump what we know, poison the executor so no later
+  // dispatch corrupts remaining_, and surface the failure to the caller.
+  // The stuck workers keep their shared_ptr copy of the task.
+  std::fprintf(
+      stderr,
+      "[mmjoin] executor watchdog: dispatch (epoch %llu) stuck after %lld ms:"
+      " team_size=%d remaining=%d pool=%zu -- executor poisoned\n",
+      static_cast<unsigned long long>(this_epoch),
+      static_cast<long long>(timeout_ms), team_size_, remaining_,
+      workers_.size());
+  poisoned_.store(true, std::memory_order_relaxed);
+  return DeadlineExceededError(
+      "executor dispatch did not finish within " +
+      std::to_string(timeout_ms) + " ms (" + std::to_string(remaining_) +
+      " of " + std::to_string(team_size_) + " workers still running)");
 }
 
-void Executor::ParallelFor(
+Status Executor::ParallelFor(
     int team_size, std::size_t total,
     const std::function<void(std::size_t, std::size_t, const WorkerContext&)>&
         fn) {
-  if (total == 0) return;
-  Dispatch(team_size, [total, &fn](const WorkerContext& ctx) {
+  if (total == 0) return OkStatus();
+  return Dispatch(team_size, [total, &fn](const WorkerContext& ctx) {
     const Range range = ChunkRange(total, ctx.num_threads, ctx.thread_id);
     if (range.begin < range.end) fn(range.begin, range.end, ctx);
   });
+}
+
+bool Executor::IsIdle() const {
+  std::unique_lock lock(mutex_);
+  return remaining_ == 0;
 }
 
 int Executor::pool_size() const {

@@ -18,6 +18,7 @@
 #ifndef MMJOIN_THREAD_EXECUTOR_H_
 #define MMJOIN_THREAD_EXECUTOR_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -30,6 +31,7 @@
 #include "numa/topology.h"
 #include "thread/thread_team.h"
 #include "util/macros.h"
+#include "util/status.h"
 
 namespace mmjoin::thread {
 
@@ -70,24 +72,50 @@ class Executor {
   // [0, team_size)) and blocks until all of them finished. Grows the pool if
   // the team is larger than it; never shrinks. Dispatching from inside a
   // worker closure is not supported (it would deadlock the pool).
-  void Dispatch(int team_size, const std::function<void(const WorkerContext&)>& fn);
+  //
+  // With a watchdog timeout armed (set_watchdog_timeout or env var
+  // MMJOIN_DISPATCH_TIMEOUT_MS), a dispatch whose team does not finish in
+  // time dumps diagnostics to stderr, poisons the executor, and returns
+  // DeadlineExceeded; every later dispatch returns FailedPrecondition. The
+  // stuck workers keep a shared copy of the task closure, so a timed-out
+  // return does not invalidate what they are still running.
+  Status Dispatch(int team_size,
+                  const std::function<void(const WorkerContext&)>& fn);
 
   // Dispatch on the default team (the constructor's num_threads).
-  void Dispatch(const std::function<void(const WorkerContext&)>& fn) {
-    Dispatch(default_team_, fn);
+  Status Dispatch(const std::function<void(const WorkerContext&)>& fn) {
+    return Dispatch(default_team_, fn);
   }
 
   // Splits [0, total) into team-sized chunks via ChunkRange and runs
   // `fn(begin, end, ctx)` on each non-empty chunk. total == 0 dispatches
   // nothing; total < team leaves the surplus workers with empty chunks.
-  void ParallelFor(int team_size, std::size_t total,
-                   const std::function<void(std::size_t, std::size_t,
-                                            const WorkerContext&)>& fn);
-  void ParallelFor(std::size_t total,
-                   const std::function<void(std::size_t, std::size_t,
-                                            const WorkerContext&)>& fn) {
-    ParallelFor(default_team_, total, fn);
+  Status ParallelFor(int team_size, std::size_t total,
+                     const std::function<void(std::size_t, std::size_t,
+                                              const WorkerContext&)>& fn);
+  Status ParallelFor(std::size_t total,
+                     const std::function<void(std::size_t, std::size_t,
+                                              const WorkerContext&)>& fn) {
+    return ParallelFor(default_team_, total, fn);
   }
+
+  // Watchdog deadline per dispatch in milliseconds; 0 disables (default).
+  // Initialized from MMJOIN_DISPATCH_TIMEOUT_MS when set.
+  void set_watchdog_timeout(int64_t timeout_ms) {
+    watchdog_timeout_ms_.store(timeout_ms, std::memory_order_relaxed);
+  }
+  int64_t watchdog_timeout_ms() const {
+    return watchdog_timeout_ms_.load(std::memory_order_relaxed);
+  }
+
+  // True once a dispatch timed out; the executor refuses further work.
+  bool poisoned() const {
+    return poisoned_.load(std::memory_order_relaxed);
+  }
+
+  // True when no dispatched work is outstanding (test/teardown aid: after a
+  // timed-out dispatch, wait for stragglers before destroying the executor).
+  bool IsIdle() const;
 
   // The default team size (constructor argument).
   int num_threads() const { return default_team_; }
@@ -116,10 +144,15 @@ class Executor {
   uint64_t epoch_ = 0;
   int team_size_ = 0;
   int remaining_ = 0;
-  const std::function<void(const WorkerContext&)>* task_ = nullptr;
+  // Shared so workers still hold a valid closure if Dispatch returns early
+  // on watchdog timeout while they are stuck mid-task.
+  std::shared_ptr<const std::function<void(const WorkerContext&)>> task_;
   std::unique_ptr<Barrier> barrier_;
   int barrier_parties_ = 0;
   bool stop_ = false;
+
+  std::atomic<int64_t> watchdog_timeout_ms_{0};
+  std::atomic<bool> poisoned_{false};
 
   uint64_t threads_spawned_ = 0;
   uint64_t dispatches_ = 0;

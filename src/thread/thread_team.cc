@@ -6,8 +6,10 @@ namespace mmjoin::thread {
 
 void RunTeam(int num_threads, const std::function<void(int)>& fn) {
   MMJOIN_CHECK(num_threads >= 1);
-  GlobalExecutor().Dispatch(
+  const Status status = GlobalExecutor().Dispatch(
       num_threads, [&fn](const WorkerContext& ctx) { fn(ctx.thread_id); });
+  // The shim predates the Status plumbing; a watchdog timeout here is fatal.
+  MMJOIN_CHECK(status.ok());
 }
 
 }  // namespace mmjoin::thread

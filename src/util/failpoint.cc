@@ -1,0 +1,251 @@
+#include "util/failpoint.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+namespace mmjoin {
+namespace {
+
+double BitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+uint64_t DoubleToBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+class FailPointRegistry {
+ public:
+  static FailPointRegistry& Instance() {
+    // Leaked: failpoints may be evaluated from worker threads during static
+    // destruction.
+    static auto* registry = new FailPointRegistry;
+    return *registry;
+  }
+
+  FailPoint& Get(std::string_view name) {
+    std::call_once(env_once_, [this] {
+      const char* env = std::getenv("MMJOIN_FAILPOINTS");
+      if (env != nullptr && env[0] != '\0') {
+        const Status status = ConfigureLocked(env);
+        if (!status.ok()) {
+          std::fprintf(stderr, "[mmjoin] ignoring MMJOIN_FAILPOINTS: %s\n",
+                       status.ToString().c_str());
+        }
+      }
+    });
+    std::lock_guard<std::mutex> lock(mutex_);
+    return GetLocked(name);
+  }
+
+  Status Configure(std::string_view spec) {
+    // Make sure env arming (if any) happens before explicit configuration,
+    // so programmatic Configure/Deactivate wins.
+    Get("");
+    return ConfigureLocked(spec);
+  }
+
+  void DeactivateAll() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, fp] : points_) fp->Deactivate();
+  }
+
+  std::vector<std::string> ActiveNames() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    for (auto& [name, fp] : points_) {
+      if (static_cast<FailPoint::Mode>(
+              fp->mode_.load(std::memory_order_relaxed)) !=
+          FailPoint::Mode::kOff) {
+        names.push_back(name);
+      }
+    }
+    return names;
+  }
+
+ private:
+  FailPoint& GetLocked(std::string_view name) {
+    auto it = points_.find(name);
+    if (it == points_.end()) {
+      it = points_
+               .emplace(std::string(name),
+                        std::unique_ptr<FailPoint>(
+                            new FailPoint(std::string(name))))
+               .first;
+    }
+    return *it->second;
+  }
+
+  // Parses the full spec into (name, mode, n, p) tuples first so a malformed
+  // entry applies nothing.
+  Status ConfigureLocked(std::string_view spec) {
+    struct Entry {
+      std::string name;
+      FailPoint::Mode mode;
+      uint64_t n = 1;
+      double p = 0.0;
+    };
+    std::vector<Entry> entries;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+      const std::size_t comma = spec.find(',', pos);
+      const std::string_view item = spec.substr(
+          pos, comma == std::string_view::npos ? spec.size() - pos
+                                               : comma - pos);
+      pos = comma == std::string_view::npos ? spec.size() + 1 : comma + 1;
+      if (item.empty()) continue;
+      const std::size_t eq = item.find('=');
+      if (eq == std::string_view::npos || eq == 0) {
+        return InvalidArgumentError("failpoint spec item '" +
+                                    std::string(item) +
+                                    "' is not of the form name=trigger");
+      }
+      Entry entry;
+      entry.name = std::string(item.substr(0, eq));
+      const std::string trigger(item.substr(eq + 1));
+      if (trigger == "once") {
+        entry.mode = FailPoint::Mode::kOnce;
+      } else if (trigger == "always") {
+        entry.mode = FailPoint::Mode::kAlways;
+      } else if (trigger == "off") {
+        entry.mode = FailPoint::Mode::kOff;
+      } else if (trigger.rfind("nth:", 0) == 0) {
+        entry.mode = FailPoint::Mode::kNth;
+        char* end = nullptr;
+        entry.n = std::strtoull(trigger.c_str() + 4, &end, 10);
+        if (end == nullptr || *end != '\0' || entry.n < 1) {
+          return InvalidArgumentError("failpoint '" + entry.name +
+                                      "': nth wants a positive integer, got '" +
+                                      trigger + "'");
+        }
+      } else if (trigger.rfind("prob:", 0) == 0) {
+        entry.mode = FailPoint::Mode::kProb;
+        char* end = nullptr;
+        entry.p = std::strtod(trigger.c_str() + 5, &end);
+        if (end == nullptr || *end != '\0' || entry.p < 0.0 ||
+            entry.p > 1.0) {
+          return InvalidArgumentError(
+              "failpoint '" + entry.name +
+              "': prob wants a probability in [0,1], got '" + trigger + "'");
+        }
+      } else {
+        return InvalidArgumentError("failpoint '" + entry.name +
+                                    "': unknown trigger '" + trigger + "'");
+      }
+      entries.push_back(std::move(entry));
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Entry& entry : entries) {
+      FailPoint& fp = GetLocked(entry.name);
+      if (entry.mode == FailPoint::Mode::kOff) {
+        fp.Deactivate();
+      } else {
+        fp.Activate(entry.mode, entry.n, entry.p);
+      }
+    }
+    return OkStatus();
+  }
+
+  std::once_flag env_once_;
+  std::mutex mutex_;
+  // Transparent comparator lets find() take string_view without a copy.
+  std::map<std::string, std::unique_ptr<FailPoint>, std::less<>> points_;
+};
+
+FailPoint& FailPoint::Get(std::string_view name) {
+  return FailPointRegistry::Instance().Get(name);
+}
+
+void FailPoint::Activate(Mode mode, uint64_t n, double probability) {
+  MMJOIN_CHECK(n >= 1);
+  MMJOIN_CHECK(probability >= 0.0 && probability <= 1.0);
+  nth_.store(n, std::memory_order_relaxed);
+  prob_bits_.store(DoubleToBits(probability), std::memory_order_relaxed);
+  evaluations_.store(0, std::memory_order_relaxed);
+  mode_.store(static_cast<uint8_t>(mode), std::memory_order_release);
+}
+
+void FailPoint::Deactivate() {
+  mode_.store(static_cast<uint8_t>(Mode::kOff), std::memory_order_release);
+}
+
+bool FailPoint::ShouldFailSlow(Mode mode) {
+  switch (mode) {
+    case Mode::kOff:
+      return false;
+    case Mode::kAlways:
+      triggers_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    case Mode::kOnce: {
+      // First evaluator wins the race and disarms.
+      uint8_t expected = static_cast<uint8_t>(Mode::kOnce);
+      if (mode_.compare_exchange_strong(
+              expected, static_cast<uint8_t>(Mode::kOff),
+              std::memory_order_acq_rel)) {
+        triggers_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      return false;
+    }
+    case Mode::kNth: {
+      const uint64_t eval =
+          evaluations_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (eval == nth_.load(std::memory_order_relaxed)) {
+        Deactivate();
+        triggers_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      return false;
+    }
+    case Mode::kProb: {
+      const double p =
+          BitsToDouble(prob_bits_.load(std::memory_order_relaxed));
+      if (p <= 0.0) return false;
+      if (p >= 1.0) {
+        triggers_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      // splitmix64 over a shared atomic state; contention is irrelevant at
+      // fault-injection frequencies.
+      uint64_t z =
+          rng_state_.fetch_add(0x9E3779B97F4A7C15ull,
+                               std::memory_order_relaxed) +
+          0x9E3779B97F4A7C15ull;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      z ^= z >> 31;
+      const double u =
+          static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
+      if (u < p) {
+        triggers_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+namespace failpoint {
+
+Status Configure(std::string_view spec) {
+  return FailPointRegistry::Instance().Configure(spec);
+}
+
+void DeactivateAll() { FailPointRegistry::Instance().DeactivateAll(); }
+
+std::vector<std::string> ActiveNames() {
+  return FailPointRegistry::Instance().ActiveNames();
+}
+
+}  // namespace failpoint
+}  // namespace mmjoin

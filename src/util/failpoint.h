@@ -1,0 +1,110 @@
+// Named failpoints for fault injection.
+//
+// A failpoint is a named site in the code that can be armed to simulate a
+// failure (most commonly an allocation failure) so that tests and CI can
+// drive the recoverable-error paths deterministically. Inactive failpoints
+// cost one relaxed atomic load and a predicted branch; the registry lookup
+// happens once per call site (function-local static).
+//
+// Activation:
+//  * Environment: MMJOIN_FAILPOINTS="alloc.partition=once,alloc.probe=nth:3"
+//    parsed once, at the first failpoint evaluation in the process.
+//  * Programmatic: failpoint::Configure("alloc.build=prob:0.5"), or
+//    FailPoint::Get("name").Activate(...).
+//
+// Trigger modes:
+//  * once     -- fires on the next evaluation, then disarms.
+//  * nth:N    -- fires on the Nth evaluation after arming (N >= 1), then
+//                disarms.
+//  * prob:P   -- fires independently with probability P in [0, 1].
+//  * always   -- fires on every evaluation until disarmed.
+//  * off      -- disarmed.
+//
+// The canonical failpoint names threaded through the join kernels are listed
+// in docs/ROBUSTNESS.md (alloc.partition, alloc.build, alloc.probe,
+// alloc.materialize, alloc.mmap, alloc.madvise_huge).
+
+#ifndef MMJOIN_UTIL_FAILPOINT_H_
+#define MMJOIN_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace mmjoin {
+
+class FailPoint {
+ public:
+  enum class Mode : uint8_t { kOff = 0, kOnce, kNth, kProb, kAlways };
+
+  // Returns the failpoint registered under `name`, creating it (disarmed) on
+  // first use. References stay valid for the process lifetime. Reads
+  // MMJOIN_FAILPOINTS on the first call in the process.
+  static FailPoint& Get(std::string_view name);
+
+  // Hot path: false with one relaxed load when disarmed.
+  bool ShouldFail() {
+    const auto mode =
+        static_cast<Mode>(mode_.load(std::memory_order_relaxed));
+    if (MMJOIN_LIKELY(mode == Mode::kOff)) return false;
+    return ShouldFailSlow(mode);
+  }
+
+  // Arms the failpoint. `n` is the 1-based evaluation that fires for kNth;
+  // `probability` the per-evaluation chance for kProb.
+  void Activate(Mode mode, uint64_t n = 1, double probability = 0.0);
+  void Deactivate();
+
+  const std::string& name() const { return name_; }
+  // Number of times ShouldFail() returned true since process start.
+  uint64_t trigger_count() const {
+    return triggers_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  explicit FailPoint(std::string name) : name_(std::move(name)) {}
+  bool ShouldFailSlow(Mode mode);
+
+  const std::string name_;
+  std::atomic<uint8_t> mode_{static_cast<uint8_t>(Mode::kOff)};
+  std::atomic<uint64_t> evaluations_{0};  // while armed in kNth mode
+  std::atomic<uint64_t> triggers_{0};
+  std::atomic<uint64_t> nth_{1};
+  std::atomic<uint64_t> prob_bits_{0};  // bit_cast'd double
+  std::atomic<uint64_t> rng_state_{0x9E3779B97F4A7C15ull};
+
+  friend class FailPointRegistry;
+};
+
+namespace failpoint {
+
+// Parses and applies a spec of the MMJOIN_FAILPOINTS form:
+// "name=once[,name=nth:3][,name=prob:0.25][,name=always][,name=off]".
+// Unknown trigger syntax yields InvalidArgument and applies nothing.
+Status Configure(std::string_view spec);
+
+// Disarms every registered failpoint (does not unregister them).
+void DeactivateAll();
+
+// Names of currently armed failpoints (diagnostics / bench summaries).
+std::vector<std::string> ActiveNames();
+
+}  // namespace failpoint
+
+}  // namespace mmjoin
+
+// Evaluates the named failpoint. The registry lookup is done once per call
+// site; pass a string literal.
+#define MMJOIN_FAILPOINT(name)                                       \
+  ([]() -> bool {                                                    \
+    static ::mmjoin::FailPoint& _mmjoin_fp =                         \
+        ::mmjoin::FailPoint::Get(name);                              \
+    return MMJOIN_UNLIKELY(_mmjoin_fp.ShouldFail());                 \
+  }())
+
+#endif  // MMJOIN_UTIL_FAILPOINT_H_

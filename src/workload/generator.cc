@@ -1,5 +1,6 @@
 #include "workload/generator.h"
 
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -20,10 +21,33 @@ void ShuffleTuples(Relation* relation, Rng* rng) {
   }
 }
 
+Status ValidateCardinality(uint64_t n, const char* what) {
+  if (n == 0) {
+    return InvalidArgumentError(std::string(what) +
+                                ": cardinality must be >= 1");
+  }
+  if (n >= kEmptyKey) {
+    return InvalidArgumentError(
+        std::string(what) + ": cardinality " + std::to_string(n) +
+        " exceeds the key space (kEmptyKey is reserved)");
+  }
+  return OkStatus();
+}
+
+Status ValidateDomain(uint64_t build_n, const char* what) {
+  if (build_n == 0 || build_n >= kEmptyKey) {
+    return InvalidArgumentError(
+        std::string(what) + ": referenced key domain " +
+        std::to_string(build_n) + " outside [1, 2^32 - 1)");
+  }
+  return OkStatus();
+}
+
 }  // namespace
 
-Relation MakeDenseBuild(numa::NumaSystem* system, uint64_t n, uint64_t seed) {
-  MMJOIN_CHECK(n < kEmptyKey);
+StatusOr<Relation> MakeDenseBuild(numa::NumaSystem* system, uint64_t n,
+                                  uint64_t seed) {
+  MMJOIN_RETURN_IF_ERROR(ValidateCardinality(n, "MakeDenseBuild"));
   Relation relation(system, n);
   Tuple* tuples = relation.data();
   for (uint64_t i = 0; i < n; ++i) {
@@ -36,9 +60,10 @@ Relation MakeDenseBuild(numa::NumaSystem* system, uint64_t n, uint64_t seed) {
   return relation;
 }
 
-Relation MakeUniformProbe(numa::NumaSystem* system, uint64_t n,
-                          uint64_t build_n, uint64_t seed) {
-  MMJOIN_CHECK(build_n >= 1 && build_n < kEmptyKey);
+StatusOr<Relation> MakeUniformProbe(numa::NumaSystem* system, uint64_t n,
+                                    uint64_t build_n, uint64_t seed) {
+  MMJOIN_RETURN_IF_ERROR(ValidateCardinality(n, "MakeUniformProbe"));
+  MMJOIN_RETURN_IF_ERROR(ValidateDomain(build_n, "MakeUniformProbe"));
   Relation relation(system, n);
   Tuple* tuples = relation.data();
   Rng rng(seed);
@@ -50,9 +75,12 @@ Relation MakeUniformProbe(numa::NumaSystem* system, uint64_t n,
   return relation;
 }
 
-Relation MakeZipfProbe(numa::NumaSystem* system, uint64_t n, uint64_t build_n,
-                       double theta, uint64_t seed) {
-  MMJOIN_CHECK(build_n >= 1 && build_n < kEmptyKey);
+StatusOr<Relation> MakeZipfProbe(numa::NumaSystem* system, uint64_t n,
+                                 uint64_t build_n, double theta,
+                                 uint64_t seed) {
+  MMJOIN_RETURN_IF_ERROR(ValidateCardinality(n, "MakeZipfProbe"));
+  MMJOIN_RETURN_IF_ERROR(ValidateDomain(build_n, "MakeZipfProbe"));
+  MMJOIN_RETURN_IF_ERROR(ZipfGenerator::Validate(build_n, theta));
   Relation relation(system, n);
   Tuple* tuples = relation.data();
   ZipfGenerator zipf(build_n, theta, seed);
@@ -81,10 +109,21 @@ Relation MakeZipfProbe(numa::NumaSystem* system, uint64_t n, uint64_t build_n,
   return relation;
 }
 
-Relation MakeSparseBuild(numa::NumaSystem* system, uint64_t n, uint64_t k,
-                         uint64_t seed) {
-  MMJOIN_CHECK(k >= 1);
-  MMJOIN_CHECK(n * k < kEmptyKey);
+StatusOr<Relation> MakeSparseBuild(numa::NumaSystem* system, uint64_t n,
+                                   uint64_t k, uint64_t seed) {
+  MMJOIN_RETURN_IF_ERROR(ValidateCardinality(n, "MakeSparseBuild"));
+  if (k < 1) {
+    return InvalidArgumentError("MakeSparseBuild: stratum length k must be"
+                                " >= 1");
+  }
+  // n unique keys need a domain of n * k distinct values; reject overflow
+  // and domains exceeding the 32-bit key space.
+  if (k > (kEmptyKey - 1) / n) {
+    return InvalidArgumentError(
+        "MakeSparseBuild: key domain " + std::to_string(n) + " * " +
+        std::to_string(k) + " overflows the 32-bit key space -- too small to"
+        " hold the requested unique keys");
+  }
   Relation relation(system, n);
   Tuple* tuples = relation.data();
   Rng rng(seed);
@@ -97,9 +136,13 @@ Relation MakeSparseBuild(numa::NumaSystem* system, uint64_t n, uint64_t k,
   return relation;
 }
 
-Relation MakeProbeFromBuild(numa::NumaSystem* system, uint64_t n,
-                            const Relation& build, uint64_t seed) {
-  MMJOIN_CHECK(build.size() >= 1);
+StatusOr<Relation> MakeProbeFromBuild(numa::NumaSystem* system, uint64_t n,
+                                      const Relation& build, uint64_t seed) {
+  MMJOIN_RETURN_IF_ERROR(ValidateCardinality(n, "MakeProbeFromBuild"));
+  if (build.size() < 1) {
+    return InvalidArgumentError(
+        "MakeProbeFromBuild: build relation is empty");
+  }
   Relation relation(system, n);
   Tuple* tuples = relation.data();
   Rng rng(seed);

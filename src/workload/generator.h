@@ -8,6 +8,12 @@
 //    an existing build key -- uniformly, Zipf-skewed, or over a sparse
 //    ("holes") domain.
 // All generators are deterministic in their seed.
+//
+// Nonsensical parameters (zero cardinality, a key domain that cannot hold
+// the requested unique keys, Zipf theta outside [0, 1)) are rejected with
+// InvalidArgument instead of generating garbage. Empty relations are still
+// constructible directly via Relation(system, 0) where a degenerate input is
+// genuinely wanted (boundary tests).
 
 #ifndef MMJOIN_WORKLOAD_GENERATOR_H_
 #define MMJOIN_WORKLOAD_GENERATOR_H_
@@ -15,34 +21,37 @@
 #include <cstdint>
 
 #include "numa/system.h"
+#include "util/status.h"
 #include "workload/relation.h"
 
 namespace mmjoin::workload {
 
 // Dense unique primary keys 0 .. n-1 in random order; payload = key's row
 // position semantics (payload == key so join results are self-checking).
-Relation MakeDenseBuild(numa::NumaSystem* system, uint64_t n, uint64_t seed);
+StatusOr<Relation> MakeDenseBuild(numa::NumaSystem* system, uint64_t n,
+                                  uint64_t seed);
 
 // Uniform foreign keys referencing a dense build domain [0, build_n).
-Relation MakeUniformProbe(numa::NumaSystem* system, uint64_t n,
-                          uint64_t build_n, uint64_t seed);
+StatusOr<Relation> MakeUniformProbe(numa::NumaSystem* system, uint64_t n,
+                                    uint64_t build_n, uint64_t seed);
 
 // Zipf-skewed foreign keys over [0, build_n) with factor theta (Appendix A).
 // As in the paper, the 10 hottest ranks are remapped to random keys across
 // the full domain so the hottest keys do not all land in one radix
 // partition.
-Relation MakeZipfProbe(numa::NumaSystem* system, uint64_t n, uint64_t build_n,
-                       double theta, uint64_t seed);
+StatusOr<Relation> MakeZipfProbe(numa::NumaSystem* system, uint64_t n,
+                                 uint64_t build_n, double theta,
+                                 uint64_t seed);
 
 // Sparse build domain for the holes experiment (Appendix C): n unique keys
 // stratified over [0, k * n) (exactly one key per length-k stratum), in
 // random order. key_domain() is k * n.
-Relation MakeSparseBuild(numa::NumaSystem* system, uint64_t n, uint64_t k,
-                         uint64_t seed);
+StatusOr<Relation> MakeSparseBuild(numa::NumaSystem* system, uint64_t n,
+                                   uint64_t k, uint64_t seed);
 
 // Probe relation referencing keys of an arbitrary build relation uniformly.
-Relation MakeProbeFromBuild(numa::NumaSystem* system, uint64_t n,
-                            const Relation& build, uint64_t seed);
+StatusOr<Relation> MakeProbeFromBuild(numa::NumaSystem* system, uint64_t n,
+                                      const Relation& build, uint64_t seed);
 
 }  // namespace mmjoin::workload
 

@@ -1,6 +1,7 @@
 #include "workload/zipf.h"
 
 #include <cmath>
+#include <string>
 
 #include "util/macros.h"
 
@@ -33,10 +34,22 @@ double Zeta(uint64_t n, double theta) {
 
 }  // namespace
 
+Status ZipfGenerator::Validate(uint64_t n, double theta) {
+  if (n < 1) {
+    return InvalidArgumentError("ZipfGenerator: n must be >= 1");
+  }
+  // The negated comparison also rejects NaN.
+  if (!(theta >= 0.0 && theta < 1.0)) {
+    return InvalidArgumentError(
+        "ZipfGenerator: theta " + std::to_string(theta) +
+        " outside [0, 1) -- Gray's approximation diverges");
+  }
+  return OkStatus();
+}
+
 ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
     : n_(n), theta_(theta), rng_(seed) {
-  MMJOIN_CHECK(n >= 1);
-  MMJOIN_CHECK(theta >= 0.0 && theta < 1.0);
+  MMJOIN_CHECK(Validate(n, theta).ok());
   if (theta == 0.0) {
     alpha_ = zetan_ = eta_ = threshold1_ = threshold2_ = 0.0;
     return;

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace mmjoin::workload {
 
@@ -20,6 +21,12 @@ namespace mmjoin::workload {
 // approximation ("zipfian" in YCSB terms).
 class ZipfGenerator {
  public:
+  // Gray's approximation is valid for theta in [0, 1) and n >= 1 (theta = 1
+  // diverges and theta outside the range, including NaN, is meaningless).
+  static Status Validate(uint64_t n, double theta);
+
+  // Aborts on parameters Validate rejects; validate first on untrusted
+  // input (MakeZipfProbe does).
   ZipfGenerator(uint64_t n, double theta, uint64_t seed);
 
   // Returns a rank in [1, n]; rank 1 is the most frequent value.

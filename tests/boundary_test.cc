@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "core/joiner.h"
 #include "hash/concise_table.h"
 #include "join/join_algorithm.h"
 #include "join/reference.h"
@@ -51,7 +52,7 @@ TEST(Boundary, MaxLegalKeysJoinEverywhere) {
     // registry marks them dense-only, so skip as a planner would.
     if (join::InfoOf(algorithm).requires_dense_keys) continue;
     const join::JoinResult result =
-        join::RunJoin(algorithm, System(), config, build, probe);
+        join::RunJoin(algorithm, System(), config, build, probe).value();
     EXPECT_EQ(result.matches, expected.matches) << join::NameOf(algorithm);
     EXPECT_EQ(result.checksum, expected.checksum)
         << join::NameOf(algorithm);
@@ -66,13 +67,13 @@ TEST(Boundary, EmptyRelationsYieldZeroMatches) {
     const auto join = join::CreateJoin(algorithm);
     const join::JoinResult empty_probe =
         join->Run(System(), config, ConstTupleSpan(&one, 1),
-                  ConstTupleSpan(&one, 0), /*key_domain=*/6);
+                  ConstTupleSpan(&one, 0), /*key_domain=*/6).value();
     const join::JoinResult empty_build =
         join->Run(System(), config, ConstTupleSpan(&one, 0),
-                  ConstTupleSpan(&one, 1), /*key_domain=*/6);
+                  ConstTupleSpan(&one, 1), /*key_domain=*/6).value();
     const join::JoinResult both_empty =
         join->Run(System(), config, ConstTupleSpan(&one, 0),
-                  ConstTupleSpan(&one, 0), /*key_domain=*/6);
+                  ConstTupleSpan(&one, 0), /*key_domain=*/6).value();
     EXPECT_EQ(empty_probe.matches, 0u) << join::NameOf(algorithm);
     EXPECT_EQ(empty_build.matches, 0u) << join::NameOf(algorithm);
     EXPECT_EQ(both_empty.matches, 0u) << join::NameOf(algorithm);
@@ -92,9 +93,75 @@ TEST(Boundary, SingleTupleRelations) {
   config.num_threads = 4;  // more threads than tuples
   for (const join::Algorithm algorithm : join::AllAlgorithms()) {
     const join::JoinResult result =
-        join::RunJoin(algorithm, System(), config, build, probe);
+        join::RunJoin(algorithm, System(), config, build, probe).value();
     EXPECT_EQ(result.matches, 1u) << join::NameOf(algorithm);
     EXPECT_EQ(result.checksum, 770u) << join::NameOf(algorithm);
+  }
+}
+
+// The same degenerate shapes must also survive the full public entry point
+// (validation, failpoint checks, executor dispatch) -- not just the raw
+// algorithm objects the spans above exercise.
+TEST(Boundary, JoinerHandlesEmptyAndSingleTupleRelations) {
+  core::Joiner joiner;
+  workload::Relation empty(joiner.system(), 0);
+  empty.set_key_domain(8);
+  workload::Relation single(joiner.system(), 1);
+  single.data()[0] = Tuple{3, 30};
+  single.set_key_domain(8);
+
+  for (const join::Algorithm algorithm : join::AllAlgorithms()) {
+    const auto no_build = joiner.Run(algorithm, empty, single);
+    ASSERT_TRUE(no_build.ok()) << join::NameOf(algorithm) << ": "
+                               << no_build.status().ToString();
+    EXPECT_EQ(no_build.value().matches, 0u) << join::NameOf(algorithm);
+
+    const auto no_probe = joiner.Run(algorithm, single, empty);
+    ASSERT_TRUE(no_probe.ok()) << join::NameOf(algorithm) << ": "
+                               << no_probe.status().ToString();
+    EXPECT_EQ(no_probe.value().matches, 0u) << join::NameOf(algorithm);
+
+    const auto both = joiner.Run(algorithm, single, single);
+    ASSERT_TRUE(both.ok()) << join::NameOf(algorithm) << ": "
+                           << both.status().ToString();
+    EXPECT_EQ(both.value().matches, 1u) << join::NameOf(algorithm);
+    EXPECT_EQ(both.value().checksum, 60u) << join::NameOf(algorithm);
+  }
+}
+
+// A build side that is one giant duplicate group (every key equal) is the
+// worst case for chaining and probe termination. Array joins require unique
+// build keys by construction, so they sit this one out, as a planner would.
+TEST(Boundary, JoinerHandlesAllDuplicateBuildKeys) {
+  constexpr uint64_t kBuild = 64;
+  constexpr uint64_t kProbe = 256;
+  core::Joiner joiner;
+  workload::Relation build(joiner.system(), kBuild);
+  workload::Relation probe(joiner.system(), kProbe);
+  for (uint64_t i = 0; i < kBuild; ++i) {
+    build.data()[i] = Tuple{7, static_cast<uint32_t>(i)};
+  }
+  for (uint64_t i = 0; i < kProbe; ++i) {
+    probe.data()[i] = Tuple{7, static_cast<uint32_t>(i)};
+  }
+  build.set_key_domain(8);
+  probe.set_key_domain(8);
+
+  const join::JoinResult expected =
+      join::ReferenceJoin(build.cspan(), probe.cspan());
+  EXPECT_EQ(expected.matches, kBuild * kProbe);
+
+  join::JoinConfig config;
+  config.build_unique = false;
+  for (const join::Algorithm algorithm : join::AllAlgorithms()) {
+    if (join::InfoOf(algorithm).requires_dense_keys) continue;
+    const auto result = joiner.Run(algorithm, config, build, probe);
+    ASSERT_TRUE(result.ok()) << join::NameOf(algorithm) << ": "
+                             << result.status().ToString();
+    EXPECT_EQ(result.value().matches, expected.matches)
+        << join::NameOf(algorithm);
+    EXPECT_EQ(result.value().checksum, expected.checksum)
+        << join::NameOf(algorithm);
   }
 }
 

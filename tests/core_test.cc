@@ -17,32 +17,32 @@ namespace {
 
 TEST(Joiner, RunMatchesReference) {
   Joiner joiner;
-  auto build = workload::MakeDenseBuild(joiner.system(), 10000, 1);
+  auto build = workload::MakeDenseBuild(joiner.system(), 10000, 1).value();
   auto probe =
-      workload::MakeUniformProbe(joiner.system(), 50000, 10000, 2);
+      workload::MakeUniformProbe(joiner.system(), 50000, 10000, 2).value();
   const join::JoinResult expected =
       join::ReferenceJoin(build.cspan(), probe.cspan());
   const join::JoinResult result =
-      joiner.Run(join::Algorithm::kCPRA, build, probe);
+      joiner.Run(join::Algorithm::kCPRA, build, probe).value();
   EXPECT_EQ(result.matches, expected.matches);
   EXPECT_EQ(result.checksum, expected.checksum);
 }
 
 TEST(Joiner, RunByName) {
   Joiner joiner;
-  auto build = workload::MakeDenseBuild(joiner.system(), 1000, 3);
-  auto probe = workload::MakeUniformProbe(joiner.system(), 5000, 1000, 4);
+  auto build = workload::MakeDenseBuild(joiner.system(), 1000, 3).value();
+  auto probe = workload::MakeUniformProbe(joiner.system(), 5000, 1000, 4).value();
   const auto result = joiner.RunByName("NOPA", build, probe);
   ASSERT_TRUE(result.has_value());
-  EXPECT_EQ(result->matches, 5000u);
+  EXPECT_EQ(result.value().matches, 5000u);
   EXPECT_FALSE(joiner.RunByName("bogus", build, probe).has_value());
 }
 
 TEST(Joiner, RunAutoPicksAndRuns) {
   Joiner joiner;
-  auto build = workload::MakeDenseBuild(joiner.system(), 2000, 5);
-  auto probe = workload::MakeUniformProbe(joiner.system(), 20000, 2000, 6);
-  const Joiner::AutoResult result = joiner.RunAuto(build, probe);
+  auto build = workload::MakeDenseBuild(joiner.system(), 2000, 5).value();
+  auto probe = workload::MakeUniformProbe(joiner.system(), 20000, 2000, 6).value();
+  const Joiner::AutoResult result = joiner.RunAuto(build, probe).value();
   EXPECT_EQ(result.algorithm, join::Algorithm::kNOPA);  // small dense build
   EXPECT_EQ(result.result.matches, 20000u);
   EXPECT_FALSE(result.reason.empty());
@@ -50,10 +50,10 @@ TEST(Joiner, RunAutoPicksAndRuns) {
 
 TEST(Joiner, RunMaterializedReturnsAllPairs) {
   Joiner joiner;
-  auto build = workload::MakeDenseBuild(joiner.system(), 500, 7);
-  auto probe = workload::MakeUniformProbe(joiner.system(), 3000, 500, 8);
+  auto build = workload::MakeDenseBuild(joiner.system(), 500, 7).value();
+  auto probe = workload::MakeUniformProbe(joiner.system(), 3000, 500, 8).value();
   auto pairs =
-      joiner.RunMaterialized(join::Algorithm::kPROiS, build, probe);
+      joiner.RunMaterialized(join::Algorithm::kPROiS, build, probe).value();
   ASSERT_EQ(pairs.size(), 3000u);
   // Every pair joins on the key (dense build: payload == key).
   for (const join::MatchedPair& pair : pairs) {
@@ -88,13 +88,13 @@ TEST(CallbackSink, StreamsMatches) {
       [&](int tid, Tuple build, Tuple probe) { ++per_thread[tid]; });
 
   Joiner joiner;
-  auto build = workload::MakeDenseBuild(joiner.system(), 1000, 9);
-  auto probe = workload::MakeUniformProbe(joiner.system(), 8000, 1000, 10);
+  auto build = workload::MakeDenseBuild(joiner.system(), 1000, 9).value();
+  auto probe = workload::MakeUniformProbe(joiner.system(), 8000, 1000, 10).value();
   join::JoinConfig config;
   config.num_threads = 4;
   config.sink = &sink;
   join::RunJoin(join::Algorithm::kCPRL, joiner.system(), config, build,
-                probe);
+                probe).value();
   uint64_t total = 0;
   for (uint64_t c : per_thread) total += c;
   EXPECT_EQ(total, 8000u);
@@ -105,7 +105,7 @@ TEST(CallbackSink, StreamsMatches) {
 // sort-merge compares full keys).
 TEST(StrayKeys, AllAlgorithmsMissSafely) {
   Joiner joiner;
-  auto build = workload::MakeDenseBuild(joiner.system(), 4096, 11);
+  auto build = workload::MakeDenseBuild(joiner.system(), 4096, 11).value();
   workload::Relation probe(joiner.system(), 10000);
   Rng rng(12);
   for (uint64_t i = 0; i < probe.size(); ++i) {
@@ -121,7 +121,7 @@ TEST(StrayKeys, AllAlgorithmsMissSafely) {
       join::ReferenceJoin(build.cspan(), probe.cspan());
   EXPECT_EQ(expected.matches, 5000u);
   for (const join::Algorithm algorithm : join::AllAlgorithms()) {
-    const join::JoinResult result = joiner.Run(algorithm, build, probe);
+    const join::JoinResult result = joiner.Run(algorithm, build, probe).value();
     EXPECT_EQ(result.matches, expected.matches) << join::NameOf(algorithm);
     EXPECT_EQ(result.checksum, expected.checksum)
         << join::NameOf(algorithm);
@@ -136,15 +136,15 @@ TEST(Joiner, PoolReusedAcrossJoinsAndQ19) {
   options.num_threads = 4;
   Joiner joiner(options);
 
-  auto build = workload::MakeDenseBuild(joiner.system(), 8192, 13);
-  auto probe = workload::MakeUniformProbe(joiner.system(), 40000, 8192, 14);
+  auto build = workload::MakeDenseBuild(joiner.system(), 8192, 13).value();
+  auto probe = workload::MakeUniformProbe(joiner.system(), 40000, 8192, 14).value();
   const join::JoinResult expected =
       join::ReferenceJoin(build.cspan(), probe.cspan());
 
   // >= 10 joins: all thirteen algorithms, each checked against the
   // reference (matches, checksum).
   for (const join::Algorithm algorithm : join::AllAlgorithms()) {
-    const join::JoinResult result = joiner.Run(algorithm, build, probe);
+    const join::JoinResult result = joiner.Run(algorithm, build, probe).value();
     EXPECT_EQ(result.matches, expected.matches) << join::NameOf(algorithm);
     EXPECT_EQ(result.checksum, expected.checksum)
         << join::NameOf(algorithm);

@@ -72,8 +72,8 @@ TEST_P(DifferentialTest, RandomTrialBatch) {
     workload::Relation build =
         trial.domain_factor > 1
             ? workload::MakeSparseBuild(system, trial.build_size,
-                                        trial.domain_factor, rng.Next())
-            : workload::MakeDenseBuild(system, trial.build_size, rng.Next());
+                                        trial.domain_factor, rng.Next()).value()
+            : workload::MakeDenseBuild(system, trial.build_size, rng.Next()).value();
     if (trial.duplicates) {
       // Overwrite some keys with repeats of other build keys.
       for (uint64_t i = 0; i < build.size(); i += 7) {
@@ -85,9 +85,9 @@ TEST_P(DifferentialTest, RandomTrialBatch) {
         trial.zipf > 0.0 && trial.domain_factor == 1
             ? workload::MakeZipfProbe(system, trial.probe_size,
                                       trial.build_size, trial.zipf,
-                                      rng.Next())
+                                      rng.Next()).value()
             : workload::MakeProbeFromBuild(system, trial.probe_size, build,
-                                           rng.Next());
+                                           rng.Next()).value();
 
     const JoinResult expected = ReferenceJoin(build.cspan(), probe.cspan());
 
@@ -102,7 +102,7 @@ TEST_P(DifferentialTest, RandomTrialBatch) {
         continue;  // array tables require unique keys by construction
       }
       const JoinResult result =
-          RunJoin(algorithm, system, config, build, probe);
+          RunJoin(algorithm, system, config, build, probe).value();
       ASSERT_EQ(result.matches, expected.matches)
           << NameOf(algorithm) << " on " << trial.ToString();
       ASSERT_EQ(result.checksum, expected.checksum)

@@ -1,0 +1,289 @@
+// Fault-injection tests: drive the recoverable-error paths of every join
+// algorithm by arming failpoints at each allocation phase, and exercise the
+// failpoint machinery and the executor dispatch watchdog directly.
+//
+// The contract under test (docs/ROBUSTNESS.md): an injected allocation
+// failure in any phase surfaces as a non-OK Status from Joiner::Run /
+// join::RunJoin -- no abort, no crash, no leaked NUMA regions -- and the
+// very next join on the same Joiner succeeds.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "core/joiner.h"
+#include "join/join_algorithm.h"
+#include "join/materialize.h"
+#include "mem/aligned_alloc.h"
+#include "thread/executor.h"
+#include "util/failpoint.h"
+#include "util/status.h"
+#include "workload/generator.h"
+
+namespace mmjoin {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FailPoint unit tests
+// ---------------------------------------------------------------------------
+
+TEST(FailPoint, OnceFiresExactlyOnce) {
+  FailPoint& fp = FailPoint::Get("test.once");
+  fp.Activate(FailPoint::Mode::kOnce);
+  EXPECT_TRUE(fp.ShouldFail());
+  EXPECT_FALSE(fp.ShouldFail());
+  EXPECT_FALSE(fp.ShouldFail());
+}
+
+TEST(FailPoint, NthFiresOnNthEvaluation) {
+  FailPoint& fp = FailPoint::Get("test.nth");
+  fp.Activate(FailPoint::Mode::kNth, /*n=*/3);
+  EXPECT_FALSE(fp.ShouldFail());
+  EXPECT_FALSE(fp.ShouldFail());
+  EXPECT_TRUE(fp.ShouldFail());
+  EXPECT_FALSE(fp.ShouldFail());  // disarmed after firing
+}
+
+TEST(FailPoint, AlwaysFiresUntilDeactivated) {
+  FailPoint& fp = FailPoint::Get("test.always");
+  fp.Activate(FailPoint::Mode::kAlways);
+  EXPECT_TRUE(fp.ShouldFail());
+  EXPECT_TRUE(fp.ShouldFail());
+  fp.Deactivate();
+  EXPECT_FALSE(fp.ShouldFail());
+}
+
+TEST(FailPoint, ProbabilityExtremes) {
+  FailPoint& fp = FailPoint::Get("test.prob");
+  fp.Activate(FailPoint::Mode::kProb, /*n=*/1, /*probability=*/1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(fp.ShouldFail());
+  fp.Activate(FailPoint::Mode::kProb, /*n=*/1, /*probability=*/0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(fp.ShouldFail());
+  fp.Deactivate();
+}
+
+TEST(FailPoint, ConfigureParsesEveryTriggerForm) {
+  ASSERT_TRUE(failpoint::Configure("test.cfg.a=once,test.cfg.b=nth:2").ok());
+  ASSERT_TRUE(failpoint::Configure("test.cfg.c=prob:0.5").ok());
+  ASSERT_TRUE(failpoint::Configure("test.cfg.d=always").ok());
+  const auto names = failpoint::ActiveNames();
+  for (const char* expect :
+       {"test.cfg.a", "test.cfg.b", "test.cfg.c", "test.cfg.d"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expect), names.end())
+        << expect;
+  }
+  ASSERT_TRUE(failpoint::Configure("test.cfg.a=off").ok());
+  const auto after = failpoint::ActiveNames();
+  EXPECT_EQ(std::find(after.begin(), after.end(), "test.cfg.a"), after.end());
+  failpoint::DeactivateAll();
+  EXPECT_TRUE(failpoint::ActiveNames().empty());
+}
+
+TEST(FailPoint, MalformedSpecAppliesNothing) {
+  failpoint::DeactivateAll();
+  // The second entry is invalid; the valid first entry must not be applied
+  // either (parse everything, then apply).
+  EXPECT_FALSE(
+      failpoint::Configure("test.cfg.e=once,test.cfg.f=bogus").ok());
+  EXPECT_FALSE(failpoint::Configure("test.cfg.g=nth:xyz").ok());
+  EXPECT_FALSE(failpoint::Configure("test.cfg.h=prob:1.5").ok());
+  EXPECT_FALSE(failpoint::Configure("no_equals_sign").ok());
+  EXPECT_TRUE(failpoint::ActiveNames().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Per-phase fault injection through Joiner::Run, all thirteen algorithms
+// ---------------------------------------------------------------------------
+
+class JoinFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::DeactivateAll();
+    build_ = workload::MakeDenseBuild(joiner_.system(), 8192, 1).value();
+    probe_ =
+        workload::MakeUniformProbe(joiner_.system(), 32768, 8192, 2).value();
+  }
+  void TearDown() override { failpoint::DeactivateAll(); }
+
+  core::Joiner joiner_;
+  workload::Relation build_;
+  workload::Relation probe_;
+};
+
+// Every algorithm must surface an injected allocation failure in each phase
+// as a non-OK Status (never an abort), unwind all NUMA regions, and run
+// cleanly immediately afterwards.
+TEST_F(JoinFaultTest, EveryAlgorithmFailsCleanlyInEveryPhase) {
+  for (const char* phase : {"partition", "build", "probe"}) {
+    const std::string spec = std::string("alloc.") + phase + "=once";
+    for (const join::Algorithm algorithm : join::AllAlgorithms()) {
+      const std::size_t live_before = joiner_.system()->num_live_regions();
+      ASSERT_TRUE(failpoint::Configure(spec).ok());
+
+      const auto failed = joiner_.Run(algorithm, build_, probe_);
+      ASSERT_FALSE(failed.ok())
+          << join::NameOf(algorithm) << " ignored " << spec;
+      EXPECT_EQ(failed.status().code(), StatusCode::kResourceExhausted)
+          << join::NameOf(algorithm) << " " << spec;
+      EXPECT_NE(failed.status().message().find(phase), std::string::npos)
+          << join::NameOf(algorithm) << ": '" << failed.status().message()
+          << "' does not name the " << phase << " phase";
+      EXPECT_EQ(joiner_.system()->num_live_regions(), live_before)
+          << join::NameOf(algorithm) << " leaked a region after " << spec;
+
+      // The failpoint disarmed itself (once); the same joiner must recover.
+      const auto recovered = joiner_.Run(algorithm, build_, probe_);
+      ASSERT_TRUE(recovered.ok())
+          << join::NameOf(algorithm) << " did not recover after " << spec
+          << ": " << recovered.status().ToString();
+      EXPECT_EQ(recovered.value().matches, probe_.size())
+          << join::NameOf(algorithm);
+    }
+  }
+}
+
+// The materialize failpoint guards sink-fed runs: armed, every algorithm
+// refuses to start; no sink, the failpoint is not even evaluated.
+TEST_F(JoinFaultTest, MaterializeFailpointGatesSinkRuns) {
+  for (const join::Algorithm algorithm : join::AllAlgorithms()) {
+    ASSERT_TRUE(failpoint::Configure("alloc.materialize=once").ok());
+    const auto failed = joiner_.RunMaterialized(algorithm, build_, probe_);
+    ASSERT_FALSE(failed.ok()) << join::NameOf(algorithm);
+    EXPECT_EQ(failed.status().code(), StatusCode::kResourceExhausted)
+        << join::NameOf(algorithm);
+
+    const auto recovered = joiner_.RunMaterialized(algorithm, build_, probe_);
+    ASSERT_TRUE(recovered.ok())
+        << join::NameOf(algorithm) << ": " << recovered.status().ToString();
+    EXPECT_EQ(recovered.value().size(), probe_.size())
+        << join::NameOf(algorithm);
+  }
+
+  // Without a sink the materialize failpoint must not trip plain runs.
+  ASSERT_TRUE(failpoint::Configure("alloc.materialize=once").ok());
+  EXPECT_TRUE(joiner_.Run(join::Algorithm::kNOP, build_, probe_).ok());
+  failpoint::DeactivateAll();
+}
+
+// alloc.mmap sits in the allocator itself: the first buffer the join
+// requests reports ResourceExhausted and the error propagates out of Run.
+TEST_F(JoinFaultTest, AllocatorLevelFaultPropagates) {
+  ASSERT_TRUE(failpoint::Configure("alloc.mmap=once").ok());
+  const auto failed = joiner_.Run(join::Algorithm::kPRO, build_, probe_);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(mem::GetAllocStats().injected_failures, 1u);
+
+  const auto recovered = joiner_.Run(join::Algorithm::kPRO, build_, probe_);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().matches, probe_.size());
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation and validation
+// ---------------------------------------------------------------------------
+
+TEST(Degradation, HugePageDenialFallsBackToDefaultPages) {
+  numa::NumaSystem system(2, mem::PagePolicy::kHuge);
+  ASSERT_TRUE(failpoint::Configure("alloc.madvise_huge=once").ok());
+  const mem::AllocStats before = mem::GetAllocStats();
+  // Above the mmap threshold so the huge-page path is taken.
+  void* ptr = system.TryAllocate(4u << 20, numa::Placement::kLocal);
+  failpoint::DeactivateAll();
+  ASSERT_NE(ptr, nullptr);  // degraded, not failed
+  const mem::AllocStats after = mem::GetAllocStats();
+  EXPECT_GT(after.huge_page_fallbacks, before.huge_page_fallbacks);
+  system.Free(ptr);
+}
+
+TEST(Degradation, OutOfRangeHomeNodeClampsAndCounts) {
+  numa::NumaSystem system(2);
+  const mem::AllocStats before = mem::GetAllocStats();
+  void* ptr =
+      system.TryAllocate(1u << 12, numa::Placement::kLocal, /*home_node=*/99);
+  ASSERT_NE(ptr, nullptr);
+  const mem::AllocStats after = mem::GetAllocStats();
+  EXPECT_GT(after.numa_degradations, before.numa_degradations);
+  system.Free(ptr);
+}
+
+TEST(Validation, JoinConfigRejectsUnrunnableSettings) {
+  core::Joiner joiner;
+  auto build = workload::MakeDenseBuild(joiner.system(), 1024, 3).value();
+  auto probe =
+      workload::MakeUniformProbe(joiner.system(), 4096, 1024, 4).value();
+
+  join::JoinConfig bad_bits;
+  bad_bits.radix_bits = join::JoinConfig::kMaxRadixBits + 1;
+  EXPECT_EQ(joiner.Run(join::Algorithm::kPRO, bad_bits, build, probe)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  join::JoinConfig bad_passes;
+  bad_passes.num_passes = 3;
+  EXPECT_EQ(joiner.Run(join::Algorithm::kPRO, bad_passes, build, probe)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Validation, JoinerCreateRejectsBadOptions) {
+  core::JoinerOptions bad;
+  bad.num_threads = 0;
+  EXPECT_EQ(core::Joiner::Create(bad).status().code(),
+            StatusCode::kInvalidArgument);
+  bad.num_threads = 4;
+  bad.num_nodes = 0;
+  EXPECT_EQ(core::Joiner::Create(bad).status().code(),
+            StatusCode::kInvalidArgument);
+  bad.num_nodes = 2;
+  EXPECT_TRUE(core::Joiner::Create(bad).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Executor dispatch watchdog
+// ---------------------------------------------------------------------------
+
+TEST(Watchdog, StuckDispatchPoisonsExecutor) {
+  thread::Executor executor(2, /*num_nodes=*/1);
+  executor.set_watchdog_timeout(50);
+  const Status stuck =
+      executor.Dispatch(2, [](const thread::WorkerContext& ctx) {
+        if (ctx.thread_id == 1) {
+          // Bounded straggler: long enough to trip the 50 ms watchdog,
+          // short enough that the destructor's join completes.
+          std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        }
+      });
+  EXPECT_EQ(stuck.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(executor.poisoned());
+
+  // A poisoned executor refuses further dispatches instead of racing the
+  // straggler.
+  const Status refused =
+      executor.Dispatch(2, [](const thread::WorkerContext&) {});
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Watchdog, DisabledByDefaultAndHarmlessWhenFast) {
+  thread::Executor executor(2, /*num_nodes=*/1);
+  EXPECT_EQ(executor.watchdog_timeout_ms(), 0);
+  executor.set_watchdog_timeout(10'000);
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(executor
+                  .Dispatch(2,
+                            [&](const thread::WorkerContext&) {
+                              ran.fetch_add(1);
+                            })
+                  .ok());
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_FALSE(executor.poisoned());
+}
+
+}  // namespace
+}  // namespace mmjoin

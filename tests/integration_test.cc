@@ -22,15 +22,15 @@ TEST(NumaIntegration, CprlJoinHasZeroRemotePartitionWrites) {
   // partition phase performs no remote writes at all. (The join phase's
   // scratch tables are node-local too, so total remote writes stay 0.)
   numa::NumaSystem system(4);
-  workload::Relation build = workload::MakeDenseBuild(&system, 1 << 16, 1);
+  workload::Relation build = workload::MakeDenseBuild(&system, 1 << 16, 1).value();
   workload::Relation probe =
-      workload::MakeUniformProbe(&system, 1 << 18, 1 << 16, 2);
+      workload::MakeUniformProbe(&system, 1 << 18, 1 << 16, 2).value();
   system.EnableAccounting();
 
   join::JoinConfig config;
   config.num_threads = 4;
   const join::JoinResult result =
-      join::RunJoin(join::Algorithm::kCPRL, &system, config, build, probe);
+      join::RunJoin(join::Algorithm::kCPRL, &system, config, build, probe).value();
   EXPECT_EQ(result.matches, probe.size());
   EXPECT_EQ(system.counters()->TotalRemoteWriteBytes(), 0u);
   EXPECT_GT(system.counters()->TotalRemoteReadBytes(), 0u);  // join phase
@@ -38,33 +38,33 @@ TEST(NumaIntegration, CprlJoinHasZeroRemotePartitionWrites) {
 
 TEST(NumaIntegration, ProJoinWritesRemotely) {
   numa::NumaSystem system(4);
-  workload::Relation build = workload::MakeDenseBuild(&system, 1 << 16, 1);
+  workload::Relation build = workload::MakeDenseBuild(&system, 1 << 16, 1).value();
   workload::Relation probe =
-      workload::MakeUniformProbe(&system, 1 << 18, 1 << 16, 2);
+      workload::MakeUniformProbe(&system, 1 << 18, 1 << 16, 2).value();
   system.EnableAccounting();
 
   join::JoinConfig config;
   config.num_threads = 4;
-  join::RunJoin(join::Algorithm::kPRO, &system, config, build, probe);
+  join::RunJoin(join::Algorithm::kPRO, &system, config, build, probe).value();
   EXPECT_GT(system.counters()->TotalRemoteWriteBytes(),
             system.counters()->TotalLocalWriteBytes());
 }
 
 TEST(NumaIntegration, AccountingDoesNotChangeResults) {
   numa::NumaSystem system(4);
-  workload::Relation build = workload::MakeDenseBuild(&system, 20000, 3);
+  workload::Relation build = workload::MakeDenseBuild(&system, 20000, 3).value();
   workload::Relation probe =
-      workload::MakeUniformProbe(&system, 100000, 20000, 4);
+      workload::MakeUniformProbe(&system, 100000, 20000, 4).value();
   join::JoinConfig config;
   config.num_threads = 4;
 
   for (const join::Algorithm algorithm : join::AllAlgorithms()) {
     system.DisableAccounting();
     const join::JoinResult plain =
-        join::RunJoin(algorithm, &system, config, build, probe);
+        join::RunJoin(algorithm, &system, config, build, probe).value();
     system.EnableAccounting();
     const join::JoinResult counted =
-        join::RunJoin(algorithm, &system, config, build, probe);
+        join::RunJoin(algorithm, &system, config, build, probe).value();
     EXPECT_EQ(plain.matches, counted.matches) << join::NameOf(algorithm);
     EXPECT_EQ(plain.checksum, counted.checksum) << join::NameOf(algorithm);
   }
@@ -73,9 +73,9 @@ TEST(NumaIntegration, AccountingDoesNotChangeResults) {
 
 TEST(PassOverride, ProTwoPassMatchesOnePass) {
   numa::NumaSystem system(4);
-  workload::Relation build = workload::MakeDenseBuild(&system, 30000, 5);
+  workload::Relation build = workload::MakeDenseBuild(&system, 30000, 5).value();
   workload::Relation probe =
-      workload::MakeUniformProbe(&system, 120000, 30000, 6);
+      workload::MakeUniformProbe(&system, 120000, 30000, 6).value();
   const join::JoinResult expected =
       join::ReferenceJoin(build.cspan(), probe.cspan());
 
@@ -85,7 +85,7 @@ TEST(PassOverride, ProTwoPassMatchesOnePass) {
     config.num_passes = passes;
     config.radix_bits = 8;
     const join::JoinResult result =
-        join::RunJoin(join::Algorithm::kPRO, &system, config, build, probe);
+        join::RunJoin(join::Algorithm::kPRO, &system, config, build, probe).value();
     EXPECT_EQ(result.matches, expected.matches) << passes;
     EXPECT_EQ(result.checksum, expected.checksum) << passes;
   }
@@ -93,16 +93,16 @@ TEST(PassOverride, ProTwoPassMatchesOnePass) {
 
 TEST(PassOverride, PrbOnePassMatchesTwoPass) {
   numa::NumaSystem system(4);
-  workload::Relation build = workload::MakeDenseBuild(&system, 30000, 7);
+  workload::Relation build = workload::MakeDenseBuild(&system, 30000, 7).value();
   workload::Relation probe =
-      workload::MakeUniformProbe(&system, 90000, 30000, 8);
+      workload::MakeUniformProbe(&system, 90000, 30000, 8).value();
   const join::JoinResult expected =
       join::ReferenceJoin(build.cspan(), probe.cspan());
   join::JoinConfig config;
   config.num_threads = 3;
   config.num_passes = 1;
   const join::JoinResult result =
-      join::RunJoin(join::Algorithm::kPRB, &system, config, build, probe);
+      join::RunJoin(join::Algorithm::kPRB, &system, config, build, probe).value();
   EXPECT_EQ(result.matches, expected.matches);
   EXPECT_EQ(result.checksum, expected.checksum);
 }
@@ -137,9 +137,9 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Stress, SkewedSparseManyThreads) {
   // Combined stressor: sparse domain + skew + more threads than partitions.
   numa::NumaSystem system(4);
-  workload::Relation build = workload::MakeSparseBuild(&system, 4096, 5, 13);
+  workload::Relation build = workload::MakeSparseBuild(&system, 4096, 5, 13).value();
   workload::Relation probe =
-      workload::MakeZipfProbe(&system, 50000, 4096, 0.9, 14);
+      workload::MakeZipfProbe(&system, 50000, 4096, 0.9, 14).value();
   // Zipf ranks reference the dense domain [0, 4096); remap probe keys onto
   // existing sparse build keys so matches occur.
   for (uint64_t i = 0; i < probe.size(); ++i) {
@@ -154,7 +154,7 @@ TEST(Stress, SkewedSparseManyThreads) {
     config.num_threads = 8;
     config.skew_task_factor = 2;
     const join::JoinResult result =
-        join::RunJoin(algorithm, &system, config, build, probe);
+        join::RunJoin(algorithm, &system, config, build, probe).value();
     EXPECT_EQ(result.matches, expected.matches) << join::NameOf(algorithm);
     EXPECT_EQ(result.checksum, expected.checksum)
         << join::NameOf(algorithm);
@@ -163,19 +163,19 @@ TEST(Stress, SkewedSparseManyThreads) {
 
 TEST(Stress, RepeatedRunsAreDeterministic) {
   numa::NumaSystem system(4);
-  workload::Relation build = workload::MakeDenseBuild(&system, 10000, 15);
+  workload::Relation build = workload::MakeDenseBuild(&system, 10000, 15).value();
   workload::Relation probe =
-      workload::MakeUniformProbe(&system, 50000, 10000, 16);
+      workload::MakeUniformProbe(&system, 50000, 10000, 16).value();
   join::JoinConfig config;
   config.num_threads = 4;
   for (const join::Algorithm algorithm :
        {join::Algorithm::kCPRL, join::Algorithm::kNOP,
         join::Algorithm::kMWAY}) {
     const join::JoinResult first =
-        join::RunJoin(algorithm, &system, config, build, probe);
+        join::RunJoin(algorithm, &system, config, build, probe).value();
     for (int i = 0; i < 3; ++i) {
       const join::JoinResult again =
-          join::RunJoin(algorithm, &system, config, build, probe);
+          join::RunJoin(algorithm, &system, config, build, probe).value();
       EXPECT_EQ(again.matches, first.matches);
       EXPECT_EQ(again.checksum, first.checksum);
     }

@@ -79,9 +79,9 @@ TEST(Determinism, WorkloadsStableAcrossSystems) {
   numa::NumaSystem a_system(1, mem::PagePolicy::kSmall);
   numa::NumaSystem b_system(8, mem::PagePolicy::kHuge);
   workload::Relation a = workload::MakeZipfProbe(&a_system, 20000, 1000,
-                                                 0.9, 123);
+                                                 0.9, 123).value();
   workload::Relation b = workload::MakeZipfProbe(&b_system, 20000, 1000,
-                                                 0.9, 123);
+                                                 0.9, 123).value();
   EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(Tuple)), 0);
 }
 

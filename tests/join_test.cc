@@ -32,7 +32,7 @@ void ExpectMatchesReference(Algorithm algorithm,
                             const std::string& context) {
   const JoinResult expected = ReferenceJoin(build.cspan(), probe.cspan());
   const JoinResult actual =
-      RunJoin(algorithm, System(), config, build, probe);
+      RunJoin(algorithm, System(), config, build, probe).value();
   EXPECT_EQ(actual.matches, expected.matches)
       << NameOf(algorithm) << " " << context;
   EXPECT_EQ(actual.checksum, expected.checksum)
@@ -43,36 +43,36 @@ void ExpectMatchesReference(Algorithm algorithm,
 class AllJoinsTest : public ::testing::TestWithParam<Algorithm> {};
 
 TEST_P(AllJoinsTest, DensePkUniformFk) {
-  workload::Relation build = workload::MakeDenseBuild(System(), 20000, 1);
+  workload::Relation build = workload::MakeDenseBuild(System(), 20000, 1).value();
   workload::Relation probe =
-      workload::MakeUniformProbe(System(), 100000, 20000, 2);
+      workload::MakeUniformProbe(System(), 100000, 20000, 2).value();
   JoinConfig config;
   config.num_threads = 4;
   ExpectMatchesReference(GetParam(), build, probe, config, "dense/uniform");
 }
 
 TEST_P(AllJoinsTest, EqualSizedRelations) {
-  workload::Relation build = workload::MakeDenseBuild(System(), 30000, 3);
+  workload::Relation build = workload::MakeDenseBuild(System(), 30000, 3).value();
   workload::Relation probe =
-      workload::MakeUniformProbe(System(), 30000, 30000, 4);
+      workload::MakeUniformProbe(System(), 30000, 30000, 4).value();
   JoinConfig config;
   config.num_threads = 4;
   ExpectMatchesReference(GetParam(), build, probe, config, "1:1");
 }
 
 TEST_P(AllJoinsTest, SkewedProbeZipf099) {
-  workload::Relation build = workload::MakeDenseBuild(System(), 16384, 5);
+  workload::Relation build = workload::MakeDenseBuild(System(), 16384, 5).value();
   workload::Relation probe =
-      workload::MakeZipfProbe(System(), 100000, 16384, 0.99, 6);
+      workload::MakeZipfProbe(System(), 100000, 16384, 0.99, 6).value();
   JoinConfig config;
   config.num_threads = 4;
   ExpectMatchesReference(GetParam(), build, probe, config, "zipf 0.99");
 }
 
 TEST_P(AllJoinsTest, SkewedProbeWithAggressiveTaskSplitting) {
-  workload::Relation build = workload::MakeDenseBuild(System(), 8192, 7);
+  workload::Relation build = workload::MakeDenseBuild(System(), 8192, 7).value();
   workload::Relation probe =
-      workload::MakeZipfProbe(System(), 60000, 8192, 0.9, 8);
+      workload::MakeZipfProbe(System(), 60000, 8192, 0.9, 8).value();
   JoinConfig config;
   config.num_threads = 4;
   config.skew_task_factor = 2;  // force many probe slices
@@ -80,45 +80,45 @@ TEST_P(AllJoinsTest, SkewedProbeWithAggressiveTaskSplitting) {
 }
 
 TEST_P(AllJoinsTest, SparseDomainHoles) {
-  workload::Relation build = workload::MakeSparseBuild(System(), 10000, 7, 9);
+  workload::Relation build = workload::MakeSparseBuild(System(), 10000, 7, 9).value();
   workload::Relation probe =
-      workload::MakeProbeFromBuild(System(), 80000, build, 10);
+      workload::MakeProbeFromBuild(System(), 80000, build, 10).value();
   JoinConfig config;
   config.num_threads = 4;
   ExpectMatchesReference(GetParam(), build, probe, config, "holes k=7");
 }
 
 TEST_P(AllJoinsTest, TinyInputs) {
-  workload::Relation build = workload::MakeDenseBuild(System(), 10, 11);
+  workload::Relation build = workload::MakeDenseBuild(System(), 10, 11).value();
   workload::Relation probe =
-      workload::MakeUniformProbe(System(), 37, 10, 12);
+      workload::MakeUniformProbe(System(), 37, 10, 12).value();
   JoinConfig config;
   config.num_threads = 4;  // more threads than sensible for 10 tuples
   ExpectMatchesReference(GetParam(), build, probe, config, "tiny");
 }
 
 TEST_P(AllJoinsTest, SingleThread) {
-  workload::Relation build = workload::MakeDenseBuild(System(), 5000, 13);
+  workload::Relation build = workload::MakeDenseBuild(System(), 5000, 13).value();
   workload::Relation probe =
-      workload::MakeUniformProbe(System(), 25000, 5000, 14);
+      workload::MakeUniformProbe(System(), 25000, 5000, 14).value();
   JoinConfig config;
   config.num_threads = 1;
   ExpectMatchesReference(GetParam(), build, probe, config, "1 thread");
 }
 
 TEST_P(AllJoinsTest, NonPowerOfTwoThreads) {
-  workload::Relation build = workload::MakeDenseBuild(System(), 12000, 15);
+  workload::Relation build = workload::MakeDenseBuild(System(), 12000, 15).value();
   workload::Relation probe =
-      workload::MakeUniformProbe(System(), 60000, 12000, 16);
+      workload::MakeUniformProbe(System(), 60000, 12000, 16).value();
   JoinConfig config;
   config.num_threads = 7;
   ExpectMatchesReference(GetParam(), build, probe, config, "7 threads");
 }
 
 TEST_P(AllJoinsTest, ExplicitRadixBits) {
-  workload::Relation build = workload::MakeDenseBuild(System(), 20000, 17);
+  workload::Relation build = workload::MakeDenseBuild(System(), 20000, 17).value();
   workload::Relation probe =
-      workload::MakeUniformProbe(System(), 60000, 20000, 18);
+      workload::MakeUniformProbe(System(), 60000, 20000, 18).value();
   for (const uint32_t bits : {1u, 5u, 10u}) {
     JoinConfig config;
     config.num_threads = 4;
@@ -129,9 +129,9 @@ TEST_P(AllJoinsTest, ExplicitRadixBits) {
 }
 
 TEST_P(AllJoinsTest, ProbeSmallerThanBuild) {
-  workload::Relation build = workload::MakeDenseBuild(System(), 20000, 19);
+  workload::Relation build = workload::MakeDenseBuild(System(), 20000, 19).value();
   workload::Relation probe =
-      workload::MakeUniformProbe(System(), 1000, 20000, 20);
+      workload::MakeUniformProbe(System(), 1000, 20000, 20).value();
   JoinConfig config;
   config.num_threads = 4;
   ExpectMatchesReference(GetParam(), build, probe, config, "small probe");
@@ -158,16 +158,16 @@ class PairCollectorSink final : public MatchSink {
 };
 
 TEST_P(AllJoinsTest, MaterializedPairsExactlyMatchReference) {
-  workload::Relation build = workload::MakeDenseBuild(System(), 3000, 21);
+  workload::Relation build = workload::MakeDenseBuild(System(), 3000, 21).value();
   workload::Relation probe =
-      workload::MakeUniformProbe(System(), 9000, 3000, 22);
+      workload::MakeUniformProbe(System(), 9000, 3000, 22).value();
   const auto expected = ReferenceJoinPairs(build.cspan(), probe.cspan());
 
   PairCollectorSink sink(4);
   JoinConfig config;
   config.num_threads = 4;
   config.sink = &sink;
-  RunJoin(GetParam(), System(), config, build, probe);
+  RunJoin(GetParam(), System(), config, build, probe).value();
   EXPECT_EQ(sink.Sorted(), expected) << NameOf(GetParam());
 }
 
@@ -192,7 +192,7 @@ TEST_P(DuplicateJoinsTest, DuplicateBuildKeys) {
   }
   build.set_key_domain(3000);
   workload::Relation probe =
-      workload::MakeUniformProbe(system, 20000, 3000, 24);
+      workload::MakeUniformProbe(system, 20000, 3000, 24).value();
 
   JoinConfig config;
   config.num_threads = 4;
@@ -246,15 +246,15 @@ TEST(Registry, ArrayJoinsFlagDenseRequirement) {
 // --- Phase time sanity -------------------------------------------------------
 
 TEST(PhaseTimes, PartitionJoinsReportPartitionPhase) {
-  workload::Relation build = workload::MakeDenseBuild(System(), 50000, 25);
+  workload::Relation build = workload::MakeDenseBuild(System(), 50000, 25).value();
   workload::Relation probe =
-      workload::MakeUniformProbe(System(), 200000, 50000, 26);
+      workload::MakeUniformProbe(System(), 200000, 50000, 26).value();
   JoinConfig config;
   config.num_threads = 4;
   for (const Algorithm algorithm :
        {Algorithm::kPRO, Algorithm::kCPRL, Algorithm::kPRB}) {
     const JoinResult result =
-        RunJoin(algorithm, System(), config, build, probe);
+        RunJoin(algorithm, System(), config, build, probe).value();
     EXPECT_GT(result.times.partition_ns, 0) << NameOf(algorithm);
     EXPECT_GT(result.times.probe_ns, 0) << NameOf(algorithm);
     EXPECT_GE(result.times.total_ns,
@@ -264,13 +264,13 @@ TEST(PhaseTimes, PartitionJoinsReportPartitionPhase) {
 }
 
 TEST(PhaseTimes, NopReportsBuildAndProbe) {
-  workload::Relation build = workload::MakeDenseBuild(System(), 50000, 27);
+  workload::Relation build = workload::MakeDenseBuild(System(), 50000, 27).value();
   workload::Relation probe =
-      workload::MakeUniformProbe(System(), 200000, 50000, 28);
+      workload::MakeUniformProbe(System(), 200000, 50000, 28).value();
   JoinConfig config;
   config.num_threads = 4;
   const JoinResult result =
-      RunJoin(Algorithm::kNOP, System(), config, build, probe);
+      RunJoin(Algorithm::kNOP, System(), config, build, probe).value();
   EXPECT_GT(result.times.build_ns, 0);
   EXPECT_GT(result.times.probe_ns, 0);
   EXPECT_EQ(result.times.partition_ns, 0);

@@ -233,7 +233,7 @@ TEST(ChunkedPartition, PartitionSizeSumsFragments) {
 // remote writes, global partitioning many.
 TEST(ChunkedPartition, NoRemoteWritesWhenThreadsMatchNodes) {
   numa::NumaSystem system(4);
-  workload::Relation rel = workload::MakeDenseBuild(&system, 1 << 16, 5);
+  workload::Relation rel = workload::MakeDenseBuild(&system, 1 << 16, 5).value();
   numa::NumaBuffer<Tuple> output(&system, rel.size(),
                                  numa::Placement::kChunkedRoundRobin);
   system.EnableAccounting();
@@ -255,7 +255,7 @@ TEST(ChunkedPartition, NoRemoteWritesWhenThreadsMatchNodes) {
 
 TEST(GlobalPartition, HasRemoteWrites) {
   numa::NumaSystem system(4);
-  workload::Relation rel = workload::MakeDenseBuild(&system, 1 << 16, 5);
+  workload::Relation rel = workload::MakeDenseBuild(&system, 1 << 16, 5).value();
   numa::NumaBuffer<Tuple> output(&system, rel.size(),
                                  numa::Placement::kChunkedRoundRobin);
   system.EnableAccounting();

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 #include <vector>
@@ -22,7 +23,7 @@ numa::NumaSystem* System() {
 
 TEST(DenseBuild, KeysAreAPermutation) {
   const uint64_t n = 100000;
-  Relation rel = MakeDenseBuild(System(), n, 1);
+  Relation rel = MakeDenseBuild(System(), n, 1).value();
   ASSERT_EQ(rel.size(), n);
   EXPECT_EQ(rel.key_domain(), n);
 
@@ -37,7 +38,7 @@ TEST(DenseBuild, KeysAreAPermutation) {
 }
 
 TEST(DenseBuild, ShuffledNotSorted) {
-  Relation rel = MakeDenseBuild(System(), 10000, 2);
+  Relation rel = MakeDenseBuild(System(), 10000, 2).value();
   bool sorted = true;
   for (uint64_t i = 1; i < rel.size(); ++i) {
     if (rel.data()[i - 1].key > rel.data()[i].key) {
@@ -49,15 +50,15 @@ TEST(DenseBuild, ShuffledNotSorted) {
 }
 
 TEST(DenseBuild, DeterministicInSeed) {
-  Relation a = MakeDenseBuild(System(), 1000, 7);
-  Relation b = MakeDenseBuild(System(), 1000, 7);
-  Relation c = MakeDenseBuild(System(), 1000, 8);
+  Relation a = MakeDenseBuild(System(), 1000, 7).value();
+  Relation b = MakeDenseBuild(System(), 1000, 7).value();
+  Relation c = MakeDenseBuild(System(), 1000, 8).value();
   EXPECT_TRUE(std::equal(a.data(), a.data() + 1000, b.data()));
   EXPECT_FALSE(std::equal(a.data(), a.data() + 1000, c.data()));
 }
 
 TEST(UniformProbe, KeysInDomainAndPayloadIsRowId) {
-  Relation probe = MakeUniformProbe(System(), 50000, 1000, 3);
+  Relation probe = MakeUniformProbe(System(), 50000, 1000, 3).value();
   for (uint64_t i = 0; i < probe.size(); ++i) {
     ASSERT_LT(probe.data()[i].key, 1000u);
     ASSERT_EQ(probe.data()[i].payload, i);
@@ -66,7 +67,7 @@ TEST(UniformProbe, KeysInDomainAndPayloadIsRowId) {
 
 TEST(UniformProbe, CoversDomainRoughlyUniformly) {
   const uint64_t domain = 100;
-  Relation probe = MakeUniformProbe(System(), 100000, domain, 4);
+  Relation probe = MakeUniformProbe(System(), 100000, domain, 4).value();
   std::vector<uint64_t> counts(domain, 0);
   for (uint64_t i = 0; i < probe.size(); ++i) ++counts[probe.data()[i].key];
   const auto [min_it, max_it] =
@@ -116,7 +117,7 @@ TEST(ZipfGenerator, RankOneIsMostFrequent) {
 
 TEST(ZipfProbe, KeysInDomainAndHotKeysRemapped) {
   const uint64_t build_n = 1 << 16;
-  Relation probe = MakeZipfProbe(System(), 200000, build_n, 0.99, 8);
+  Relation probe = MakeZipfProbe(System(), 200000, build_n, 0.99, 8).value();
   std::vector<uint64_t> counts(build_n, 0);
   for (uint64_t i = 0; i < probe.size(); ++i) {
     ASSERT_LT(probe.data()[i].key, build_n);
@@ -136,7 +137,7 @@ TEST(ZipfProbe, KeysInDomainAndHotKeysRemapped) {
 
 TEST(SparseBuild, StratifiedUniqueKeys) {
   const uint64_t n = 10000, k = 8;
-  Relation rel = MakeSparseBuild(System(), n, k, 9);
+  Relation rel = MakeSparseBuild(System(), n, k, 9).value();
   EXPECT_EQ(rel.key_domain(), n * k);
   std::set<uint32_t> keys;
   for (uint64_t i = 0; i < n; ++i) {
@@ -147,7 +148,7 @@ TEST(SparseBuild, StratifiedUniqueKeys) {
 }
 
 TEST(SparseBuild, KEqualsOneIsDense) {
-  Relation rel = MakeSparseBuild(System(), 1000, 1, 10);
+  Relation rel = MakeSparseBuild(System(), 1000, 1, 10).value();
   std::set<uint32_t> keys;
   for (uint64_t i = 0; i < 1000; ++i) keys.insert(rel.data()[i].key);
   EXPECT_EQ(keys.size(), 1000u);
@@ -155,8 +156,8 @@ TEST(SparseBuild, KEqualsOneIsDense) {
 }
 
 TEST(ProbeFromBuild, EveryProbeKeyExistsInBuild) {
-  Relation build = MakeSparseBuild(System(), 5000, 13, 11);
-  Relation probe = MakeProbeFromBuild(System(), 50000, build, 12);
+  Relation build = MakeSparseBuild(System(), 5000, 13, 11).value();
+  Relation probe = MakeProbeFromBuild(System(), 50000, build, 12).value();
   std::set<uint32_t> build_keys;
   for (uint64_t i = 0; i < build.size(); ++i) {
     build_keys.insert(build.data()[i].key);
@@ -165,6 +166,53 @@ TEST(ProbeFromBuild, EveryProbeKeyExistsInBuild) {
     ASSERT_TRUE(build_keys.count(probe.data()[i].key));
   }
   EXPECT_EQ(probe.key_domain(), build.key_domain());
+}
+
+// ---------------------------------------------------------------------------
+// Parameter validation: nonsensical requests come back as InvalidArgument
+// instead of generating garbage (or aborting).
+// ---------------------------------------------------------------------------
+
+TEST(Validation, ZeroCardinalityRejectedEverywhere) {
+  EXPECT_EQ(MakeDenseBuild(System(), 0, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeUniformProbe(System(), 0, 100, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeZipfProbe(System(), 0, 100, 0.5, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeSparseBuild(System(), 0, 4, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  Relation build = MakeDenseBuild(System(), 100, 1).value();
+  EXPECT_EQ(MakeProbeFromBuild(System(), 0, build, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Validation, ProbeAgainstEmptyDomainRejected) {
+  EXPECT_FALSE(MakeUniformProbe(System(), 100, 0, 1).ok());
+  EXPECT_FALSE(MakeZipfProbe(System(), 100, 0, 0.5, 1).ok());
+  Relation empty(System(), 0);
+  EXPECT_FALSE(MakeProbeFromBuild(System(), 100, empty, 1).ok());
+}
+
+TEST(Validation, ZipfThetaOutsideGraysRangeRejected) {
+  EXPECT_TRUE(ZipfGenerator::Validate(100, 0.0).ok());
+  EXPECT_TRUE(ZipfGenerator::Validate(100, 0.99).ok());
+  EXPECT_FALSE(ZipfGenerator::Validate(100, 1.0).ok());   // diverges
+  EXPECT_FALSE(ZipfGenerator::Validate(100, -0.1).ok());
+  EXPECT_FALSE(ZipfGenerator::Validate(100, 2.0).ok());
+  EXPECT_FALSE(
+      ZipfGenerator::Validate(100, std::nan("")).ok());
+  EXPECT_FALSE(ZipfGenerator::Validate(0, 0.5).ok());
+  EXPECT_FALSE(MakeZipfProbe(System(), 100, 50, 1.0, 1).ok());
+}
+
+TEST(Validation, SparseDomainOverflowRejected) {
+  // n * k would exceed the 32-bit key space.
+  EXPECT_EQ(MakeSparseBuild(System(), 1u << 20, 1u << 20, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeSparseBuild(System(), 100, 0, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(MakeSparseBuild(System(), 1000, 8, 1).ok());
 }
 
 }  // namespace
