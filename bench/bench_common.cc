@@ -2,11 +2,99 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/phase_profile.h"
+#include "obs/trace.h"
 #include "thread/executor.h"
 
 namespace mmjoin::bench {
+namespace {
+
+// State shared between PrintBanner (opens the sinks), RunMedian (appends one
+// record per repeat), and PrintExecutorStats (finalizes). Harnesses are
+// single-threaded drivers, so plain statics suffice.
+struct ObsSinks {
+  std::FILE* json = nullptr;
+  std::string json_path;
+  std::string trace_path;
+  std::string artifact;
+};
+
+ObsSinks& Sinks() {
+  static ObsSinks sinks;
+  return sinks;
+}
+
+void AppendPhaseJson(std::string* out, const obs::PhaseProfile& profile) {
+  *out += ",\"phases\":{";
+  char buf[256];
+  bool first = true;
+  for (int p = 0; p < obs::kNumJoinPhases; ++p) {
+    const auto phase = static_cast<obs::JoinPhase>(p);
+    const obs::PhaseStat& stat = profile.Of(phase);
+    if (stat.threads == 0) continue;
+    if (!first) *out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "\"%s\":{\"threads\":%d,\"total_ns\":%lld,\"min_ns\":%lld,"
+                  "\"max_ns\":%lld",
+                  obs::JoinPhaseName(phase), stat.threads,
+                  static_cast<long long>(stat.total_ns),
+                  static_cast<long long>(stat.min_ns),
+                  static_cast<long long>(stat.max_ns));
+    *out += buf;
+    if (stat.counters.valid) {
+      std::snprintf(buf, sizeof(buf),
+                    ",\"cycles\":%llu,\"instructions\":%llu,"
+                    "\"llc_misses\":%llu,\"dtlb_misses\":%llu",
+                    static_cast<unsigned long long>(stat.counters.cycles),
+                    static_cast<unsigned long long>(stat.counters.instructions),
+                    static_cast<unsigned long long>(stat.counters.llc_misses),
+                    static_cast<unsigned long long>(stat.counters.dtlb_misses));
+      *out += buf;
+    }
+    *out += '}';
+  }
+  *out += '}';
+}
+
+// One `mmjoin.bench.v1` JSON line per repeat. Names come from code-owned
+// tables (no escaping needed).
+void AppendBenchRecord(const char* algorithm, int repeat_index,
+                       uint64_t build_size, uint64_t probe_size, int threads,
+                       const join::JoinResult& result) {
+  ObsSinks& sinks = Sinks();
+  if (sinks.json == nullptr) return;
+  std::string line = "{\"schema\":\"mmjoin.bench.v1\"";
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      ",\"artifact\":\"%s\",\"algorithm\":\"%s\",\"repeat\":%d,"
+      "\"build\":%llu,\"probe\":%llu,\"threads\":%d,"
+      "\"matches\":%llu,\"checksum\":%llu,"
+      "\"partition_ns\":%lld,\"build_ns\":%lld,\"probe_ns\":%lld,"
+      "\"total_ns\":%lld,\"mtps\":%.3f",
+      sinks.artifact.c_str(), algorithm, repeat_index,
+      static_cast<unsigned long long>(build_size),
+      static_cast<unsigned long long>(probe_size), threads,
+      static_cast<unsigned long long>(result.matches),
+      static_cast<unsigned long long>(result.checksum),
+      static_cast<long long>(result.times.partition_ns),
+      static_cast<long long>(result.times.build_ns),
+      static_cast<long long>(result.times.probe_ns),
+      static_cast<long long>(result.times.total_ns),
+      result.ThroughputMtps(build_size, probe_size));
+  line += buf;
+  if (result.profile.has_value()) AppendPhaseJson(&line, *result.profile);
+  line += "}\n";
+  std::fwrite(line.data(), 1, line.size(), sinks.json);
+}
+
+}  // namespace
 
 BenchEnv BenchEnv::FromCli(const CommandLine& cli, uint64_t default_build,
                            uint64_t default_probe, int default_threads) {
@@ -22,6 +110,18 @@ BenchEnv BenchEnv::FromCli(const CommandLine& cli, uint64_t default_build,
   const std::string pages = cli.GetString("pages", "huge");
   env.pages = pages == "small" ? mem::PagePolicy::kSmall
                                : mem::PagePolicy::kHuge;
+  env.json_path = cli.GetString("json", "");
+  if (env.json_path.empty()) {
+    if (const char* path = std::getenv("MMJOIN_BENCH_JSON")) {
+      env.json_path = path;
+    }
+  }
+  env.trace_path = cli.GetString("trace", "");
+  if (env.trace_path.empty()) {
+    if (const char* path = std::getenv("MMJOIN_TRACE")) {
+      env.trace_path = path;
+    }
+  }
   return env;
 }
 
@@ -35,6 +135,22 @@ void PrintBanner(const char* artifact, const char* description,
       static_cast<unsigned long long>(env.build_size),
       static_cast<unsigned long long>(env.probe_size), env.threads,
       env.nodes, env.repeat, static_cast<unsigned long long>(env.seed));
+
+  ObsSinks& sinks = Sinks();
+  sinks.artifact = artifact;
+  if (!env.json_path.empty() && sinks.json == nullptr) {
+    sinks.json = std::fopen(env.json_path.c_str(), "w");
+    if (sinks.json == nullptr) {
+      std::fprintf(stderr, "[mmjoin] bench: cannot open --json file '%s'\n",
+                   env.json_path.c_str());
+    } else {
+      sinks.json_path = env.json_path;
+    }
+  }
+  if (!env.trace_path.empty()) {
+    sinks.trace_path = env.trace_path;
+    obs::Enable();
+  }
 }
 
 join::JoinResult RunMedian(join::Algorithm algorithm,
@@ -59,6 +175,8 @@ join::JoinResult RunMedian(join::Algorithm algorithm,
                    result.status().ToString().c_str());
       std::exit(1);
     }
+    AppendBenchRecord(join::NameOf(algorithm), i, build.size(), probe.size(),
+                      pooled.num_threads, *result);
     results.push_back(std::move(result).value());
   }
   std::sort(results.begin(), results.end(),
@@ -92,6 +210,40 @@ void PrintExecutorStats() {
     std::printf(
         "[alloc] note: %llu huge-page request(s) degraded to default pages\n",
         static_cast<unsigned long long>(alloc.huge_page_fallbacks));
+  }
+
+  ObsSinks& sinks = Sinks();
+  if (obs::Enabled()) {
+    const obs::TraceRecorder& recorder = obs::TraceRecorder::Get();
+    std::printf(
+        "[obs] spans_recorded=%llu spans_dropped=%llu barrier_wait_ns=%llu "
+        "idle_ns=%llu\n",
+        static_cast<unsigned long long>(recorder.recorded_spans()),
+        static_cast<unsigned long long>(recorder.dropped_spans()),
+        static_cast<unsigned long long>(stats.barrier_wait_ns),
+        static_cast<unsigned long long>(stats.idle_ns));
+  }
+  if (sinks.json != nullptr) {
+    // Final record: the process-wide metrics snapshot.
+    const std::string metrics = obs::MetricsRegistry::Get().Json();
+    std::fwrite(metrics.data(), 1, metrics.size(), sinks.json);
+    std::fputc('\n', sinks.json);
+    std::fclose(sinks.json);
+    sinks.json = nullptr;
+    std::printf("[obs] bench records written to %s\n",
+                sinks.json_path.c_str());
+  }
+  if (!sinks.trace_path.empty()) {
+    const Status status =
+        obs::TraceRecorder::Get().WriteChromeTrace(sinks.trace_path);
+    if (status.ok()) {
+      std::printf("[obs] chrome trace written to %s (load in Perfetto)\n",
+                  sinks.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "[mmjoin] bench: trace write failed: %s\n",
+                   status.ToString().c_str());
+    }
+    sinks.trace_path.clear();
   }
 }
 

@@ -15,6 +15,11 @@ namespace mmjoin::bench {
 // Common experiment parameters, overridable from the command line:
 //   --build=N --probe=N --threads=N --nodes=N --seed=N --pages=huge|small
 //   --repeat=N (median-of-N timing)
+//   --json=PATH (or MMJOIN_BENCH_JSON): machine-readable results, one JSON
+//     object per line -- a `mmjoin.bench.v1` record per repeat plus one
+//     final `mmjoin.metrics.v1` record (schema: docs/OBSERVABILITY.md)
+//   --trace=PATH (or MMJOIN_TRACE): enables observability and writes a
+//     Chrome trace-event file (load in Perfetto) at exit
 struct BenchEnv {
   uint64_t build_size;
   uint64_t probe_size;
@@ -23,6 +28,8 @@ struct BenchEnv {
   int repeat;
   uint64_t seed;
   mem::PagePolicy pages;
+  std::string json_path;   // empty = no JSON output
+  std::string trace_path;  // empty = observability off
 
   static BenchEnv FromCli(const CommandLine& cli, uint64_t default_build,
                           uint64_t default_probe, int default_threads = 4);
@@ -45,7 +52,9 @@ join::JoinResult RunMedian(join::Algorithm algorithm,
 
 // Prints the process pool's reuse counters (threads spawned vs. dispatches
 // run). Harnesses call this at exit to document that the whole run created
-// worker threads once.
+// worker threads once. Also finalizes the observability artifacts the
+// banner opened: flushes the bench JSON sink (appending the final metrics
+// record) and writes the Chrome trace file when those were requested.
 void PrintExecutorStats();
 
 }  // namespace mmjoin::bench

@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Validates the machine-readable observability artifacts.
+
+Three file shapes are understood (auto-detected, or forced with --kind):
+
+  bench    JSON Lines as written by the bench harnesses' --json flag /
+           MMJOIN_BENCH_JSON: one `mmjoin.bench.v1` object per repeat plus
+           one final `mmjoin.metrics.v1` object.
+  metrics  A single `mmjoin.metrics.v1` object (run_join --metrics=PATH or
+           obs::MetricsRegistry::WriteJson).
+  trace    A Chrome trace-event file (run_join --trace=PATH or the bench
+           harnesses' --trace / MMJOIN_TRACE): {"traceEvents": [...]} with
+           "X" complete events carrying name/cat/pid/tid/ts/dur.
+
+Schemas are documented in docs/OBSERVABILITY.md. Exit status 0 when every
+given file validates; 1 with a per-file diagnostic otherwise. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+BENCH_REQUIRED = {
+    "artifact": str,
+    "algorithm": str,
+    "repeat": int,
+    "build": int,
+    "probe": int,
+    "threads": int,
+    "matches": int,
+    "checksum": int,
+    "partition_ns": int,
+    "build_ns": int,
+    "probe_ns": int,
+    "total_ns": int,
+    "mtps": (int, float),
+}
+
+PHASE_REQUIRED = {"threads": int, "total_ns": int, "min_ns": int,
+                  "max_ns": int}
+PHASE_NAMES = {"partition.pass1", "partition.pass2", "build", "probe",
+               "sort", "merge", "materialize"}
+
+TRACE_EVENT_REQUIRED = {"name": str, "cat": str, "ph": str, "pid": int,
+                        "tid": int, "ts": (int, float), "dur": (int, float)}
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return False
+
+
+def check_fields(path, obj, required, where):
+    for key, expected in required.items():
+        if key not in obj:
+            return fail(path, f"{where}: missing field '{key}'")
+        if not isinstance(obj[key], expected) or isinstance(obj[key], bool):
+            return fail(path, f"{where}: field '{key}' has type "
+                              f"{type(obj[key]).__name__}")
+    return True
+
+
+def check_metrics_object(path, obj, where):
+    if obj.get("schema") != "mmjoin.metrics.v1":
+        return fail(path, f"{where}: schema is {obj.get('schema')!r}, "
+                          "expected 'mmjoin.metrics.v1'")
+    counters = obj.get("counters")
+    if not isinstance(counters, dict):
+        return fail(path, f"{where}: 'counters' must be an object")
+    for name, value in counters.items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            return fail(path, f"{where}: counter '{name}' is not an integer")
+    # The registry always contributes its own trace counters; an empty or
+    # near-empty map means the providers never registered.
+    if "trace.spans_recorded" not in counters:
+        return fail(path, f"{where}: missing counter 'trace.spans_recorded'")
+    return True
+
+
+def check_bench_record(path, obj, where):
+    if not check_fields(path, obj, BENCH_REQUIRED, where):
+        return False
+    if obj["total_ns"] <= 0:
+        return fail(path, f"{where}: total_ns must be positive")
+    phases = obj.get("phases")
+    if phases is not None:
+        if not isinstance(phases, dict):
+            return fail(path, f"{where}: 'phases' must be an object")
+        for name, stat in phases.items():
+            if name not in PHASE_NAMES:
+                return fail(path, f"{where}: unknown phase '{name}'")
+            if not check_fields(path, stat, PHASE_REQUIRED,
+                                f"{where} phase '{name}'"):
+                return False
+            if stat["min_ns"] > stat["max_ns"]:
+                return fail(path, f"{where} phase '{name}': min_ns > max_ns")
+    return True
+
+
+def check_bench_file(path, text):
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return fail(path, "empty bench JSONL file")
+    bench_records = 0
+    metrics_records = 0
+    for i, line in enumerate(lines, start=1):
+        where = f"line {i}"
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            return fail(path, f"{where}: invalid JSON: {e}")
+        schema = obj.get("schema")
+        if schema == "mmjoin.bench.v1":
+            bench_records += 1
+            if not check_bench_record(path, obj, where):
+                return False
+        elif schema == "mmjoin.metrics.v1":
+            metrics_records += 1
+            if not check_metrics_object(path, obj, where):
+                return False
+        else:
+            return fail(path, f"{where}: unknown schema {schema!r}")
+    if bench_records == 0:
+        return fail(path, "no mmjoin.bench.v1 records")
+    if metrics_records != 1:
+        return fail(path, f"expected exactly one mmjoin.metrics.v1 record, "
+                          f"found {metrics_records}")
+    if lines and json.loads(lines[-1]).get("schema") != "mmjoin.metrics.v1":
+        return fail(path, "metrics record must be the final line")
+    print(f"{path}: OK ({bench_records} bench record(s) + metrics)")
+    return True
+
+
+def check_metrics_file(path, text):
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError as e:
+        return fail(path, f"invalid JSON: {e}")
+    if not check_metrics_object(path, obj, "metrics"):
+        return False
+    print(f"{path}: OK ({len(obj['counters'])} counter(s))")
+    return True
+
+
+def check_trace_file(path, text):
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError as e:
+        return fail(path, f"invalid JSON: {e}")
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(path, "'traceEvents' must be an array")
+    if not events:
+        return fail(path, "trace contains no events")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not check_fields(path, event, TRACE_EVENT_REQUIRED, where):
+            return False
+        if event["ph"] != "X":
+            return fail(path, f"{where}: expected complete event 'X', "
+                              f"got {event['ph']!r}")
+        if event["dur"] < 0:
+            return fail(path, f"{where}: negative duration")
+    print(f"{path}: OK ({len(events)} span(s))")
+    return True
+
+
+def detect_kind(text):
+    stripped = text.lstrip()
+    if "\n" in text.strip() and stripped.startswith("{"):
+        first_line = text.strip().splitlines()[0]
+        try:
+            json.loads(first_line)
+            return "bench"  # parseable first line of several -> JSON Lines
+        except json.JSONDecodeError:
+            pass
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError:
+        return "bench"  # let the line-by-line checker produce the diagnostic
+    if isinstance(obj, dict) and "traceEvents" in obj:
+        return "trace"
+    return "metrics"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+")
+    parser.add_argument("--kind", choices=["auto", "bench", "metrics",
+                                           "trace"], default="auto")
+    args = parser.parse_args()
+
+    ok = True
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            ok = fail(path, str(e)) and ok
+            continue
+        kind = args.kind if args.kind != "auto" else detect_kind(text)
+        checker = {"bench": check_bench_file, "metrics": check_metrics_file,
+                   "trace": check_trace_file}[kind]
+        ok = checker(path, text) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

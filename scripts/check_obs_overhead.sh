@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Asserts that the compiled-in observability layer costs nothing when it is
+# disabled (the default). Two complementary checks back that claim:
+#
+#  * Per-site: ObsTest.DisabledScopeCostIsNanoseconds bounds a disabled
+#    ObsScope directly (one relaxed load + predicted branches, single-digit
+#    nanoseconds per site -- a few dozen sites per join, so far under 1%).
+#  * End-to-end (this script): two NOPA reference runs of the instrumented
+#    binary with observability disabled must agree within 1% plus an
+#    absolute noise floor. A regression on the disabled path (accidental
+#    recording, allocation, or a syscall per site) is orders of magnitude
+#    above that band; agreement shows the instrumented binary's timing is
+#    indistinguishable from noise.
+#
+# Usage: check_obs_overhead.sh [BINARY_DIR]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+RUN_JOIN="$BUILD_DIR/examples/run_join"
+if [ ! -x "$RUN_JOIN" ]; then
+  echo "check_obs_overhead: $RUN_JOIN not built" >&2
+  exit 1
+fi
+
+# Small enough to finish quickly on a CI runner, large enough that the total
+# is dominated by join work rather than process startup. --repeat keeps the
+# fastest of N runs, which strips scheduler outliers on shared hosts.
+ARGS=(--join=NOPA --build=1000000 --probe=4000000 --threads=2 --repeat=5)
+
+total_ns() {
+  # "  total      : 12.34 ms" -> nanoseconds
+  awk '/^  total/ { printf "%.0f", $3 * 1e6 }'
+}
+
+baseline=$("$RUN_JOIN" "${ARGS[@]}" | total_ns)
+reference=$("$RUN_JOIN" "${ARGS[@]}" | total_ns)
+
+if [ -z "$baseline" ] || [ -z "$reference" ] \
+    || [ "$baseline" -le 0 ] || [ "$reference" -le 0 ]; then
+  echo "check_obs_overhead: could not parse run_join output" >&2
+  exit 1
+fi
+
+# 1% relative tolerance with a 5 ms absolute floor: at the smoke-test sizes
+# CI uses, a 1% band alone would be below timer/scheduler noise.
+delta=$((reference - baseline)); [ "$delta" -lt 0 ] && delta=$((-delta))
+allowed=$((baseline / 100))
+floor=5000000
+[ "$allowed" -lt "$floor" ] && allowed=$floor
+
+echo "check_obs_overhead: baseline=${baseline}ns reference=${reference}ns" \
+     "delta=${delta}ns allowed=${allowed}ns"
+if [ "$delta" -gt "$allowed" ]; then
+  echo "check_obs_overhead: disabled-path overhead exceeds tolerance" >&2
+  exit 1
+fi
+echo "check_obs_overhead: OK (disabled observability is free)"

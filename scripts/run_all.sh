@@ -25,18 +25,27 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 
 # Each harness gets BENCH_TIMEOUT seconds (default 900); the sweep stops at
 # the first harness that fails or hangs, with a diagnostic naming it, so a
-# broken bench cannot scroll by unnoticed in bench_output.txt.
+# broken bench cannot scroll by unnoticed in bench_output.txt. Every harness
+# also writes its machine-readable results (mmjoin.bench.v1 JSON Lines, see
+# docs/OBSERVABILITY.md) to BENCH_<name>.json at the repository root, and
+# each file is schema-validated before the sweep moves on.
 BENCH_TIMEOUT="${BENCH_TIMEOUT:-900}"
 (for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
+  name="$(basename "$b")"
+  json="BENCH_${name#bench_}.json"
   echo "######## $b ########"
   rc=0
-  timeout "$BENCH_TIMEOUT" "$b" || rc=$?
+  MMJOIN_BENCH_JSON="$json" timeout "$BENCH_TIMEOUT" "$b" || rc=$?
   if [ "$rc" -eq 124 ]; then
     echo "FAILED: $b exceeded ${BENCH_TIMEOUT}s timeout" >&2
     exit 1
   elif [ "$rc" -ne 0 ]; then
     echo "FAILED: $b exited with status $rc" >&2
+    exit 1
+  fi
+  if ! python3 scripts/check_metrics.py --kind=bench "$json"; then
+    echo "FAILED: $b wrote an invalid $json" >&2
     exit 1
   fi
   echo

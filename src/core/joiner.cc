@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/trace.h"
+
 namespace mmjoin::core {
 
 Status JoinerOptions::Validate() const {
@@ -48,6 +50,7 @@ StatusOr<join::JoinResult> Joiner::Run(join::Algorithm algorithm,
   join::JoinConfig config = base_config;
   config.num_threads = num_threads_;
   config.executor = executor_.get();
+  obs::ObsScope scope(join::NameOf(algorithm), obs::SpanKind::kRun);
   return join::RunJoin(algorithm, &system_, config, build, probe);
 }
 

@@ -71,6 +71,7 @@ class ChtJoin final : public JoinAlgorithm {
     int64_t build_end = 0;
     MatchSink* sink = config.sink;
     JoinAbort abort;
+    auto profiler = obs::MakeJoinProfiler(num_threads);
     const int64_t start = NowNanos();
 
     const Status dispatch_status = ExecutorOf(config).Dispatch(
@@ -80,46 +81,53 @@ class ChtJoin final : public JoinAlgorithm {
       const int node = system->topology().NodeOfThread(tid, num_threads);
 
       // --- Build: partition by hash prefix, then bulk-load regions. ---
-      partitioner.BuildHistogram(tid);
-      barrier.ArriveAndWait();
-      if (tid == 0) partitioner.ComputeOffsets();
-      barrier.ArriveAndWait();
-      partitioner.Scatter(tid, node);
-      barrier.ArriveAndWait();
-
-      const partition::PartitionLayout& layout = partitioner.layout();
-      for (uint64_t region = tid; region < regions;
-           region += static_cast<uint64_t>(num_threads)) {
-        const uint64_t begin = layout.PartitionBegin(
-            static_cast<uint32_t>(region));
-        const uint64_t size =
-            layout.PartitionSize(static_cast<uint32_t>(region));
-        const hash::ConciseHashTable::BuildRegion bucket_range{
-            region * buckets_per_region, (region + 1) * buckets_per_region};
-        table.MarkBits(
-            ConstTupleSpan(partitioned.data() + begin, size), bucket_range,
-            bucket_of.data() + begin, &overflows[tid]);
+      {
+        obs::PhaseScope scope(profiler.get(), tid,
+                              obs::JoinPhase::kPartitionPass1);
+        partitioner.BuildHistogram(tid);
+        barrier.ArriveAndWait();
+        if (tid == 0) partitioner.ComputeOffsets();
+        barrier.ArriveAndWait();
+        partitioner.Scatter(tid, node);
+        barrier.ArriveAndWait();
       }
-      barrier.ArriveAndWait();
 
-      if (tid == 0) {
-        table.FinalizePrefix();
-        std::vector<Tuple> merged;
-        for (auto& overflow : overflows) {
-          merged.insert(merged.end(), overflow.begin(), overflow.end());
+      {
+        obs::PhaseScope scope(profiler.get(), tid, obs::JoinPhase::kBuild);
+        const partition::PartitionLayout& layout = partitioner.layout();
+        for (uint64_t region = tid; region < regions;
+             region += static_cast<uint64_t>(num_threads)) {
+          const uint64_t begin = layout.PartitionBegin(
+              static_cast<uint32_t>(region));
+          const uint64_t size =
+              layout.PartitionSize(static_cast<uint32_t>(region));
+          const hash::ConciseHashTable::BuildRegion bucket_range{
+              region * buckets_per_region, (region + 1) * buckets_per_region};
+          table.MarkBits(
+              ConstTupleSpan(partitioned.data() + begin, size), bucket_range,
+              bucket_of.data() + begin, &overflows[tid]);
         }
-        table.SetOverflow(std::move(merged));
-      }
-      barrier.ArriveAndWait();
+        barrier.ArriveAndWait();
 
-      for (uint64_t region = tid; region < regions;
-           region += static_cast<uint64_t>(num_threads)) {
-        const uint64_t begin = layout.PartitionBegin(
-            static_cast<uint32_t>(region));
-        const uint64_t size =
-            layout.PartitionSize(static_cast<uint32_t>(region));
-        table.Place(ConstTupleSpan(partitioned.data() + begin, size),
-                    bucket_of.data() + begin);
+        if (tid == 0) {
+          table.FinalizePrefix();
+          std::vector<Tuple> merged;
+          for (auto& overflow : overflows) {
+            merged.insert(merged.end(), overflow.begin(), overflow.end());
+          }
+          table.SetOverflow(std::move(merged));
+        }
+        barrier.ArriveAndWait();
+
+        for (uint64_t region = tid; region < regions;
+             region += static_cast<uint64_t>(num_threads)) {
+          const uint64_t begin = layout.PartitionBegin(
+              static_cast<uint32_t>(region));
+          const uint64_t size =
+              layout.PartitionSize(static_cast<uint32_t>(region));
+          table.Place(ConstTupleSpan(partitioned.data() + begin, size),
+                      bucket_of.data() + begin);
+        }
       }
       // Probe-phase scratch: check the failpoint before the barrier so every
       // thread still arrives, unwind after it.
@@ -132,6 +140,7 @@ class ChtJoin final : public JoinAlgorithm {
 
       // --- Probe (NOP-style). Each CHT lookup needs two dependent random
       // accesses: bitmap group, then dense array.
+      obs::PhaseScope scope(profiler.get(), tid, obs::JoinPhase::kProbe);
       const thread::Range s_range =
           thread::ChunkRange(probe.size(), num_threads, tid);
       system->CountRead(node, probe.data() + s_range.begin,
@@ -149,6 +158,7 @@ class ChtJoin final : public JoinAlgorithm {
     result.times.build_ns = build_end - start;
     result.times.probe_ns = end - build_end;
     result.times.total_ns = end - start;
+    if (profiler != nullptr) result.profile = profiler->Finish();
     return result;
   }
 };

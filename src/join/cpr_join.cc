@@ -17,6 +17,7 @@
 #include "join/internal.h"
 #include "join/join_algorithm.h"
 #include "numa/system.h"
+#include "obs/metrics.h"
 #include "partition/chunked.h"
 #include "partition/model.h"
 #include "thread/task_queue.h"
@@ -37,7 +38,8 @@ void JoinChunkedPartitions(numa::NumaSystem* system, int tid, int node,
                            const Tuple* r_data, const Tuple* s_data,
                            bool build_unique, MatchSink* sink,
                            Scratch* scratch, ThreadStats* local,
-                           JoinAbort* abort) {
+                           JoinAbort* abort,
+                           obs::JoinPhaseProfiler* profiler) {
   const int num_chunks = r_layout.num_chunks;
   thread::JoinTask task;
   while (queue->Pop(&task)) {
@@ -46,19 +48,23 @@ void JoinChunkedPartitions(numa::NumaSystem* system, int tid, int node,
     const uint64_t r_size = r_layout.PartitionSize(p);
     if (r_size == 0 || s_layout.PartitionSize(p) == 0) continue;
 
-    // Build: gather this partition's fragments from every chunk.
-    scratch->Prepare(r_size);
-    for (int c = 0; c < num_chunks; ++c) {
-      const Tuple* fragment = r_data + r_layout.FragmentOffset(c, p);
-      const uint64_t size = r_layout.FragmentSize(c, p);
-      system->CountRead(node, fragment, size * sizeof(Tuple));
-      for (uint64_t i = 0; i < size; ++i) scratch->Insert(fragment[i]);
+    {
+      obs::PhaseScope scope(profiler, tid, obs::JoinPhase::kBuild);
+      // Build: gather this partition's fragments from every chunk.
+      scratch->Prepare(r_size);
+      for (int c = 0; c < num_chunks; ++c) {
+        const Tuple* fragment = r_data + r_layout.FragmentOffset(c, p);
+        const uint64_t size = r_layout.FragmentSize(c, p);
+        system->CountRead(node, fragment, size * sizeof(Tuple));
+        for (uint64_t i = 0; i < size; ++i) scratch->Insert(fragment[i]);
+      }
     }
 
     if (ProbeAllocFailpoint()) {
       abort->Set(InjectedAllocError("probe"));
       return;
     }
+    obs::PhaseScope scope(profiler, tid, obs::JoinPhase::kProbe);
     // Probe: skew slices partition the chunk range.
     const int chunk_begin = static_cast<int>(
         static_cast<uint64_t>(num_chunks) * task.probe_slice /
@@ -176,6 +182,7 @@ class CprJoin final : public JoinAlgorithm {
     thread::TaskQueue queue;
     uint64_t max_r_partition = 0;
     JoinAbort abort;
+    auto profiler = obs::MakeJoinProfiler(num_threads);
     // Partition buffers were allocated + prefaulted untimed (buffer-manager
     // assumption, Section 5.1).
     const int64_t start = NowNanos();
@@ -187,9 +194,13 @@ class CprJoin final : public JoinAlgorithm {
       const int node =
           system->topology().NodeOfThread(tid, num_threads);
 
-      r_partitioner.PartitionChunk(tid, node);
-      s_partitioner.PartitionChunk(tid, node);
-      barrier.ArriveAndWait();
+      {
+        obs::PhaseScope scope(profiler.get(), tid,
+                              obs::JoinPhase::kPartitionPass1);
+        r_partitioner.PartitionChunk(tid, node);
+        s_partitioner.PartitionChunk(tid, node);
+        barrier.ArriveAndWait();
+      }
 
       if (tid == 0) {
         partition_end = NowNanos();
@@ -215,14 +226,16 @@ class CprJoin final : public JoinAlgorithm {
         JoinChunkedPartitions(system, tid, node, &queue,
                               r_partitioner.layout(), s_partitioner.layout(),
                               r_out.data(), s_out.data(), config.build_unique,
-                              config.sink, &scratch, &stats[tid], &abort);
+                              config.sink, &scratch, &stats[tid], &abort,
+                              profiler.get());
       } else {
         LinearChunkScratch scratch(system, max_r_partition, partition_domain,
                                    bits, node);
         JoinChunkedPartitions(system, tid, node, &queue,
                               r_partitioner.layout(), s_partitioner.layout(),
                               r_out.data(), s_out.data(), config.build_unique,
-                              config.sink, &scratch, &stats[tid], &abort);
+                              config.sink, &scratch, &stats[tid], &abort,
+                              profiler.get());
       }
     });
     MMJOIN_RETURN_IF_ERROR(dispatch_status);
@@ -233,6 +246,7 @@ class CprJoin final : public JoinAlgorithm {
     result.times.partition_ns = partition_end - start;
     result.times.probe_ns = end - partition_end;
     result.times.total_ns = end - start;
+    if (profiler != nullptr) result.profile = profiler->Finish();
     return result;
   }
 
@@ -260,6 +274,13 @@ class CprJoin final : public JoinAlgorithm {
         consume.push_back(thread::JoinTask{p, s, slices});
       }
     }
+    uint64_t skew_slices = 0;
+    for (const thread::JoinTask& task : consume) {
+      if (task.probe_slice_count > 1) ++skew_slices;
+    }
+    obs::MetricsRegistry::Get().AddCounter("join.tasks_seeded",
+                                           consume.size());
+    obs::MetricsRegistry::Get().AddCounter("join.skew_slices", skew_slices);
     for (auto it = consume.rbegin(); it != consume.rend(); ++it) {
       queue->Push(*it);
     }

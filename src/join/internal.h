@@ -87,11 +87,21 @@ StatusOr<numa::NumaBuffer<T>> TryBuffer(numa::NumaSystem* system,
 }
 
 // Per-thread match accumulator, cache-line padded against false sharing.
-struct alignas(kCacheLineSize) ThreadStats {
+// The live fields sit in a nested struct so the padding is derived from
+// their actual layout instead of hand-counted member sizes (which silently
+// rots when a field is added or resized).
+struct ThreadStatsFields {
   uint64_t matches = 0;
   uint64_t checksum = 0;
-  char padding[kCacheLineSize - 2 * sizeof(uint64_t)];
 };
+
+struct alignas(kCacheLineSize) ThreadStats : ThreadStatsFields {
+  char padding[kCacheLineSize - sizeof(ThreadStatsFields)];
+};
+static_assert(sizeof(ThreadStatsFields) < kCacheLineSize,
+              "ThreadStats fields must leave room for padding");
+static_assert(sizeof(ThreadStats) == kCacheLineSize,
+              "ThreadStats must occupy exactly one cache line");
 
 MMJOIN_ALWAYS_INLINE void AccumulateMatch(ThreadStats* stats, Tuple build,
                                           Tuple probe) {

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/phase_profile.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -73,6 +74,10 @@ struct JoinResult {
   uint64_t matches = 0;
   uint64_t checksum = 0;
   PhaseTimes times;
+  // Whitebox per-phase breakdown (per-thread min/max/mean wall clock plus
+  // hardware-counter deltas). Populated only while observability is enabled
+  // (obs::Enabled()); disabled runs pay nothing and leave this empty.
+  std::optional<obs::PhaseProfile> profile;
 
   // The study's throughput metric: (|R| + |S|) / runtime, in million input
   // tuples per second (paper Section 1, definition from Lang et al.).

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "join/join_defs.h"
+#include "obs/trace.h"
 #include "util/macros.h"
 #include "util/types.h"
 
@@ -60,6 +61,7 @@ class JoinIndexSink final : public MatchSink {
   // afterwards). Order is deterministic given a deterministic join
   // schedule but generally unspecified; sort if you need canonical order.
   std::vector<MatchedPair> Gather() {
+    obs::ObsScope scope("materialize.gather", obs::SpanKind::kMaterialize);
     std::vector<MatchedPair> all;
     all.reserve(size());
     for (auto& local : per_thread_) {

@@ -147,6 +147,7 @@ class MwayJoin final : public JoinAlgorithm {
     int64_t sort_end = 0;
     MatchSink* sink = config.sink;
     JoinAbort abort;
+    auto profiler = obs::MakeJoinProfiler(num_threads);
     // Buffers above are allocated + prefaulted untimed (buffer-manager
     // assumption, Section 5.1).
     const int64_t start = NowNanos();
@@ -158,28 +159,35 @@ class MwayJoin final : public JoinAlgorithm {
       const int node = system->topology().NodeOfThread(tid, num_threads);
 
       // --- Partition both relations. ---
-      r_partitioner.BuildHistogram(tid);
-      s_partitioner.BuildHistogram(tid);
-      barrier.ArriveAndWait();
-      if (tid == 0) {
-        r_partitioner.ComputeOffsets();
-        s_partitioner.ComputeOffsets();
+      {
+        obs::PhaseScope scope(profiler.get(), tid,
+                              obs::JoinPhase::kPartitionPass1);
+        r_partitioner.BuildHistogram(tid);
+        s_partitioner.BuildHistogram(tid);
+        barrier.ArriveAndWait();
+        if (tid == 0) {
+          r_partitioner.ComputeOffsets();
+          s_partitioner.ComputeOffsets();
+        }
+        barrier.ArriveAndWait();
+        r_partitioner.Scatter(tid, node);
+        s_partitioner.Scatter(tid, node);
+        barrier.ArriveAndWait();
       }
-      barrier.ArriveAndWait();
-      r_partitioner.Scatter(tid, node);
-      s_partitioner.Scatter(tid, node);
-      barrier.ArriveAndWait();
       if (tid == 0) partition_end = NowNanos();
 
       // --- Sort co-partitions (one partition per thread slot). ---
       const auto& r_layout = r_partitioner.layout();
       const auto& s_layout = s_partitioner.layout();
-      for (uint32_t p = static_cast<uint32_t>(tid); p < num_partitions;
-           p += static_cast<uint32_t>(num_threads)) {
-        SortPartition(r_part.data(), r_layout, p, r_packed.data(),
-                      r_scratch.data());
-        SortPartition(s_part.data(), s_layout, p, s_packed.data(),
-                      s_scratch.data());
+      {
+        obs::PhaseScope scope(profiler.get(), tid, obs::JoinPhase::kSort);
+        for (uint32_t p = static_cast<uint32_t>(tid); p < num_partitions;
+             p += static_cast<uint32_t>(num_threads)) {
+          SortPartition(r_part.data(), r_layout, p, r_packed.data(),
+                        r_scratch.data());
+          SortPartition(s_part.data(), s_layout, p, s_packed.data(),
+                        s_scratch.data());
+        }
       }
       // Merge-join scratch: failpoint before the barrier, unwind after.
       if (tid == 0 && ProbeAllocFailpoint()) {
@@ -190,6 +198,7 @@ class MwayJoin final : public JoinAlgorithm {
       if (tid == 0) sort_end = NowNanos();
 
       // --- Merge-join co-partitions. ---
+      obs::PhaseScope scope(profiler.get(), tid, obs::JoinPhase::kMerge);
       ThreadStats* local = &stats[tid];
       for (uint32_t p = static_cast<uint32_t>(tid); p < num_partitions;
            p += static_cast<uint32_t>(num_threads)) {
@@ -222,6 +231,7 @@ class MwayJoin final : public JoinAlgorithm {
     result.times.build_ns = sort_end - partition_end;  // sort phase
     result.times.probe_ns = end - sort_end;            // merge-join phase
     result.times.total_ns = end - start;
+    if (profiler != nullptr) result.profile = profiler->Finish();
     return result;
   }
 

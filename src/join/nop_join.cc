@@ -70,6 +70,7 @@ class NopFamilyJoin final : public JoinAlgorithm {
     int64_t build_end = 0;
     MatchSink* sink = config.sink;
     JoinAbort abort;
+    auto profiler = obs::MakeJoinProfiler(num_threads);
 
     const Status dispatch_status = ExecutorOf(config).Dispatch(
         num_threads, [&](const thread::WorkerContext& ctx) {
@@ -77,17 +78,20 @@ class NopFamilyJoin final : public JoinAlgorithm {
           thread::Barrier& barrier = *ctx.barrier;
           const int node = system->topology().NodeOfThread(tid, num_threads);
 
-          // Build: insert this thread's chunk of R into the global table.
-          const thread::Range r_range =
-              thread::ChunkRange(build.size(), num_threads, tid);
-          system->CountRead(node, build.data() + r_range.begin,
-                            r_range.size() * sizeof(Tuple));
-          for (std::size_t i = r_range.begin; i < r_range.end; ++i) {
-            table->InsertConcurrent(build[i]);
+          {
+            obs::PhaseScope scope(profiler.get(), tid, obs::JoinPhase::kBuild);
+            // Build: insert this thread's chunk of R into the global table.
+            const thread::Range r_range =
+                thread::ChunkRange(build.size(), num_threads, tid);
+            system->CountRead(node, build.data() + r_range.begin,
+                              r_range.size() * sizeof(Tuple));
+            for (std::size_t i = r_range.begin; i < r_range.end; ++i) {
+              table->InsertConcurrent(build[i]);
+            }
+            // Random writes into the interleaved table: one line per insert.
+            system->CountWrite(node, table->raw_data(),
+                               r_range.size() * kCacheLineSize);
           }
-          // Random writes into the interleaved table: one line per insert.
-          system->CountWrite(node, table->raw_data(),
-                             r_range.size() * kCacheLineSize);
 
           // Probe-phase scratch would be acquired here; check the failpoint
           // before the barrier (everyone must arrive), unwind after it.
@@ -98,6 +102,7 @@ class NopFamilyJoin final : public JoinAlgorithm {
           if (abort.IsSet()) return;
           if (tid == 0) build_end = NowNanos();
 
+          obs::PhaseScope scope(profiler.get(), tid, obs::JoinPhase::kProbe);
           // Probe this thread's chunk of S.
           const thread::Range s_range =
               thread::ChunkRange(probe.size(), num_threads, tid);
@@ -117,6 +122,7 @@ class NopFamilyJoin final : public JoinAlgorithm {
     result.times.build_ns = build_end - start;
     result.times.probe_ns = end - build_end;
     result.times.total_ns = end - start;
+    if (profiler != nullptr) result.profile = profiler->Finish();
     return result;
   }
 

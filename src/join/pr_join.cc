@@ -22,6 +22,7 @@
 #include "join/internal.h"
 #include "join/join_algorithm.h"
 #include "numa/system.h"
+#include "obs/metrics.h"
 #include "partition/model.h"
 #include "partition/radix.h"
 #include "thread/task_queue.h"
@@ -176,7 +177,7 @@ void JoinPartitions(numa::NumaSystem* system, int tid, int node,
                     const Tuple* r_data, const Tuple* s_data,
                     uint64_t partition_domain, uint32_t total_bits,
                     bool build_unique, MatchSink* sink, ThreadStats* local,
-                    JoinAbort* abort) {
+                    JoinAbort* abort, obs::JoinPhaseProfiler* profiler) {
   // The per-worker scratch table is the join phase's build-side allocation.
   if (BuildAllocFailpoint()) {
     abort->Set(InjectedAllocError("build"));
@@ -192,18 +193,22 @@ void JoinPartitions(numa::NumaSystem* system, int tid, int node,
     const uint64_t s_size = s_layout.size[p];
     if (r_size == 0 || s_size == 0) continue;
 
-    // Build. Each probe-slice task builds its own scratch copy of the
-    // partition table: slices of one skewed partition may run on different
-    // threads ("assigning multiple threads to an individual partition").
-    const Tuple* r_part = r_data + r_layout.begin[p];
-    scratch.Prepare(r_size);
-    system->CountRead(node, r_part, r_size * sizeof(Tuple));
-    for (uint64_t i = 0; i < r_size; ++i) scratch.Insert(r_part[i]);
+    {
+      obs::PhaseScope scope(profiler, tid, obs::JoinPhase::kBuild);
+      // Build. Each probe-slice task builds its own scratch copy of the
+      // partition table: slices of one skewed partition may run on different
+      // threads ("assigning multiple threads to an individual partition").
+      const Tuple* r_part = r_data + r_layout.begin[p];
+      scratch.Prepare(r_size);
+      system->CountRead(node, r_part, r_size * sizeof(Tuple));
+      for (uint64_t i = 0; i < r_size; ++i) scratch.Insert(r_part[i]);
+    }
 
     if (ProbeAllocFailpoint()) {
       abort->Set(InjectedAllocError("probe"));
       return;
     }
+    obs::PhaseScope scope(profiler, tid, obs::JoinPhase::kProbe);
     const uint64_t slice_begin =
         s_size * task.probe_slice / task.probe_slice_count;
     const uint64_t slice_end =
@@ -310,6 +315,7 @@ class PrJoin final : public JoinAlgorithm {
     thread::TaskQueue queue;
     FinalLayout r_layout, s_layout;
     JoinAbort abort;
+    auto profiler = obs::MakeJoinProfiler(num_threads);
     // Partition buffers were allocated + prefaulted untimed (buffer-manager
     // assumption, Section 5.1).
     const int64_t start = NowNanos();
@@ -321,17 +327,21 @@ class PrJoin final : public JoinAlgorithm {
       const int node =
           system->topology().NodeOfThread(tid, num_threads);
 
-      r_partitioner.BuildHistogram(tid);
-      s_partitioner.BuildHistogram(tid);
-      barrier.ArriveAndWait();
-      if (tid == 0) {
-        r_partitioner.ComputeOffsets();
-        s_partitioner.ComputeOffsets();
+      {
+        obs::PhaseScope scope(profiler.get(), tid,
+                              obs::JoinPhase::kPartitionPass1);
+        r_partitioner.BuildHistogram(tid);
+        s_partitioner.BuildHistogram(tid);
+        barrier.ArriveAndWait();
+        if (tid == 0) {
+          r_partitioner.ComputeOffsets();
+          s_partitioner.ComputeOffsets();
+        }
+        barrier.ArriveAndWait();
+        r_partitioner.Scatter(tid, node);
+        s_partitioner.Scatter(tid, node);
+        barrier.ArriveAndWait();
       }
-      barrier.ArriveAndWait();
-      r_partitioner.Scatter(tid, node);
-      s_partitioner.Scatter(tid, node);
-      barrier.ArriveAndWait();
 
       if (tid == 0) {
         partition_end = NowNanos();
@@ -344,7 +354,8 @@ class PrJoin final : public JoinAlgorithm {
 
       RunJoinPhase(system, tid, node, num_threads, &queue, r_layout,
                    s_layout, r_out.data(), s_out.data(), domain, total_bits,
-                   config.build_unique, config.sink, &stats[tid], &abort);
+                   config.build_unique, config.sink, &stats[tid], &abort,
+                   profiler.get());
     });
     MMJOIN_RETURN_IF_ERROR(dispatch_status);
     if (abort.IsSet()) return abort.status();
@@ -354,6 +365,7 @@ class PrJoin final : public JoinAlgorithm {
     result.times.partition_ns = partition_end - start;
     result.times.probe_ns = end - partition_end;
     result.times.total_ns = end - start;
+    if (profiler != nullptr) result.profile = profiler->Finish();
     return result;
   }
 
@@ -411,6 +423,7 @@ class PrJoin final : public JoinAlgorithm {
     std::atomic<uint32_t> next_sub{0};
     const partition::RadixFn fn2{bits1, bits2};
     JoinAbort abort;
+    auto profiler = obs::MakeJoinProfiler(num_threads);
     const int64_t start = NowNanos();
 
     const Status dispatch_status = ExecutorOf(config).Dispatch(
@@ -421,31 +434,39 @@ class PrJoin final : public JoinAlgorithm {
           system->topology().NodeOfThread(tid, num_threads);
 
       // Pass 1.
-      r_partitioner.BuildHistogram(tid);
-      s_partitioner.BuildHistogram(tid);
-      barrier.ArriveAndWait();
-      if (tid == 0) {
-        r_partitioner.ComputeOffsets();
-        s_partitioner.ComputeOffsets();
+      {
+        obs::PhaseScope scope(profiler.get(), tid,
+                              obs::JoinPhase::kPartitionPass1);
+        r_partitioner.BuildHistogram(tid);
+        s_partitioner.BuildHistogram(tid);
+        barrier.ArriveAndWait();
+        if (tid == 0) {
+          r_partitioner.ComputeOffsets();
+          s_partitioner.ComputeOffsets();
+        }
+        barrier.ArriveAndWait();
+        r_partitioner.Scatter(tid, node);
+        s_partitioner.Scatter(tid, node);
+        barrier.ArriveAndWait();
       }
-      barrier.ArriveAndWait();
-      r_partitioner.Scatter(tid, node);
-      s_partitioner.Scatter(tid, node);
-      barrier.ArriveAndWait();
 
       // Pass 2: whole pass-1 partitions are assigned via a work counter
       // ("entire sub-partitions are assigned to worker threads by using a
       // task queue", Section 3.1).
-      const auto& r1 = r_partitioner.layout();
-      const auto& s1 = s_partitioner.layout();
-      for (uint32_t p1 = next_sub.fetch_add(1); p1 < P1;
-           p1 = next_sub.fetch_add(1)) {
-        SubPartition(system, node, r_mid.data(), r_out.data(), r1, p1, fn2,
-                     P2, &r_layout);
-        SubPartition(system, node, s_mid.data(), s_out.data(), s1, p1, fn2,
-                     P2, &s_layout);
+      {
+        obs::PhaseScope scope(profiler.get(), tid,
+                              obs::JoinPhase::kPartitionPass2);
+        const auto& r1 = r_partitioner.layout();
+        const auto& s1 = s_partitioner.layout();
+        for (uint32_t p1 = next_sub.fetch_add(1); p1 < P1;
+             p1 = next_sub.fetch_add(1)) {
+          SubPartition(system, node, r_mid.data(), r_out.data(), r1, p1, fn2,
+                       P2, &r_layout);
+          SubPartition(system, node, s_mid.data(), s_out.data(), s1, p1, fn2,
+                       P2, &s_layout);
+        }
+        barrier.ArriveAndWait();
       }
-      barrier.ArriveAndWait();
 
       if (tid == 0) {
         partition_end = NowNanos();
@@ -456,7 +477,8 @@ class PrJoin final : public JoinAlgorithm {
 
       RunJoinPhase(system, tid, node, num_threads, &queue, r_layout,
                    s_layout, r_out.data(), s_out.data(), domain, total_bits,
-                   config.build_unique, config.sink, &stats[tid], &abort);
+                   config.build_unique, config.sink, &stats[tid], &abort,
+                   profiler.get());
     });
     MMJOIN_RETURN_IF_ERROR(dispatch_status);
     if (abort.IsSet()) return abort.status();
@@ -466,6 +488,7 @@ class PrJoin final : public JoinAlgorithm {
     result.times.partition_ns = partition_end - start;
     result.times.probe_ns = end - partition_end;
     result.times.total_ns = end - start;
+    if (profiler != nullptr) result.profile = profiler->Finish();
     return result;
   }
 
@@ -498,10 +521,17 @@ class PrJoin final : public JoinAlgorithm {
         spec_.improved_sched
             ? thread::RoundRobinNodeOrder(num_partitions, num_nodes)
             : thread::SequentialOrder(num_partitions);
+    uint64_t num_tasks = 0;
+    uint64_t skew_slices = 0;
     for (thread::JoinTask& task :
          BuildTasks(s_layout, order, config.skew_task_factor, probe_size)) {
+      ++num_tasks;
+      if (task.probe_slice_count > 1) ++skew_slices;
       queue->Push(task);
     }
+    // Once per join run, not per task: cheap enough to record always.
+    obs::MetricsRegistry::Get().AddCounter("join.tasks_seeded", num_tasks);
+    obs::MetricsRegistry::Get().AddCounter("join.skew_slices", skew_slices);
   }
 
   void RunJoinPhase(numa::NumaSystem* system, int tid, int node,
@@ -509,7 +539,8 @@ class PrJoin final : public JoinAlgorithm {
                     const FinalLayout& r_layout, const FinalLayout& s_layout,
                     const Tuple* r_data, const Tuple* s_data, uint64_t domain,
                     uint32_t total_bits, bool build_unique, MatchSink* sink,
-                    ThreadStats* local, JoinAbort* abort) const {
+                    ThreadStats* local, JoinAbort* abort,
+                    obs::JoinPhaseProfiler* profiler) const {
     const uint64_t partition_domain =
         domain == 0 ? 0 : CeilDiv(domain, uint64_t{1} << total_bits);
     switch (spec_.table) {
@@ -517,19 +548,22 @@ class PrJoin final : public JoinAlgorithm {
         JoinPartitions<ChainedScratch>(system, tid, node, num_threads, queue,
                                        r_layout, s_layout, r_data, s_data,
                                        partition_domain, total_bits,
-                                       build_unique, sink, local, abort);
+                                       build_unique, sink, local, abort,
+                                       profiler);
         break;
       case TableKind::kLinear:
         JoinPartitions<LinearScratch>(system, tid, node, num_threads, queue,
                                       r_layout, s_layout, r_data, s_data,
                                       partition_domain, total_bits,
-                                      build_unique, sink, local, abort);
+                                      build_unique, sink, local, abort,
+                                      profiler);
         break;
       case TableKind::kArray:
         JoinPartitions<ArrayScratch>(system, tid, node, num_threads, queue,
                                      r_layout, s_layout, r_data, s_data,
                                      partition_domain, total_bits,
-                                     build_unique, sink, local, abort);
+                                     build_unique, sink, local, abort,
+                                     profiler);
         break;
     }
   }

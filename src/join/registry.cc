@@ -5,6 +5,7 @@
 
 #include "join/join_algorithm.h"
 #include "join/join_defs.h"
+#include "obs/metrics.h"
 #include "util/failpoint.h"
 #include "util/macros.h"
 #include "util/status.h"
@@ -100,6 +101,7 @@ StatusOr<JoinResult> RunJoin(Algorithm algorithm, numa::NumaSystem* system,
                              const workload::Relation& build,
                              const workload::Relation& probe) {
   MMJOIN_RETURN_IF_ERROR(config.Validate(build.size(), probe.size()));
+  obs::MetricsRegistry::Get().AddCounter("join.runs", 1);
   if (config.sink != nullptr && MMJOIN_FAILPOINT("alloc.materialize")) {
     return ResourceExhaustedError(
         "injected allocation failure in materialize phase "

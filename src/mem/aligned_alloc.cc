@@ -11,6 +11,7 @@
 #include <unistd.h>
 #endif
 
+#include "obs/metrics.h"
 #include "util/bits.h"
 #include "util/failpoint.h"
 #include "util/macros.h"
@@ -44,6 +45,25 @@ AtomicAllocStats g_alloc_stats;
 void Bump(std::atomic<uint64_t>& counter) {
   counter.fetch_add(1, std::memory_order_relaxed);
 }
+
+const obs::MetricsProviderRegistration kAllocProvider(
+    "alloc", [](std::vector<obs::Metric>* metrics) {
+      const AllocStats stats = GetAllocStats();
+      metrics->push_back(
+          obs::Metric{"alloc.total_allocations", stats.total_allocations});
+      metrics->push_back(
+          obs::Metric{"alloc.mmap_allocations", stats.mmap_allocations});
+      metrics->push_back(
+          obs::Metric{"alloc.huge_page_requests", stats.huge_page_requests});
+      metrics->push_back(
+          obs::Metric{"alloc.huge_page_fallbacks", stats.huge_page_fallbacks});
+      metrics->push_back(
+          obs::Metric{"alloc.mmap_failures", stats.mmap_failures});
+      metrics->push_back(
+          obs::Metric{"alloc.injected_failures", stats.injected_failures});
+      metrics->push_back(
+          obs::Metric{"alloc.numa_degradations", stats.numa_degradations});
+    });
 
 }  // namespace
 

@@ -1,10 +1,49 @@
 #include "numa/system.h"
 
 #include <algorithm>
+#include <atomic>
 
+#include "obs/metrics.h"
 #include "util/macros.h"
 
 namespace mmjoin::numa {
+
+namespace {
+
+// Process-wide traffic aggregates across every NumaSystem instance (a
+// NumaSystem and its AccessCounters can be destroyed before a metrics
+// snapshot is taken; these survive). Only accrue while per-system
+// accounting is enabled, like the counters they mirror.
+struct ProcessTraffic {
+  std::atomic<uint64_t> local_read_bytes{0};
+  std::atomic<uint64_t> remote_read_bytes{0};
+  std::atomic<uint64_t> local_write_bytes{0};
+  std::atomic<uint64_t> remote_write_bytes{0};
+};
+
+ProcessTraffic& GlobalTraffic() {
+  static ProcessTraffic* traffic = new ProcessTraffic();
+  return *traffic;
+}
+
+const obs::MetricsProviderRegistration kNumaProvider(
+    "numa", [](std::vector<obs::Metric>* metrics) {
+      const ProcessTraffic& traffic = GlobalTraffic();
+      metrics->push_back(obs::Metric{
+          "numa.local_read_bytes",
+          traffic.local_read_bytes.load(std::memory_order_relaxed)});
+      metrics->push_back(obs::Metric{
+          "numa.remote_read_bytes",
+          traffic.remote_read_bytes.load(std::memory_order_relaxed)});
+      metrics->push_back(obs::Metric{
+          "numa.local_write_bytes",
+          traffic.local_write_bytes.load(std::memory_order_relaxed)});
+      metrics->push_back(obs::Metric{
+          "numa.remote_write_bytes",
+          traffic.remote_write_bytes.load(std::memory_order_relaxed)});
+    });
+
+}  // namespace
 
 NumaSystem::~NumaSystem() {
   // Free any regions the owner leaked (RAII wrappers normally free all).
@@ -100,8 +139,12 @@ void NumaSystem::CountRange(int from_node, const void* addr,
     lock.unlock();
     if (is_write) {
       counters_->CountWrite(from_node, from_node, bytes, now);
+      GlobalTraffic().local_write_bytes.fetch_add(bytes,
+                                                  std::memory_order_relaxed);
     } else {
       counters_->CountRead(from_node, from_node, bytes, now);
+      GlobalTraffic().local_read_bytes.fetch_add(bytes,
+                                                 std::memory_order_relaxed);
     }
     return;
   }
@@ -110,10 +153,17 @@ void NumaSystem::CountRange(int from_node, const void* addr,
   lock.unlock();
 
   auto count = [&](int to_node, uint64_t n) {
+    ProcessTraffic& traffic = GlobalTraffic();
     if (is_write) {
       counters_->CountWrite(from_node, to_node, n, now);
+      (to_node == from_node ? traffic.local_write_bytes
+                            : traffic.remote_write_bytes)
+          .fetch_add(n, std::memory_order_relaxed);
     } else {
       counters_->CountRead(from_node, to_node, n, now);
+      (to_node == from_node ? traffic.local_read_bytes
+                            : traffic.remote_read_bytes)
+          .fetch_add(n, std::memory_order_relaxed);
     }
   };
 

@@ -1,0 +1,96 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/trace.h"
+
+namespace mmjoin::obs {
+
+MetricsRegistry& MetricsRegistry::Get() {
+  // Leaked like the trace recorder: providers registered from static
+  // initializers must stay callable during static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+void MetricsRegistry::RegisterProvider(const std::string& key,
+                                       Provider provider) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  providers_[key] = std::move(provider);
+}
+
+void MetricsRegistry::AddCounter(const std::string& name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+std::vector<Metric> MetricsRegistry::Snapshot() const {
+  std::vector<Metric> metrics;
+  std::vector<Provider> providers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    providers.reserve(providers_.size());
+    for (const auto& [key, provider] : providers_) providers.push_back(provider);
+    for (const auto& [name, value] : counters_) {
+      metrics.push_back(Metric{name, value});
+    }
+  }
+  // Providers run outside the lock: they may take subsystem locks of their
+  // own (executor stats) that must not nest under ours.
+  for (const Provider& provider : providers) provider(&metrics);
+  std::sort(metrics.begin(), metrics.end(),
+            [](const Metric& a, const Metric& b) { return a.name < b.name; });
+  return metrics;
+}
+
+std::string MetricsRegistry::Json() const {
+  const std::vector<Metric> metrics = Snapshot();
+  std::string out = "{\"schema\":\"mmjoin.metrics.v1\",\"counters\":{";
+  char buf[64];
+  bool first = true;
+  for (const Metric& metric : metrics) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += metric.name;  // names are code-controlled identifiers, no escaping
+    out += "\":";
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(metric.value));
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+Status MetricsRegistry::WriteJson(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return UnavailableError("cannot open metrics file '" + path +
+                            "' for writing");
+  }
+  const std::string json = Json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  std::fputc('\n', file);
+  const int close_rc = std::fclose(file);
+  if (written != json.size() || close_rc != 0) {
+    return UnavailableError("short write to metrics file '" + path + "'");
+  }
+  return OkStatus();
+}
+
+namespace {
+
+// The trace recorder reports on itself through the same registry.
+const MetricsProviderRegistration kTraceProvider(
+    "trace", [](std::vector<Metric>* metrics) {
+      TraceRecorder& recorder = TraceRecorder::Get();
+      metrics->push_back(Metric{"trace.spans_recorded",
+                                recorder.recorded_spans()});
+      metrics->push_back(Metric{"trace.spans_dropped",
+                                recorder.dropped_spans()});
+    });
+
+}  // namespace
+
+}  // namespace mmjoin::obs

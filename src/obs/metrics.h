@@ -1,0 +1,76 @@
+// MetricsRegistry: one machine-readable snapshot of every subsystem's
+// counters.
+//
+// Subsystems that own counters (mem's AllocStats, thread's ExecutorStats,
+// numa's traffic aggregates, join's task accounting, the trace recorder
+// itself) register a *provider* -- a callback that appends current values --
+// so the registry never depends on the modules above it in the build graph.
+// Snapshot() runs all providers plus the registry's own counters and returns
+// a flat, sorted name -> value list; Json() serializes it under the
+// `mmjoin.metrics.v1` schema documented in docs/OBSERVABILITY.md.
+//
+// Providers run only when a snapshot is taken; registering costs one mutex
+// acquisition at process startup. AddCounter is a mutex-guarded map update
+// intended for per-run (not per-tuple) events such as skew-task counts.
+
+#ifndef MMJOIN_OBS_METRICS_H_
+#define MMJOIN_OBS_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mmjoin::obs {
+
+struct Metric {
+  std::string name;
+  uint64_t value;
+};
+
+class MetricsRegistry {
+ public:
+  using Provider = std::function<void(std::vector<Metric>*)>;
+
+  static MetricsRegistry& Get();
+
+  // Registers (or replaces -- registration is idempotent for tests) the
+  // provider stored under `key`. Providers must be callable for the process
+  // lifetime and thread-safe.
+  void RegisterProvider(const std::string& key, Provider provider);
+
+  // Bumps a registry-owned counter (created at 0 on first use).
+  void AddCounter(const std::string& name, uint64_t delta);
+
+  // Providers' metrics + registry counters, sorted by name.
+  std::vector<Metric> Snapshot() const;
+
+  // {"schema":"mmjoin.metrics.v1","counters":{...}}
+  std::string Json() const;
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Provider> providers_;
+  std::map<std::string, uint64_t> counters_;
+};
+
+// Helper for static registration from subsystem TUs:
+//   namespace { const obs::MetricsProviderRegistration kReg("alloc", ...); }
+struct MetricsProviderRegistration {
+  MetricsProviderRegistration(const std::string& key,
+                              MetricsRegistry::Provider provider) {
+    MetricsRegistry::Get().RegisterProvider(key, std::move(provider));
+  }
+};
+
+}  // namespace mmjoin::obs
+
+#endif  // MMJOIN_OBS_METRICS_H_

@@ -1,0 +1,131 @@
+#include "obs/perf_counters.h"
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "util/failpoint.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace mmjoin::obs {
+
+#if defined(__linux__)
+
+namespace {
+
+int PerfEventOpen(perf_event_attr* attr) {
+  return static_cast<int>(syscall(SYS_perf_event_open, attr, /*pid=*/0,
+                                  /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0UL));
+}
+
+perf_event_attr MakeAttr(uint32_t type, uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 0;  // count from open; deltas make the baseline irrelevant
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return attr;
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  // Tests force the denied path (EACCES et al.) with this failpoint.
+  if (MMJOIN_FAILPOINT("obs.perf_open")) {
+    status_ = UnavailableError(
+        "perf_event_open denied (injected via failpoint obs.perf_open)");
+    return;
+  }
+
+  struct EventSpec {
+    uint32_t type;
+    uint64_t config;
+  };
+  const EventSpec specs[kNumEvents] = {
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+      {PERF_TYPE_HW_CACHE,
+       PERF_COUNT_HW_CACHE_DTLB | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+           (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+  };
+
+  for (int i = 0; i < kNumEvents; ++i) {
+    perf_event_attr attr = MakeAttr(specs[i].type, specs[i].config);
+    fds_[i] = PerfEventOpen(&attr);
+    if (fds_[i] < 0 && i == 0) {
+      // Without cycles the whole group is useless; report why. Secondary
+      // events (LLC/dTLB on PMU-less VMs) may fail individually and simply
+      // read as 0.
+      status_ = UnavailableError(
+          std::string("perf_event_open(cycles) failed: ") +
+          std::strerror(errno));
+      return;
+    }
+  }
+}
+
+PerfCounters::~PerfCounters() {
+  for (int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+bool PerfCounters::Read(CounterSample* sample) const {
+  if (!status_.ok()) return false;
+  uint64_t values[kNumEvents] = {0, 0, 0, 0};
+  for (int i = 0; i < kNumEvents; ++i) {
+    if (fds_[i] < 0) continue;
+    const ssize_t n = read(fds_[i], &values[i], sizeof(values[i]));
+    if (n != static_cast<ssize_t>(sizeof(values[i]))) values[i] = 0;
+  }
+  sample->cycles = values[0];
+  sample->instructions = values[1];
+  sample->llc_misses = values[2];
+  sample->dtlb_misses = values[3];
+  return true;
+}
+
+#else  // !defined(__linux__)
+
+PerfCounters::PerfCounters() {
+  if (MMJOIN_FAILPOINT("obs.perf_open")) {
+    status_ = UnavailableError(
+        "perf_event_open denied (injected via failpoint obs.perf_open)");
+    return;
+  }
+  status_ = UnavailableError("perf_event_open requires Linux");
+}
+
+PerfCounters::~PerfCounters() = default;
+
+bool PerfCounters::Read(CounterSample* sample) const {
+  (void)sample;
+  return false;
+}
+
+#endif  // defined(__linux__)
+
+PerfCounters* PerfCounters::ThreadLocal() {
+  // One fd set per thread, closed by the thread_local destructor at thread
+  // exit. Executor workers are persistent, so this opens once per worker.
+  thread_local PerfCounters counters;
+  return &counters;
+}
+
+bool PerfCounters::Available() {
+  // Probe once per process (and per arming of obs.perf_open -- the probe
+  // result is sticky, which tests account for by checking instances).
+  static const bool available = [] { return PerfCounters().ok(); }();
+  return available;
+}
+
+}  // namespace mmjoin::obs

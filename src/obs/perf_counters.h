@@ -1,0 +1,99 @@
+// Hardware performance counters via perf_event_open.
+//
+// The paper's whitebox analysis (Section 5, Figure 3) attributes cycles,
+// cache misses, and TLB misses to individual join phases. PerfCounters opens
+// the four events the study uses -- cycles, instructions, LLC misses, dTLB
+// read misses -- for the calling thread and reads them as point samples;
+// subtracting two samples yields the per-phase delta.
+//
+// The syscall is frequently denied (perf_event_paranoid >= 2 without
+// CAP_PERFMON, seccomp-filtered containers, non-Linux hosts) or individual
+// events may be unsupported (VMs without a PMU). All of that degrades
+// gracefully: status() reports Unavailable, Read() returns false, and
+// callers fall back to wall-clock-only profiles. The `obs.perf_open`
+// failpoint forces the denied path for tests.
+
+#ifndef MMJOIN_OBS_PERF_COUNTERS_H_
+#define MMJOIN_OBS_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace mmjoin::obs {
+
+// One point sample of the hardware counters. Events that could not be
+// opened read as 0.
+struct CounterSample {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t llc_misses = 0;
+  uint64_t dtlb_misses = 0;
+};
+
+// Difference of two samples. `valid` is false when the counters were
+// unavailable (the numeric fields are then meaningless zeros).
+struct CounterDelta {
+  bool valid = false;
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t llc_misses = 0;
+  uint64_t dtlb_misses = 0;
+
+  CounterDelta& operator+=(const CounterDelta& other) {
+    valid = valid || other.valid;
+    cycles += other.cycles;
+    instructions += other.instructions;
+    llc_misses += other.llc_misses;
+    dtlb_misses += other.dtlb_misses;
+    return *this;
+  }
+};
+
+inline CounterDelta Subtract(const CounterSample& end,
+                             const CounterSample& begin) {
+  CounterDelta delta;
+  delta.valid = true;
+  delta.cycles = end.cycles - begin.cycles;
+  delta.instructions = end.instructions - begin.instructions;
+  delta.llc_misses = end.llc_misses - begin.llc_misses;
+  delta.dtlb_misses = end.dtlb_misses - begin.dtlb_misses;
+  return delta;
+}
+
+// Per-thread counter group. Construct on the thread that will be measured;
+// the events follow that thread across CPUs.
+class PerfCounters {
+ public:
+  PerfCounters();
+  ~PerfCounters();
+
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  // OK when at least the cycles event opened; Unavailable otherwise, with a
+  // message naming the errno (EACCES/EPERM for perf_event_paranoid, ENOENT
+  // for missing PMU support, ENOSYS off Linux).
+  const Status& status() const { return status_; }
+  bool ok() const { return status_.ok(); }
+
+  // Samples the counters. Returns false (sample untouched) when unavailable.
+  bool Read(CounterSample* sample) const;
+
+  // Lazily-created counters for the calling thread; never null. The instance
+  // lives until thread exit, so repeated phase scopes on executor workers
+  // reuse one set of fds.
+  static PerfCounters* ThreadLocal();
+
+  // True when this process can open at least the cycles event (probed once).
+  static bool Available();
+
+ private:
+  static constexpr int kNumEvents = 4;
+  int fds_[kNumEvents] = {-1, -1, -1, -1};
+  Status status_;
+};
+
+}  // namespace mmjoin::obs
+
+#endif  // MMJOIN_OBS_PERF_COUNTERS_H_

@@ -1,0 +1,100 @@
+#include "obs/phase_profile.h"
+
+#include <algorithm>
+
+namespace mmjoin::obs {
+
+const char* JoinPhaseName(JoinPhase phase) {
+  switch (phase) {
+    case JoinPhase::kPartitionPass1:
+      return "partition.pass1";
+    case JoinPhase::kPartitionPass2:
+      return "partition.pass2";
+    case JoinPhase::kBuild:
+      return "build";
+    case JoinPhase::kProbe:
+      return "probe";
+    case JoinPhase::kSort:
+      return "sort";
+    case JoinPhase::kMerge:
+      return "merge";
+    case JoinPhase::kMaterialize:
+      return "materialize";
+  }
+  return "unknown";
+}
+
+SpanKind JoinPhaseSpanKind(JoinPhase phase) {
+  switch (phase) {
+    case JoinPhase::kPartitionPass1:
+    case JoinPhase::kPartitionPass2:
+      return SpanKind::kPartition;
+    case JoinPhase::kBuild:
+      return SpanKind::kBuild;
+    case JoinPhase::kProbe:
+      return SpanKind::kProbe;
+    case JoinPhase::kSort:
+      return SpanKind::kSort;
+    case JoinPhase::kMerge:
+      return SpanKind::kMerge;
+    case JoinPhase::kMaterialize:
+      return SpanKind::kMaterialize;
+  }
+  return SpanKind::kOther;
+}
+
+JoinPhaseProfiler::JoinPhaseProfiler(int num_threads)
+    : accums_(static_cast<std::size_t>(std::max(num_threads, 1))) {}
+
+void JoinPhaseProfiler::Accumulate(int tid, JoinPhase phase, int64_t ns,
+                                   const CounterDelta& delta) {
+  if (tid < 0 || tid >= static_cast<int>(accums_.size())) return;
+  ThreadAccum& accum = accums_[static_cast<std::size_t>(tid)];
+  accum.ns[static_cast<int>(phase)] += ns;
+  accum.counters[static_cast<int>(phase)] += delta;
+}
+
+PhaseProfile JoinPhaseProfiler::Finish() const {
+  PhaseProfile profile;
+  for (int p = 0; p < kNumJoinPhases; ++p) {
+    PhaseStat& stat = profile.phases[p];
+    for (const ThreadAccum& accum : accums_) {
+      const int64_t ns = accum.ns[p];
+      if (ns == 0 && !accum.counters[p].valid) continue;
+      if (stat.threads == 0) {
+        stat.min_ns = ns;
+        stat.max_ns = ns;
+      } else {
+        stat.min_ns = std::min(stat.min_ns, ns);
+        stat.max_ns = std::max(stat.max_ns, ns);
+      }
+      ++stat.threads;
+      stat.total_ns += ns;
+      stat.counters += accum.counters[p];
+    }
+  }
+  return profile;
+}
+
+void PhaseScope::Begin(int tid, JoinPhase phase) {
+  tid_ = tid;
+  phase_ = phase;
+  have_counters_ = PerfCounters::ThreadLocal()->Read(&start_sample_);
+  start_ns_ = NowNanos();
+}
+
+void PhaseScope::End() {
+  const int64_t end_ns = NowNanos();
+  CounterDelta delta;
+  if (have_counters_) {
+    CounterSample end_sample;
+    if (PerfCounters::ThreadLocal()->Read(&end_sample)) {
+      delta = Subtract(end_sample, start_sample_);
+    }
+  }
+  profiler_->Accumulate(tid_, phase_, end_ns - start_ns_, delta);
+  TraceRecorder::Get().Record(JoinPhaseName(phase_),
+                              JoinPhaseSpanKind(phase_), start_ns_, end_ns);
+}
+
+}  // namespace mmjoin::obs

@@ -1,0 +1,137 @@
+// Per-phase, per-thread join profiles -- the data behind the paper's
+// whitebox breakdown (Section 5, Figure 3).
+//
+// A JoinPhaseProfiler is created per join run when observability is enabled
+// (obs::Enabled()); each worker thread wraps its phase work in a PhaseScope,
+// which accumulates wall-clock nanoseconds and hardware-counter deltas into
+// a cache-line-padded per-thread slot and emits a trace span. Finish()
+// reduces the slots into a PhaseProfile: per-phase min/max/mean thread time
+// plus summed counter deltas, attached to JoinResult::profile.
+//
+// When observability is disabled the profiler is simply not created;
+// PhaseScope on a null profiler is one predicted branch in the constructor
+// and one in the destructor.
+
+#ifndef MMJOIN_OBS_PHASE_PROFILE_H_
+#define MMJOIN_OBS_PHASE_PROFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/perf_counters.h"
+#include "obs/trace.h"
+#include "util/macros.h"
+#include "util/timer.h"
+#include "util/types.h"
+
+namespace mmjoin::obs {
+
+// The join phases of the whitebox taxonomy. Algorithms use the subset that
+// applies to them (NOP: build/probe; MWAY: partition/sort/merge; PR*:
+// partition passes + per-task build/probe; ...).
+enum class JoinPhase : uint8_t {
+  kPartitionPass1 = 0,
+  kPartitionPass2,
+  kBuild,
+  kProbe,
+  kSort,
+  kMerge,
+  kMaterialize,
+};
+inline constexpr int kNumJoinPhases = 7;
+
+const char* JoinPhaseName(JoinPhase phase);
+SpanKind JoinPhaseSpanKind(JoinPhase phase);
+
+// Reduction of one phase across the threads that executed it.
+struct PhaseStat {
+  int threads = 0;       // threads that spent time in this phase
+  int64_t total_ns = 0;  // summed across threads
+  int64_t min_ns = 0;    // fastest thread's total for this phase
+  int64_t max_ns = 0;    // slowest thread's total (the skew signal)
+  CounterDelta counters; // summed across threads; counters.valid when the
+                         // perf events were open on at least one thread
+
+  int64_t MeanNs() const { return threads > 0 ? total_ns / threads : 0; }
+};
+
+struct PhaseProfile {
+  PhaseStat phases[kNumJoinPhases];
+
+  const PhaseStat& Of(JoinPhase phase) const {
+    return phases[static_cast<int>(phase)];
+  }
+  // True when any phase carries hardware-counter data.
+  bool CountersValid() const {
+    for (const PhaseStat& stat : phases) {
+      if (stat.counters.valid) return true;
+    }
+    return false;
+  }
+  // Sum of the slowest thread's time over all phases -- the profile's
+  // estimate of the critical path, comparable against PhaseTimes::total_ns.
+  int64_t CriticalPathNs() const {
+    int64_t total = 0;
+    for (const PhaseStat& stat : phases) total += stat.max_ns;
+    return total;
+  }
+};
+
+class JoinPhaseProfiler {
+ public:
+  explicit JoinPhaseProfiler(int num_threads);
+
+  // Adds one measured interval to (tid, phase). Threads only touch their own
+  // slot; no synchronization beyond the padding.
+  void Accumulate(int tid, JoinPhase phase, int64_t ns,
+                  const CounterDelta& delta);
+
+  // Reduces the per-thread slots. Call after the dispatch completed.
+  PhaseProfile Finish() const;
+
+ private:
+  struct alignas(kCacheLineSize) ThreadAccum {
+    int64_t ns[kNumJoinPhases] = {};
+    CounterDelta counters[kNumJoinPhases] = {};
+  };
+  std::vector<ThreadAccum> accums_;
+};
+
+// RAII phase measurement: wall clock + hardware counters + trace span.
+// `profiler == nullptr` (observability disabled) makes every member function
+// a predicted branch.
+class PhaseScope {
+ public:
+  PhaseScope(JoinPhaseProfiler* profiler, int tid, JoinPhase phase)
+      : profiler_(profiler) {
+    if (MMJOIN_UNLIKELY(profiler_ != nullptr)) Begin(tid, phase);
+  }
+  ~PhaseScope() {
+    if (MMJOIN_UNLIKELY(profiler_ != nullptr)) End();
+  }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  void Begin(int tid, JoinPhase phase);
+  void End();
+
+  JoinPhaseProfiler* profiler_;
+  int tid_ = 0;
+  JoinPhase phase_ = JoinPhase::kBuild;
+  int64_t start_ns_ = 0;
+  bool have_counters_ = false;
+  CounterSample start_sample_;
+};
+
+// Per-run profiler factory: non-null only while observability is enabled.
+inline std::unique_ptr<JoinPhaseProfiler> MakeJoinProfiler(int num_threads) {
+  if (MMJOIN_LIKELY(!Enabled())) return nullptr;
+  return std::make_unique<JoinPhaseProfiler>(num_threads);
+}
+
+}  // namespace mmjoin::obs
+
+#endif  // MMJOIN_OBS_PHASE_PROFILE_H_

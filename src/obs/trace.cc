@@ -1,0 +1,172 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mmjoin::obs {
+namespace {
+
+std::atomic<int> g_next_unlabeled_tid{kUnlabeledThreadIdBase};
+
+thread_local int t_obs_tid = -1;
+
+}  // namespace
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kPartition:
+      return "partition";
+    case SpanKind::kBuild:
+      return "build";
+    case SpanKind::kProbe:
+      return "probe";
+    case SpanKind::kSort:
+      return "sort";
+    case SpanKind::kMerge:
+      return "merge";
+    case SpanKind::kMaterialize:
+      return "materialize";
+    case SpanKind::kDispatch:
+      return "dispatch";
+    case SpanKind::kBarrier:
+      return "barrier";
+    case SpanKind::kIdle:
+      return "idle";
+    case SpanKind::kRun:
+      return "run";
+    case SpanKind::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+int CurrentThreadId() {
+  if (t_obs_tid < 0) {
+    t_obs_tid = g_next_unlabeled_tid.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_obs_tid;
+}
+
+void SetCurrentThreadId(int tid) { t_obs_tid = tid; }
+
+TraceRecorder& TraceRecorder::Get() {
+  // Intentionally leaked: executor workers may record during static
+  // destruction of harness objects.
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void Enable() { TraceRecorder::Get().SetEnabled(true); }
+void Disable() { TraceRecorder::Get().SetEnabled(false); }
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  thread_local ThreadBuffer* t_buffer = nullptr;
+  if (MMJOIN_UNLIKELY(t_buffer == nullptr)) {
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->spans.resize(kSpansPerThread);
+    t_buffer = buffer.get();
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffers_.push_back(std::move(buffer));
+  }
+  return t_buffer;
+}
+
+void TraceRecorder::Record(const char* name, SpanKind kind, int64_t start_ns,
+                           int64_t end_ns) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  const std::size_t index = buffer->count.load(std::memory_order_relaxed);
+  if (MMJOIN_UNLIKELY(index >= kSpansPerThread)) {
+    buffer->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer->spans[index] =
+      Span{name, kind, CurrentThreadId(), start_ns, end_ns};
+  // Release-publish the slot so a concurrent Snapshot never reads a
+  // half-written span.
+  buffer->count.store(index + 1, std::memory_order_release);
+}
+
+std::vector<Span> TraceRecorder::Snapshot() const {
+  std::vector<Span> all;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (const auto& buffer : buffers_) {
+      const std::size_t count = buffer->count.load(std::memory_order_acquire);
+      all.insert(all.end(), buffer->spans.begin(),
+                 buffer->spans.begin() + static_cast<std::ptrdiff_t>(count));
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Span& a, const Span& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.start_ns < b.start_ns;
+  });
+  return all;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& buffer : buffers_) {
+    buffer->count.store(0, std::memory_order_release);
+    buffer->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t TraceRecorder::recorded_spans() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  uint64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    total += buffer->count.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+uint64_t TraceRecorder::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  uint64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    total += buffer->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::string TraceRecorder::ChromeTraceJson() const {
+  const std::vector<Span> spans = Snapshot();
+  std::string out;
+  out.reserve(spans.size() * 96 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const Span& span : spans) {
+    if (!first) out += ',';
+    first = false;
+    // Timestamps/durations in microseconds, as the trace-event format
+    // specifies. %.3f keeps nanosecond resolution.
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d}",
+                  span.name, SpanKindName(span.kind),
+                  static_cast<double>(span.start_ns) / 1e3,
+                  static_cast<double>(span.end_ns - span.start_ns) / 1e3,
+                  span.tid);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return UnavailableError("cannot open trace file '" + path +
+                            "' for writing");
+  }
+  const std::string json = ChromeTraceJson();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const int close_rc = std::fclose(file);
+  if (written != json.size() || close_rc != 0) {
+    return UnavailableError("short write to trace file '" + path + "'");
+  }
+  return OkStatus();
+}
+
+}  // namespace mmjoin::obs

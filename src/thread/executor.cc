@@ -5,7 +5,45 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
 namespace mmjoin::thread {
+
+namespace {
+
+// Process-wide aggregates over every Executor (the global pool plus any
+// core::Joiner-owned pools), so one metrics provider covers them all
+// without forcing the global executor into existence.
+struct ProcessPoolStats {
+  std::atomic<uint64_t> threads_spawned{0};
+  std::atomic<uint64_t> dispatches{0};
+  std::atomic<uint64_t> idle_ns{0};
+};
+
+ProcessPoolStats& GlobalPoolStats() {
+  static ProcessPoolStats* stats = new ProcessPoolStats();
+  return *stats;
+}
+
+const obs::MetricsProviderRegistration kExecutorProvider(
+    "executor", [](std::vector<obs::Metric>* metrics) {
+      const ProcessPoolStats& stats = GlobalPoolStats();
+      metrics->push_back(obs::Metric{
+          "executor.threads_spawned",
+          stats.threads_spawned.load(std::memory_order_relaxed)});
+      metrics->push_back(obs::Metric{
+          "executor.dispatches",
+          stats.dispatches.load(std::memory_order_relaxed)});
+      metrics->push_back(obs::Metric{
+          "executor.barrier_wait_ns",
+          ProcessBarrierWaitNs().load(std::memory_order_relaxed)});
+      metrics->push_back(obs::Metric{
+          "executor.idle_ns", stats.idle_ns.load(std::memory_order_relaxed)});
+    });
+
+}  // namespace
 
 Executor::Executor(int num_threads, int num_nodes)
     : default_team_(num_threads), topology_(num_nodes) {
@@ -37,14 +75,33 @@ void Executor::EnsureWorkersLocked(int count) {
     // dispatch instead of re-running the previous one.
     workers_.emplace_back(&Executor::WorkerLoop, this, tid, epoch_);
     ++threads_spawned_;
+    GlobalPoolStats().threads_spawned.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void Executor::WorkerLoop(int thread_id, uint64_t spawn_epoch) {
+  // Trace spans this thread emits (phase scopes inside join closures, idle
+  // and task spans here) attribute to the stable pool thread id.
+  obs::SetCurrentThreadId(thread_id);
   uint64_t seen = spawn_epoch;
   for (;;) {
     std::unique_lock lock(mutex_);
-    work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+    // Idle accounting: timed only while observability is on, so the default
+    // path costs one predicted branch per epoch.
+    if (MMJOIN_UNLIKELY(obs::Enabled())) {
+      const int64_t idle_start = NowNanos();
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      const int64_t idle_end = NowNanos();
+      idle_ns_.fetch_add(static_cast<uint64_t>(idle_end - idle_start),
+                         std::memory_order_relaxed);
+      GlobalPoolStats().idle_ns.fetch_add(
+          static_cast<uint64_t>(idle_end - idle_start),
+          std::memory_order_relaxed);
+      obs::TraceRecorder::Get().Record("executor.idle", obs::SpanKind::kIdle,
+                                       idle_start, idle_end);
+    } else {
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+    }
     if (stop_) return;
     seen = epoch_;
     if (thread_id >= team_size_) continue;  // sitting this epoch out
@@ -60,7 +117,10 @@ void Executor::WorkerLoop(int thread_id, uint64_t spawn_epoch) {
     ctx.executor = this;
     lock.unlock();
 
-    (*task)(ctx);
+    {
+      obs::ObsScope task_scope("executor.task", obs::SpanKind::kDispatch);
+      (*task)(ctx);
+    }
 
     lock.lock();
     if (--remaining_ == 0) done_cv_.notify_all();
@@ -79,6 +139,7 @@ Status Executor::Dispatch(
   EnsureWorkersLocked(team_size);
   if (barrier_parties_ != team_size) {
     barrier_ = std::make_unique<Barrier>(team_size);
+    barrier_->set_wait_accumulator(&barrier_wait_ns_);
     barrier_parties_ = team_size;
   }
   task_ = std::make_shared<const std::function<void(const WorkerContext&)>>(fn);
@@ -86,6 +147,7 @@ Status Executor::Dispatch(
   remaining_ = team_size;
   const uint64_t this_epoch = ++epoch_;
   ++dispatches_;
+  GlobalPoolStats().dispatches.fetch_add(1, std::memory_order_relaxed);
   max_team_size_ = std::max<uint64_t>(max_team_size_, team_size);
   work_cv_.notify_all();
 
@@ -148,6 +210,8 @@ ExecutorStats Executor::stats() const {
   stats.threads_spawned = threads_spawned_;
   stats.dispatches = dispatches_;
   stats.max_team_size = max_team_size_;
+  stats.barrier_wait_ns = barrier_wait_ns_.load(std::memory_order_relaxed);
+  stats.idle_ns = idle_ns_.load(std::memory_order_relaxed);
   return stats;
 }
 

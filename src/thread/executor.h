@@ -51,11 +51,16 @@ struct WorkerContext {
 
 // Pool-reuse accounting. `threads_spawned` only grows when the pool does;
 // a steady-state process shows threads_spawned == num_threads while
-// `dispatches` keeps counting.
+// `dispatches` keeps counting. `barrier_wait_ns` (time blocked in the team
+// barrier inside dispatches) and `idle_ns` (time workers slept between
+// epochs) are accumulated only while observability (obs::Enabled()) is on,
+// so the hot path stays untimed by default; see docs/EXECUTION.md.
 struct ExecutorStats {
   uint64_t threads_spawned = 0;
   uint64_t dispatches = 0;
   uint64_t max_team_size = 0;
+  uint64_t barrier_wait_ns = 0;
+  uint64_t idle_ns = 0;
 };
 
 class Executor {
@@ -157,6 +162,10 @@ class Executor {
   uint64_t threads_spawned_ = 0;
   uint64_t dispatches_ = 0;
   uint64_t max_team_size_ = 0;
+  // Written by workers outside mutex_ (relaxed adds); populated only while
+  // observability is enabled.
+  std::atomic<uint64_t> barrier_wait_ns_{0};
+  std::atomic<uint64_t> idle_ns_{0};
 };
 
 // The process-wide pool behind the RunTeam compatibility shim and every

@@ -18,12 +18,25 @@
 #include <functional>
 #include <mutex>
 
+#include "obs/trace.h"
 #include "util/macros.h"
+#include "util/timer.h"
 
 namespace mmjoin::thread {
 
+// Summed nanoseconds every Barrier in the process spent blocking threads
+// (populated only while observability is enabled). Feeds the `executor.*`
+// metrics provider; covers executor team barriers and standalone barriers
+// alike.
+std::atomic<uint64_t>& ProcessBarrierWaitNs();
+
 // Reusable cyclic barrier (std::barrier-equivalent; kept self-contained so
 // the whole library builds with partial C++20 standard libraries).
+//
+// When observability is on, each arrival's blocked time is emitted as a
+// `barrier.wait` trace span and accumulated into the optional wait
+// accumulator (the executor points it at its barrier_wait_ns stat); when
+// off, the only extra cost is one predicted branch per arrival.
 class Barrier {
  public:
   explicit Barrier(int parties) : parties_(parties) {
@@ -33,7 +46,31 @@ class Barrier {
   Barrier(const Barrier&) = delete;
   Barrier& operator=(const Barrier&) = delete;
 
+  // Process-lifetime accumulator receiving the summed nanoseconds threads
+  // spent blocked in ArriveAndWait. May be null (no accounting).
+  void set_wait_accumulator(std::atomic<uint64_t>* accumulator) {
+    wait_ns_ = accumulator;
+  }
+
   void ArriveAndWait() {
+    if (MMJOIN_UNLIKELY(obs::Enabled())) {
+      const int64_t start = NowNanos();
+      ArriveAndWaitImpl();
+      const int64_t end = NowNanos();
+      const auto waited = static_cast<uint64_t>(end - start);
+      if (wait_ns_ != nullptr) {
+        wait_ns_->fetch_add(waited, std::memory_order_relaxed);
+      }
+      ProcessBarrierWaitNs().fetch_add(waited, std::memory_order_relaxed);
+      obs::TraceRecorder::Get().Record("barrier.wait", obs::SpanKind::kBarrier,
+                                       start, end);
+      return;
+    }
+    ArriveAndWaitImpl();
+  }
+
+ private:
+  void ArriveAndWaitImpl() {
     std::unique_lock lock(mutex_);
     const uint64_t generation = generation_;
     if (++arrived_ == parties_) {
@@ -45,12 +82,12 @@ class Barrier {
     cv_.wait(lock, [&] { return generation_ != generation; });
   }
 
- private:
   const int parties_;
   int arrived_ = 0;
   uint64_t generation_ = 0;
   std::mutex mutex_;
   std::condition_variable cv_;
+  std::atomic<uint64_t>* wait_ns_ = nullptr;
 };
 
 // Compatibility shim: runs `fn(thread_id)` on `num_threads` workers of the

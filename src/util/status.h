@@ -32,6 +32,7 @@ enum class StatusCode : int {
   kFailedPrecondition = 4,  // object unusable (e.g. poisoned executor)
   kInternal = 5,            // invariant that chose not to abort
   kNotFound = 6,            // lookup by name missed
+  kUnavailable = 7,         // optional facility absent (perf counters, files)
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -92,6 +93,9 @@ inline Status InternalError(std::string message) {
 inline Status NotFoundError(std::string message) {
   return Status(StatusCode::kNotFound, std::move(message));
 }
+inline Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
 
 inline const char* StatusCodeName(StatusCode code) {
   switch (code) {
@@ -109,6 +113,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kNotFound:
       return "NOT_FOUND";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
