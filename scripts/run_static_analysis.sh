@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Static-analysis driver: everything the repo can check without running a
+# single join. Mirrors the CI `static-analysis` job; run locally before
+# sending a change that touches shared state.
+#
+#   1. scripts/lint_concurrency.py      always (stdlib python3 only)
+#   2. Clang -Wthread-safety build      if a clang++ is available
+#   3. negative-compile check           if a clang++ is available:
+#        tests/annotations_negative.cc MUST fail under -Werror=thread-safety
+#        as written, and MUST compile with -DMMJOIN_NEGATIVE_FIXED.
+#   4. clang-tidy over src/             if clang-tidy is available
+#
+# Steps 2-4 print SKIPPED (with the reason) when the tool is missing -- GCC
+# has no thread-safety analysis, and some dev containers carry only the LLVM
+# backend tools. CI always installs clang, so nothing is skipped there.
+#
+# Usage: scripts/run_static_analysis.sh [build-dir]
+#   build-dir defaults to build-static-analysis (created if needed).
+
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build-static-analysis}"
+cd "${REPO_ROOT}"
+
+failures=0
+step() { printf '\n== %s ==\n' "$1"; }
+skip() { printf 'SKIPPED: %s\n' "$1"; }
+fail() { printf 'FAILED: %s\n' "$1"; failures=$((failures + 1)); }
+ok()   { printf 'OK: %s\n' "$1"; }
+
+# ----------------------------------------------------------------- 1. lint
+step "concurrency lint (scripts/lint_concurrency.py)"
+if python3 scripts/lint_concurrency.py; then
+  ok "lint clean"
+else
+  fail "lint findings above (fix them or justify in scripts/concurrency_allowlist.txt)"
+fi
+
+# Locate a clang++ (plain name first, then versioned).
+CLANGXX=""
+for candidate in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+                 clang++-16 clang++-15 clang++-14; do
+  if command -v "${candidate}" > /dev/null 2>&1; then
+    CLANGXX="${candidate}"
+    break
+  fi
+done
+
+# ------------------------------------------- 2. clang thread-safety build
+step "Clang -Werror=thread-safety build"
+if [ -z "${CLANGXX}" ]; then
+  skip "no clang++ on PATH (GCC has no thread-safety analysis); CI runs this"
+else
+  if cmake -B "${BUILD_DIR}" -S . \
+        -DCMAKE_CXX_COMPILER="${CLANGXX}" \
+        -DMMJOIN_THREAD_SAFETY_WERROR=ON \
+        -DMMJOIN_BUILD_BENCHMARKS=OFF > "${BUILD_DIR}.configure.log" 2>&1 \
+      && cmake --build "${BUILD_DIR}" -j "$(nproc)" \
+           > "${BUILD_DIR}.build.log" 2>&1; then
+    ok "annotated build clean under -Werror=thread-safety"
+  else
+    tail -40 "${BUILD_DIR}.build.log" "${BUILD_DIR}.configure.log" 2>/dev/null
+    fail "thread-safety build (logs: ${BUILD_DIR}.build.log)"
+  fi
+fi
+
+# --------------------------------------------- 3. negative-compile check
+step "negative-compile check (tests/annotations_negative.cc)"
+if [ -z "${CLANGXX}" ]; then
+  skip "no clang++ on PATH; CI runs this"
+else
+  NEG_FLAGS="-std=c++20 -fsyntax-only -Isrc -Wthread-safety -Werror=thread-safety"
+  # shellcheck disable=SC2086  # NEG_FLAGS is a flag list by construction
+  if ${CLANGXX} ${NEG_FLAGS} tests/annotations_negative.cc \
+       > /dev/null 2>&1; then
+    fail "annotations_negative.cc compiled cleanly -- the GUARDED_BY analysis is not firing"
+  else
+    ok "unlocked guarded access rejected, as intended"
+  fi
+  # shellcheck disable=SC2086
+  if ${CLANGXX} ${NEG_FLAGS} -DMMJOIN_NEGATIVE_FIXED \
+       tests/annotations_negative.cc > /dev/null 2>&1; then
+    ok "properly locked variant accepted"
+  else
+    fail "annotations_negative.cc with -DMMJOIN_NEGATIVE_FIXED must compile"
+  fi
+fi
+
+# ----------------------------------------------------------- 4. clang-tidy
+step "clang-tidy over src/"
+CLANGTIDY=""
+for candidate in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+                 clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  if command -v "${candidate}" > /dev/null 2>&1; then
+    CLANGTIDY="${candidate}"
+    break
+  fi
+done
+if [ -z "${CLANGTIDY}" ]; then
+  skip "no clang-tidy on PATH; CI runs this"
+elif [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  # Without the clang build above there is no compilation database; make one
+  # with whatever compiler CMake picks (compile flags are what matter).
+  if ! cmake -B "${BUILD_DIR}" -S . -DMMJOIN_BUILD_BENCHMARKS=OFF \
+       > "${BUILD_DIR}.configure.log" 2>&1; then
+    fail "could not configure a compilation database for clang-tidy"
+  fi
+fi
+if [ -n "${CLANGTIDY}" ] && [ -f "${BUILD_DIR}/compile_commands.json" ]; then
+  # Headers are covered via HeaderFilterRegex from the TUs that include them.
+  mapfile -t TUS < <(find src -name '*.cc' | sort)
+  if "${CLANGTIDY}" -p "${BUILD_DIR}" --quiet "${TUS[@]}" \
+       > "${BUILD_DIR}.tidy.log" 2>&1; then
+    ok "clang-tidy clean ($(wc -l < "${BUILD_DIR}.tidy.log") log lines)"
+  else
+    grep -E "error:|warning:" "${BUILD_DIR}.tidy.log" | head -50
+    fail "clang-tidy (full log: ${BUILD_DIR}.tidy.log)"
+  fi
+fi
+
+# ------------------------------------------------------------------ result
+printf '\n'
+if [ "${failures}" -ne 0 ]; then
+  printf 'static analysis: %d step(s) FAILED\n' "${failures}"
+  exit 1
+fi
+printf 'static analysis: all runnable steps passed\n'
+exit 0

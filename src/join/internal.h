@@ -7,15 +7,16 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "join/join_algorithm.h"
 #include "join/join_defs.h"
 #include "numa/system.h"
 #include "thread/executor.h"
+#include "util/annotations.h"
 #include "util/failpoint.h"
 #include "util/macros.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -35,9 +36,12 @@ inline thread::Executor& ExecutorOf(const JoinConfig& config) {
 class JoinAbort {
  public:
   void Set(Status status) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!failed_.load(std::memory_order_relaxed)) {
       status_ = std::move(status);
+      // Release pairs with the acquire in IsSet(): a worker that observes
+      // failed_ == true also observes the fully-written status_ (readable
+      // via status(), which additionally takes the mutex).
       failed_.store(true, std::memory_order_release);
     }
   }
@@ -45,14 +49,14 @@ class JoinAbort {
   bool IsSet() const { return failed_.load(std::memory_order_acquire); }
 
   Status status() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return status_;
   }
 
  private:
   std::atomic<bool> failed_{false};
-  mutable std::mutex mutex_;
-  Status status_;
+  mutable Mutex mutex_;
+  Status status_ MMJOIN_GUARDED_BY(mutex_);
 };
 
 // Canonical per-phase allocation failpoints. Inline functions (not the

@@ -458,8 +458,12 @@ class PrJoin final : public JoinAlgorithm {
                               obs::JoinPhase::kPartitionPass2);
         const auto& r1 = r_partitioner.layout();
         const auto& s1 = s_partitioner.layout();
-        for (uint32_t p1 = next_sub.fetch_add(1); p1 < P1;
-             p1 = next_sub.fetch_add(1)) {
+        // Relaxed: the counter only claims disjoint sub-partition indices;
+        // the pass-1 data each claim reads was published by the barrier
+        // above, so no ordering beyond atomicity is needed here.
+        for (uint32_t p1 = next_sub.fetch_add(1, std::memory_order_relaxed);
+             p1 < P1;
+             p1 = next_sub.fetch_add(1, std::memory_order_relaxed)) {
           SubPartition(system, node, r_mid.data(), r_out.data(), r1, p1, fn2,
                        P2, &r_layout);
           SubPartition(system, node, s_mid.data(), s_out.data(), s1, p1, fn2,

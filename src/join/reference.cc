@@ -1,10 +1,10 @@
 #include "join/reference.h"
 
 #include <algorithm>
-#include <mutex>
 #include <unordered_map>
 
 #include "thread/executor.h"
+#include "util/mutex.h"
 
 namespace mmjoin::join {
 
@@ -16,7 +16,7 @@ JoinResult ReferenceJoin(ConstTupleSpan build, ConstTupleSpan probe,
 
   JoinResult result;
   if (executor != nullptr) {
-    std::mutex fold_mutex;
+    Mutex fold_mutex;
     executor->ParallelFor(
         probe.size(), [&](std::size_t begin, std::size_t end,
                           const thread::WorkerContext&) {
@@ -30,7 +30,7 @@ JoinResult ReferenceJoin(ConstTupleSpan build, ConstTupleSpan probe,
               checksum += static_cast<uint64_t>(it->second) + s.payload;
             }
           }
-          std::scoped_lock lock(fold_mutex);
+          MutexLock lock(fold_mutex);
           result.matches += matches;
           result.checksum += checksum;
         });

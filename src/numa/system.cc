@@ -47,7 +47,7 @@ const obs::MetricsProviderRegistration kNumaProvider(
 
 NumaSystem::~NumaSystem() {
   // Free any regions the owner leaked (RAII wrappers normally free all).
-  std::unique_lock lock(regions_mutex_);
+  WriterMutexLock lock(regions_mutex_);
   for (const Region& region : regions_) {
     mem::FreeAligned(reinterpret_cast<void*>(region.base), region.bytes);
   }
@@ -75,7 +75,7 @@ void* NumaSystem::TryAllocate(std::size_t bytes, Placement placement,
 
   Region region{reinterpret_cast<std::uintptr_t>(ptr), bytes, placement,
                 home_node};
-  std::unique_lock lock(regions_mutex_);
+  WriterMutexLock lock(regions_mutex_);
   const auto it = std::lower_bound(
       regions_.begin(), regions_.end(), region.base,
       [](const Region& r, std::uintptr_t base) { return r.base < base; });
@@ -88,7 +88,7 @@ void NumaSystem::Free(void* ptr) {
   const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
   std::size_t bytes = 0;
   {
-    std::unique_lock lock(regions_mutex_);
+    WriterMutexLock lock(regions_mutex_);
     const auto it = std::lower_bound(
         regions_.begin(), regions_.end(), addr,
         [](const Region& r, std::uintptr_t base) { return r.base < base; });
@@ -100,7 +100,6 @@ void NumaSystem::Free(void* ptr) {
 }
 
 const NumaSystem::Region* NumaSystem::FindRegion(std::uintptr_t addr) const {
-  // Caller holds regions_mutex_ (shared).
   auto it = std::upper_bound(
       regions_.begin(), regions_.end(), addr,
       [](std::uintptr_t a, const Region& r) { return a < r.base; });
@@ -111,7 +110,7 @@ const NumaSystem::Region* NumaSystem::FindRegion(std::uintptr_t addr) const {
 }
 
 int NumaSystem::NodeOf(const void* addr) const {
-  std::shared_lock lock(regions_mutex_);
+  ReaderMutexLock lock(regions_mutex_);
   const Region* region = FindRegion(reinterpret_cast<std::uintptr_t>(addr));
   if (region == nullptr) return -1;
   return topology_.NodeOfOffset(
@@ -123,7 +122,10 @@ void NumaSystem::EnableAccounting(int64_t timeline_bucket_nanos) {
   counters_ =
       std::make_unique<AccessCounters>(topology_, timeline_bucket_nanos);
   counters_->StartTimeline(NowNanos());
-  accounting_enabled_ = true;
+  // Relaxed is enough: the enable-while-quiescent contract (header comment)
+  // means no worker races this store, and the dispatch that starts the next
+  // join provides the happens-before edge that publishes counters_.
+  accounting_enabled_.store(true, std::memory_order_relaxed);
 }
 
 void NumaSystem::CountRange(int from_node, const void* addr,
@@ -132,11 +134,18 @@ void NumaSystem::CountRange(int from_node, const void* addr,
   const auto start = reinterpret_cast<std::uintptr_t>(addr);
   const int64_t now = NowNanos();
 
-  std::shared_lock lock(regions_mutex_);
-  const Region* region = FindRegion(start);
-  if (region == nullptr) {
+  Region r{};
+  bool found = false;
+  {
+    ReaderMutexLock lock(regions_mutex_);
+    const Region* region = FindRegion(start);
+    if (region != nullptr) {
+      r = *region;
+      found = true;
+    }
+  }
+  if (!found) {
     // Unknown memory (stack/temporary): treat as local to the accessor.
-    lock.unlock();
     if (is_write) {
       counters_->CountWrite(from_node, from_node, bytes, now);
       GlobalTraffic().local_write_bytes.fetch_add(bytes,
@@ -148,9 +157,6 @@ void NumaSystem::CountRange(int from_node, const void* addr,
     }
     return;
   }
-
-  const Region r = *region;
-  lock.unlock();
 
   auto count = [&](int to_node, uint64_t n) {
     ProcessTraffic& traffic = GlobalTraffic();

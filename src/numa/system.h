@@ -11,17 +11,18 @@
 #ifndef MMJOIN_NUMA_SYSTEM_H_
 #define MMJOIN_NUMA_SYSTEM_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "mem/aligned_alloc.h"
 #include "numa/counters.h"
 #include "numa/topology.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/timer.h"
 #include "util/types.h"
@@ -65,10 +66,17 @@ class NumaSystem {
   int NodeOf(const void* addr) const;
 
   // --- Accounting -------------------------------------------------------
-  // Disabled by default; enable for instrumented runs only.
+  // Disabled by default; enable for instrumented runs only, and only while
+  // no join is running (workers read the flag and the counters pointer
+  // without the region lock; the quiescent-toggle contract is what makes
+  // the relaxed load sound).
   void EnableAccounting(int64_t timeline_bucket_nanos = 2'000'000);
-  void DisableAccounting() { accounting_enabled_ = false; }
-  bool accounting_enabled() const { return accounting_enabled_; }
+  void DisableAccounting() {
+    accounting_enabled_.store(false, std::memory_order_relaxed);
+  }
+  bool accounting_enabled() const {
+    return accounting_enabled_.load(std::memory_order_relaxed);
+  }
   AccessCounters* counters() { return counters_.get(); }
 
   // Attributes a read/write of [addr, addr+bytes) performed by a thread on
@@ -76,11 +84,11 @@ class NumaSystem {
   // the containing allocation. No-ops (after one branch) when accounting is
   // off.
   void CountRead(int from_node, const void* addr, std::size_t bytes) {
-    if (MMJOIN_LIKELY(!accounting_enabled_)) return;
+    if (MMJOIN_LIKELY(!accounting_enabled())) return;
     CountRange(from_node, addr, bytes, /*is_write=*/false);
   }
   void CountWrite(int from_node, const void* addr, std::size_t bytes) {
-    if (MMJOIN_LIKELY(!accounting_enabled_)) return;
+    if (MMJOIN_LIKELY(!accounting_enabled())) return;
     CountRange(from_node, addr, bytes, /*is_write=*/true);
   }
 
@@ -88,7 +96,7 @@ class NumaSystem {
   // tests assert a failed join unwinds back to the pre-join count (no
   // leaked regions).
   std::size_t num_live_regions() const {
-    std::shared_lock lock(regions_mutex_);
+    ReaderMutexLock lock(regions_mutex_);
     return regions_.size();
   }
 
@@ -100,17 +108,19 @@ class NumaSystem {
     int home_node;
   };
 
-  const Region* FindRegion(std::uintptr_t addr) const;
+  const Region* FindRegion(std::uintptr_t addr) const
+      MMJOIN_REQUIRES_SHARED(regions_mutex_);
   void CountRange(int from_node, const void* addr, std::size_t bytes,
                   bool is_write);
 
   Topology topology_;
   mem::PagePolicy page_policy_;
 
-  mutable std::shared_mutex regions_mutex_;
-  std::vector<Region> regions_;  // sorted by base
+  mutable SharedMutex regions_mutex_;
+  std::vector<Region> regions_
+      MMJOIN_GUARDED_BY(regions_mutex_);  // sorted by base
 
-  bool accounting_enabled_ = false;
+  std::atomic<bool> accounting_enabled_{false};
   std::unique_ptr<AccessCounters> counters_;
 };
 

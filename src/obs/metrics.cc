@@ -16,12 +16,12 @@ MetricsRegistry& MetricsRegistry::Get() {
 
 void MetricsRegistry::RegisterProvider(const std::string& key,
                                        Provider provider) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   providers_[key] = std::move(provider);
 }
 
 void MetricsRegistry::AddCounter(const std::string& name, uint64_t delta) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   counters_[name] += delta;
 }
 
@@ -29,7 +29,7 @@ std::vector<Metric> MetricsRegistry::Snapshot() const {
   std::vector<Metric> metrics;
   std::vector<Provider> providers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     providers.reserve(providers_.size());
     for (const auto& [key, provider] : providers_) providers.push_back(provider);
     for (const auto& [name, value] : counters_) {

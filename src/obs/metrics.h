@@ -19,11 +19,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace mmjoin::obs {
@@ -57,9 +58,9 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Provider> providers_;
-  std::map<std::string, uint64_t> counters_;
+  mutable Mutex mutex_;
+  std::map<std::string, Provider> providers_ MMJOIN_GUARDED_BY(mutex_);
+  std::map<std::string, uint64_t> counters_ MMJOIN_GUARDED_BY(mutex_);
 };
 
 // Helper for static registration from subsystem TUs:

@@ -95,6 +95,9 @@ class JoinPhaseProfiler {
     int64_t ns[kNumJoinPhases] = {};
     CounterDelta counters[kNumJoinPhases] = {};
   };
+  static_assert(alignof(ThreadAccum) == kCacheLineSize &&
+                    sizeof(ThreadAccum) % kCacheLineSize == 0,
+                "ThreadAccum slots must not share cache lines across threads");
   std::vector<ThreadAccum> accums_;
 };
 

@@ -65,7 +65,7 @@ TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
     auto buffer = std::make_unique<ThreadBuffer>();
     buffer->spans.resize(kSpansPerThread);
     t_buffer = buffer.get();
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     buffers_.push_back(std::move(buffer));
   }
   return t_buffer;
@@ -89,7 +89,7 @@ void TraceRecorder::Record(const char* name, SpanKind kind, int64_t start_ns,
 std::vector<Span> TraceRecorder::Snapshot() const {
   std::vector<Span> all;
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     for (const auto& buffer : buffers_) {
       const std::size_t count = buffer->count.load(std::memory_order_acquire);
       all.insert(all.end(), buffer->spans.begin(),
@@ -104,7 +104,7 @@ std::vector<Span> TraceRecorder::Snapshot() const {
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   for (const auto& buffer : buffers_) {
     buffer->count.store(0, std::memory_order_release);
     buffer->dropped.store(0, std::memory_order_relaxed);
@@ -112,7 +112,7 @@ void TraceRecorder::Clear() {
 }
 
 uint64_t TraceRecorder::recorded_spans() const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   uint64_t total = 0;
   for (const auto& buffer : buffers_) {
     total += buffer->count.load(std::memory_order_acquire);
@@ -121,7 +121,7 @@ uint64_t TraceRecorder::recorded_spans() const {
 }
 
 uint64_t TraceRecorder::dropped_spans() const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   uint64_t total = 0;
   for (const auto& buffer : buffers_) {
     total += buffer->dropped.load(std::memory_order_relaxed);

@@ -18,11 +18,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/macros.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -112,8 +113,12 @@ class TraceRecorder {
   ThreadBuffer* BufferForThisThread();
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex registry_mutex_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  // registry_mutex_ guards the buffer list only; the buffers themselves are
+  // single-writer (their owning thread) with atomic count publication, so
+  // Record() stays lock-free after a thread's first span.
+  mutable Mutex registry_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+      MMJOIN_GUARDED_BY(registry_mutex_);
 };
 
 // Process-wide switch helpers (sugar over TraceRecorder).

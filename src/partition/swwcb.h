@@ -27,6 +27,8 @@ namespace mmjoin::partition {
 struct alignas(kCacheLineSize) CacheLineBuffer {
   Tuple data[kTuplesPerCacheLine];
 };
+static_assert(sizeof(CacheLineBuffer) == kCacheLineSize,
+              "CacheLineBuffer must occupy exactly one cache line");
 
 // Per-thread scatter state for one target partition.
 //

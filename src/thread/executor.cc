@@ -55,17 +55,21 @@ Executor::Executor(int num_threads, int num_nodes)
       watchdog_timeout_ms_.store(ms, std::memory_order_relaxed);
     }
   }
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   EnsureWorkersLocked(num_threads);
 }
 
 Executor::~Executor() {
+  // Move the threads out under the lock, then join unlocked (joining under
+  // mutex_ would deadlock: workers take it to observe stop_ and exit).
+  std::vector<std::thread> workers;
   {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
+    workers.swap(workers_);
   }
-  work_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  work_cv_.NotifyAll();
+  for (std::thread& worker : workers) worker.join();
 }
 
 void Executor::EnsureWorkersLocked(int count) {
@@ -85,12 +89,12 @@ void Executor::WorkerLoop(int thread_id, uint64_t spawn_epoch) {
   obs::SetCurrentThreadId(thread_id);
   uint64_t seen = spawn_epoch;
   for (;;) {
-    std::unique_lock lock(mutex_);
+    mutex_.Lock();
     // Idle accounting: timed only while observability is on, so the default
     // path costs one predicted branch per epoch.
     if (MMJOIN_UNLIKELY(obs::Enabled())) {
       const int64_t idle_start = NowNanos();
-      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      while (!stop_ && epoch_ == seen) work_cv_.Wait(mutex_);
       const int64_t idle_end = NowNanos();
       idle_ns_.fetch_add(static_cast<uint64_t>(idle_end - idle_start),
                          std::memory_order_relaxed);
@@ -100,11 +104,17 @@ void Executor::WorkerLoop(int thread_id, uint64_t spawn_epoch) {
       obs::TraceRecorder::Get().Record("executor.idle", obs::SpanKind::kIdle,
                                        idle_start, idle_end);
     } else {
-      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      while (!stop_ && epoch_ == seen) work_cv_.Wait(mutex_);
     }
-    if (stop_) return;
+    if (stop_) {
+      mutex_.Unlock();
+      return;
+    }
     seen = epoch_;
-    if (thread_id >= team_size_) continue;  // sitting this epoch out
+    if (thread_id >= team_size_) {  // sitting this epoch out
+      mutex_.Unlock();
+      continue;
+    }
 
     // Own a reference: a watchdog-timed-out Dispatch may return (and its
     // caller destroy the original closure) while this worker still runs.
@@ -115,27 +125,28 @@ void Executor::WorkerLoop(int thread_id, uint64_t spawn_epoch) {
     ctx.node = topology_.NodeOfThread(thread_id, team_size_);
     ctx.barrier = barrier_.get();
     ctx.executor = this;
-    lock.unlock();
+    mutex_.Unlock();
 
     {
       obs::ObsScope task_scope("executor.task", obs::SpanKind::kDispatch);
       (*task)(ctx);
     }
 
-    lock.lock();
-    if (--remaining_ == 0) done_cv_.notify_all();
+    mutex_.Lock();
+    if (--remaining_ == 0) done_cv_.NotifyAll();
+    mutex_.Unlock();
   }
 }
 
 Status Executor::Dispatch(
     int team_size, const std::function<void(const WorkerContext&)>& fn) {
   MMJOIN_CHECK(team_size >= 1);
-  std::scoped_lock dispatch_lock(dispatch_mutex_);
+  MutexLock dispatch_lock(dispatch_mutex_);
   if (poisoned_.load(std::memory_order_relaxed)) {
     return FailedPreconditionError(
         "executor poisoned by an earlier dispatch timeout; refusing work");
   }
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   EnsureWorkersLocked(team_size);
   if (barrier_parties_ != team_size) {
     barrier_ = std::make_unique<Barrier>(team_size);
@@ -149,18 +160,22 @@ Status Executor::Dispatch(
   ++dispatches_;
   GlobalPoolStats().dispatches.fetch_add(1, std::memory_order_relaxed);
   max_team_size_ = std::max<uint64_t>(max_team_size_, team_size);
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   const int64_t timeout_ms =
       watchdog_timeout_ms_.load(std::memory_order_relaxed);
   if (timeout_ms <= 0) {
-    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    while (remaining_ != 0) done_cv_.Wait(mutex_);
     task_.reset();
     return OkStatus();
   }
 
-  if (done_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                        [&] { return remaining_ == 0; })) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (remaining_ != 0) {
+    if (!done_cv_.WaitUntil(mutex_, deadline)) break;
+  }
+  if (remaining_ == 0) {
     task_.reset();
     return OkStatus();
   }
@@ -195,17 +210,17 @@ Status Executor::ParallelFor(
 }
 
 bool Executor::IsIdle() const {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return remaining_ == 0;
 }
 
 int Executor::pool_size() const {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return static_cast<int>(workers_.size());
 }
 
 ExecutorStats Executor::stats() const {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   ExecutorStats stats;
   stats.threads_spawned = threads_spawned_;
   stats.dispatches = dispatches_;

@@ -19,18 +19,18 @@
 #define MMJOIN_THREAD_EXECUTOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "numa/topology.h"
 #include "thread/thread_team.h"
+#include "util/annotations.h"
 #include "util/macros.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace mmjoin::thread {
@@ -85,7 +85,8 @@ class Executor {
   // stuck workers keep a shared copy of the task closure, so a timed-out
   // return does not invalidate what they are still running.
   Status Dispatch(int team_size,
-                  const std::function<void(const WorkerContext&)>& fn);
+                  const std::function<void(const WorkerContext&)>& fn)
+      MMJOIN_EXCLUDES(dispatch_mutex_, mutex_);
 
   // Dispatch on the default team (the constructor's num_threads).
   Status Dispatch(const std::function<void(const WorkerContext&)>& fn) {
@@ -133,35 +134,39 @@ class Executor {
 
  private:
   void WorkerLoop(int thread_id, uint64_t spawn_epoch);
-  // Grows the pool to `count` workers. Requires mutex_ held.
-  void EnsureWorkersLocked(int count);
+  // Grows the pool to `count` workers.
+  void EnsureWorkersLocked(int count) MMJOIN_REQUIRES(mutex_);
 
   const int default_team_;
   const numa::Topology topology_;
 
   // One dispatch at a time; callers queue here, not on the epoch state.
-  std::mutex dispatch_mutex_;
+  Mutex dispatch_mutex_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::vector<std::thread> workers_;
-  uint64_t epoch_ = 0;
-  int team_size_ = 0;
-  int remaining_ = 0;
+  // mutex_ guards the epoch-dispatch protocol: Dispatch publishes
+  // {task_, team_size_, remaining_, epoch_} under it, workers observe the
+  // epoch bump under it, and remaining_ counts workers back in under it.
+  mutable Mutex mutex_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  std::vector<std::thread> workers_ MMJOIN_GUARDED_BY(mutex_);
+  uint64_t epoch_ MMJOIN_GUARDED_BY(mutex_) = 0;
+  int team_size_ MMJOIN_GUARDED_BY(mutex_) = 0;
+  int remaining_ MMJOIN_GUARDED_BY(mutex_) = 0;
   // Shared so workers still hold a valid closure if Dispatch returns early
   // on watchdog timeout while they are stuck mid-task.
-  std::shared_ptr<const std::function<void(const WorkerContext&)>> task_;
-  std::unique_ptr<Barrier> barrier_;
-  int barrier_parties_ = 0;
-  bool stop_ = false;
+  std::shared_ptr<const std::function<void(const WorkerContext&)>> task_
+      MMJOIN_GUARDED_BY(mutex_);
+  std::unique_ptr<Barrier> barrier_ MMJOIN_GUARDED_BY(mutex_);
+  int barrier_parties_ MMJOIN_GUARDED_BY(mutex_) = 0;
+  bool stop_ MMJOIN_GUARDED_BY(mutex_) = false;
 
   std::atomic<int64_t> watchdog_timeout_ms_{0};
   std::atomic<bool> poisoned_{false};
 
-  uint64_t threads_spawned_ = 0;
-  uint64_t dispatches_ = 0;
-  uint64_t max_team_size_ = 0;
+  uint64_t threads_spawned_ MMJOIN_GUARDED_BY(mutex_) = 0;
+  uint64_t dispatches_ MMJOIN_GUARDED_BY(mutex_) = 0;
+  uint64_t max_team_size_ MMJOIN_GUARDED_BY(mutex_) = 0;
   // Written by workers outside mutex_ (relaxed adds); populated only while
   // observability is enabled.
   std::atomic<uint64_t> barrier_wait_ns_{0};

@@ -13,10 +13,11 @@
 #define MMJOIN_THREAD_TASK_QUEUE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/macros.h"
+#include "util/mutex.h"
 
 namespace mmjoin::thread {
 
@@ -40,13 +41,13 @@ class TaskQueue {
   TaskQueue& operator=(const TaskQueue&) = delete;
 
   void Push(JoinTask task) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push_back(task);
   }
 
   // Pops the most recently pushed task; returns false when empty.
   bool Pop(JoinTask* task) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (tasks_.empty()) return false;
     *task = tasks_.back();
     tasks_.pop_back();
@@ -54,13 +55,13 @@ class TaskQueue {
   }
 
   std::size_t SizeForTest() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return tasks_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<JoinTask> tasks_;
+  mutable Mutex mutex_;
+  std::vector<JoinTask> tasks_ MMJOIN_GUARDED_BY(mutex_);
 };
 
 // Scheduling orders. Both return the sequence in which partition indices are

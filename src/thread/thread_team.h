@@ -12,14 +12,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 
 #include "obs/trace.h"
+#include "util/annotations.h"
 #include "util/macros.h"
+#include "util/mutex.h"
 #include "util/timer.h"
 
 namespace mmjoin::thread {
@@ -71,22 +71,22 @@ class Barrier {
 
  private:
   void ArriveAndWaitImpl() {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     const uint64_t generation = generation_;
     if (++arrived_ == parties_) {
       arrived_ = 0;
       ++generation_;
-      cv_.notify_all();
+      cv_.NotifyAll();
       return;
     }
-    cv_.wait(lock, [&] { return generation_ != generation; });
+    while (generation_ == generation) cv_.Wait(mutex_);
   }
 
   const int parties_;
-  int arrived_ = 0;
-  uint64_t generation_ = 0;
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  Mutex mutex_;
+  CondVar cv_;
+  int arrived_ MMJOIN_GUARDED_BY(mutex_) = 0;
+  uint64_t generation_ MMJOIN_GUARDED_BY(mutex_) = 0;
   std::atomic<uint64_t>* wait_ns_ = nullptr;
 };
 

@@ -20,6 +20,9 @@ struct alignas(kCacheLineSize) ThreadAgg {
   uint64_t matches = 0;
   uint64_t results = 0;
 };
+static_assert(sizeof(ThreadAgg) == kCacheLineSize,
+              "ThreadAgg must occupy exactly one cache line (false-sharing "
+              "padding)");
 
 // MatchSink evaluating PostJoin + aggregation inline (late
 // materialization: attributes are touched via the row ids in the match).

@@ -1,0 +1,78 @@
+// Clang thread-safety (capability) annotation macros.
+//
+// Under Clang with -Wthread-safety these expand to the capability attributes
+// documented at https://clang.llvm.org/docs/ThreadSafetyAnalysis.html, so
+// lock-protected state is checked at compile time: a member declared
+// MMJOIN_GUARDED_BY(mutex_) can only be touched while mutex_ is held, and a
+// function declared MMJOIN_REQUIRES(mutex_) can only be called with it held.
+// Under every other compiler (GCC builds the tree day to day) the macros
+// expand to nothing and the annotations are pure documentation.
+//
+// The annotated lock types the analysis keys on live in util/mutex.h; the CI
+// `static-analysis` job builds the tree with Clang and
+// -Werror=thread-safety, so annotation violations fail the build. See
+// docs/STATIC_ANALYSIS.md.
+
+#ifndef MMJOIN_UTIL_ANNOTATIONS_H_
+#define MMJOIN_UTIL_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define MMJOIN_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define MMJOIN_THREAD_ANNOTATION__(x)
+#endif
+
+// On a class: instances of this type are capabilities (lockable).
+#define MMJOIN_CAPABILITY(x) MMJOIN_THREAD_ANNOTATION__(capability(x))
+
+// On a class: RAII object that acquires a capability in its constructor and
+// releases it in its destructor.
+#define MMJOIN_SCOPED_CAPABILITY MMJOIN_THREAD_ANNOTATION__(scoped_lockable)
+
+// On a data member: may only be read or written while the capability is held.
+#define MMJOIN_GUARDED_BY(x) MMJOIN_THREAD_ANNOTATION__(guarded_by(x))
+
+// On a pointer member: the pointee (not the pointer) is protected.
+#define MMJOIN_PT_GUARDED_BY(x) MMJOIN_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+// On a function: callers must hold the capability (exclusively / shared).
+#define MMJOIN_REQUIRES(...) \
+  MMJOIN_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define MMJOIN_REQUIRES_SHARED(...) \
+  MMJOIN_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+// On a function: acquires the capability (must not already be held).
+#define MMJOIN_ACQUIRE(...) \
+  MMJOIN_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define MMJOIN_ACQUIRE_SHARED(...) \
+  MMJOIN_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+// On a function: releases the capability (must be held on entry).
+#define MMJOIN_RELEASE(...) \
+  MMJOIN_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define MMJOIN_RELEASE_SHARED(...) \
+  MMJOIN_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+// On a function returning bool: acquires the capability when the return
+// value equals the annotation's first argument.
+#define MMJOIN_TRY_ACQUIRE(...) \
+  MMJOIN_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+// On a function: the capability must NOT be held by the caller (deadlock
+// documentation for non-reentrant locks).
+#define MMJOIN_EXCLUDES(...) MMJOIN_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+// On a function: asserts (at analysis level) that the capability is held.
+#define MMJOIN_ASSERT_CAPABILITY(x) \
+  MMJOIN_THREAD_ANNOTATION__(assert_capability(x))
+
+// On a function returning a reference to a capability.
+#define MMJOIN_RETURN_CAPABILITY(x) MMJOIN_THREAD_ANNOTATION__(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Every use must carry
+// a comment explaining why the invariant cannot be expressed (the lint and
+// reviewers treat bare uses as errors).
+#define MMJOIN_NO_THREAD_SAFETY_ANALYSIS \
+  MMJOIN_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // MMJOIN_UTIL_ANNOTATIONS_H_

@@ -5,6 +5,9 @@
 #include <map>
 #include <mutex>
 
+#include "util/annotations.h"
+#include "util/mutex.h"
+
 namespace mmjoin {
 namespace {
 
@@ -42,7 +45,7 @@ class FailPointRegistry {
         }
       }
     });
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return GetLocked(name);
   }
 
@@ -54,12 +57,12 @@ class FailPointRegistry {
   }
 
   void DeactivateAll() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto& [name, fp] : points_) fp->Deactivate();
   }
 
   std::vector<std::string> ActiveNames() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<std::string> names;
     for (auto& [name, fp] : points_) {
       if (static_cast<FailPoint::Mode>(
@@ -72,7 +75,7 @@ class FailPointRegistry {
   }
 
  private:
-  FailPoint& GetLocked(std::string_view name) {
+  FailPoint& GetLocked(std::string_view name) MMJOIN_REQUIRES(mutex_) {
     auto it = points_.find(name);
     if (it == points_.end()) {
       it = points_
@@ -143,7 +146,7 @@ class FailPointRegistry {
       entries.push_back(std::move(entry));
     }
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const Entry& entry : entries) {
       FailPoint& fp = GetLocked(entry.name);
       if (entry.mode == FailPoint::Mode::kOff) {
@@ -155,10 +158,11 @@ class FailPointRegistry {
     return OkStatus();
   }
 
-  std::once_flag env_once_;
-  std::mutex mutex_;
+  std::once_flag env_once_;  // <mutex> stays included for this
+  Mutex mutex_;
   // Transparent comparator lets find() take string_view without a copy.
-  std::map<std::string, std::unique_ptr<FailPoint>, std::less<>> points_;
+  std::map<std::string, std::unique_ptr<FailPoint>, std::less<>> points_
+      MMJOIN_GUARDED_BY(mutex_);
 };
 
 FailPoint& FailPoint::Get(std::string_view name) {

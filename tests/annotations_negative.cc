@@ -1,0 +1,82 @@
+// Negative-compile fixture for the thread-safety annotations.
+//
+// NOT built by CMake (the test glob only matches *_test.cc). Instead,
+// scripts/run_static_analysis.sh compiles this TU twice with clang:
+//
+//   clang++ -fsyntax-only -Werror=thread-safety   <this file>   -> MUST FAIL
+//   clang++ ... -DMMJOIN_NEGATIVE_FIXED           <this file>   -> MUST PASS
+//
+// The first run proves the MMJOIN_GUARDED_BY / MMJOIN_REQUIRES plumbing is
+// live -- if the analysis ever silently stops firing (a macro edit turns the
+// attributes into no-ops under clang, a wrapper loses its annotation), the
+// "must fail" compile starts succeeding and the driver reports it.
+//
+// Keep the violations below obviously wrong; they exist to be rejected.
+
+#include "util/annotations.h"
+#include "util/mutex.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(long amount) {
+    mmjoin::MutexLock lock(mutex_);
+    balance_ += amount;
+  }
+
+#if defined(MMJOIN_NEGATIVE_FIXED)
+  long Read() {
+    mmjoin::MutexLock lock(mutex_);
+    return balance_;
+  }
+  void Drain() {
+    mutex_.Lock();
+    balance_ = 0;
+    mutex_.Unlock();
+  }
+#else
+  // VIOLATION 1: reads a guarded member without holding the mutex.
+  long Read() { return balance_; }
+
+  // VIOLATION 2: writes a guarded member under the WRONG lock.
+  void Drain() {
+    mmjoin::MutexLock lock(other_mutex_);
+    balance_ = 0;
+  }
+#endif
+
+ private:
+  mmjoin::Mutex mutex_;
+  mmjoin::Mutex other_mutex_;
+  long balance_ MMJOIN_GUARDED_BY(mutex_) = 0;
+};
+
+// VIOLATION 3 (unfixed build only): a REQUIRES function called lock-free.
+class Ledger {
+ public:
+  void PostLocked(long amount) MMJOIN_REQUIRES(mutex_) { total_ += amount; }
+
+  void Post(long amount) {
+#if defined(MMJOIN_NEGATIVE_FIXED)
+    mmjoin::MutexLock lock(mutex_);
+    PostLocked(amount);
+#else
+    PostLocked(amount);
+#endif
+  }
+
+ private:
+  mmjoin::Mutex mutex_;
+  long total_ MMJOIN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  Ledger ledger;
+  ledger.Post(1);
+  return static_cast<int>(account.Read());
+}
