@@ -138,5 +138,6 @@ int main(int argc, char** argv) {
                 env.threads, env.nodes);
     table.Print();
   }
+  bench::PrintExecutorStats();
   return 0;
 }

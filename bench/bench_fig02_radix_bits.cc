@@ -56,5 +56,6 @@ int main(int argc, char** argv) {
       "\nsingle-pass peak at %u bits (paper: 14 bits at |R|=128M; the "
       "optimum shifts with |R| per Equation (1))\n",
       best_bits);
+  bench::PrintExecutorStats();
   return 0;
 }

@@ -44,5 +44,6 @@ int main(int argc, char** argv) {
               result.times.total_ns / 1e6);
   }
   table.Print();
+  bench::PrintExecutorStats();
   return 0;
 }

@@ -59,5 +59,6 @@ int main(int argc, char** argv) {
       "\nCPR* writes partitions 100%% node-locally (remote_write ~ 0); PR* "
       "scatters ~%d/%d of its partition writes to remote nodes.\n",
       env.nodes - 1, env.nodes);
+  bench::PrintExecutorStats();
   return 0;
 }

@@ -128,5 +128,6 @@ int main(int argc, char** argv) {
                 "%d = one node at a time)\n\n",
                 window, windows ? imbalance_sum / windows : 0.0, env.nodes);
   }
+  bench::PrintExecutorStats();
   return 0;
 }

@@ -51,5 +51,6 @@ int main(int argc, char** argv) {
               remote_read, remote_write);
   }
   table.Print();
+  bench::PrintExecutorStats();
   return 0;
 }

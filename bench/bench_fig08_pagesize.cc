@@ -108,5 +108,6 @@ int main(int argc, char** argv) {
       "\nexpected shape: PRB is the one pattern where the 2MB-page TLB "
       "loses (128 direct-scatter cursors exceed 32 entries but fit 256); "
       "SWWCB and the global builds want huge pages.\n");
+  bench::PrintExecutorStats();
   return 0;
 }

@@ -87,5 +87,6 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
   }
+  bench::PrintExecutorStats();
   return 0;
 }

@@ -60,5 +60,6 @@ int main(int argc, char** argv) {
     table.Print();
     std::printf("\n");
   }
+  bench::PrintExecutorStats();
   return 0;
 }

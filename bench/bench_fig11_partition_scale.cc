@@ -102,5 +102,6 @@ int main(int argc, char** argv) {
               chunked_best);
   }
   table.Print();
+  bench::PrintExecutorStats();
   return 0;
 }

@@ -62,5 +62,6 @@ int main(int argc, char** argv) {
               (predicted_ns / best_ns - 1.0) * 100.0);
   }
   table.Print();
+  bench::PrintExecutorStats();
   return 0;
 }

@@ -73,5 +73,6 @@ int main(int argc, char** argv) {
     table.AddRow(row);
   }
   table.Print();
+  bench::PrintExecutorStats();
   return 0;
 }

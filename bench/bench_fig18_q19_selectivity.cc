@@ -53,5 +53,6 @@ int main(int argc, char** argv) {
     table.Print();
     std::printf("\n");
   }
+  bench::PrintExecutorStats();
   return 0;
 }

@@ -58,5 +58,6 @@ int main(int argc, char** argv) {
     table.Print();
     std::printf("\n");
   }
+  bench::PrintExecutorStats();
   return 0;
 }

@@ -125,5 +125,6 @@ int main(int argc, char** argv) {
       "memory-controller parallelism, which a single-stream cache model "
       "does not see -- that effect is bench_fig06's subject.)\n",
       bits);
+  bench::PrintExecutorStats();
   return 0;
 }

@@ -23,6 +23,11 @@ Enforces repo invariants that neither the compiler nor clang-tidy check:
   padded-assert      Every struct declared alignas(kCacheLineSize) must have
                      a static_assert naming it in the same file, so padding
                      claims are machine-checked instead of hand-counted.
+  deque-guard        Every std::deque declaration in src/ carries an
+                     MMJOIN_GUARDED_BY annotation in the same statement. The
+                     work-stealing shards are mutex-protected deques; a bare
+                     deque next to them is almost certainly a data race the
+                     thread-safety analysis cannot see.
   bare-escape        MMJOIN_NO_THREAD_SAFETY_ANALYSIS must carry an
                      explanatory comment on the preceding or same line.
 
@@ -59,6 +64,7 @@ ALLOC_RE = re.compile(r"\bnew\b|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(")
 RAND_RE = re.compile(r"(?:std\s*::\s*)?\b(rand|srand|random|srandom|drand48)\s*\(")
 SYSTEM_CLOCK_RE = re.compile(r"std\s*::\s*chrono\s*::\s*system_clock")
 PADDED_STRUCT_RE = re.compile(r"struct\s+alignas\(kCacheLineSize\)\s+(\w+)")
+DEQUE_DECL_RE = re.compile(r"std\s*::\s*deque\s*<")
 ESCAPE_RE = re.compile(r"MMJOIN_NO_THREAD_SAFETY_ANALYSIS")
 LOOP_HEAD_RE = re.compile(r"\b(for|while)\s*\(")
 DO_RE = re.compile(r"\bdo\s*\{")
@@ -344,6 +350,29 @@ def check_padded_assert(path, text, raw_lines, findings):
             )
 
 
+def check_deque_guard(path, text, raw_lines, findings):
+    if not path.startswith("src/"):
+        return
+    for m in DEQUE_DECL_RE.finditer(text):
+        # The declaration statement runs to the next ';'; the annotation
+        # must sit inside it (e.g. 'std::deque<T> q MMJOIN_GUARDED_BY(mu);').
+        end = text.find(";", m.start())
+        stmt = text[m.start() : end if end != -1 else len(text)]
+        if "MMJOIN_GUARDED_BY" in stmt:
+            continue
+        lineno = line_of(text, m.start())
+        findings.append(
+            Finding(
+                path,
+                lineno,
+                "deque-guard",
+                "std::deque without MMJOIN_GUARDED_BY; annotate which mutex "
+                "protects it (work-stealing shards are the template)",
+                source_line(raw_lines, lineno),
+            )
+        )
+
+
 def check_bare_escape(path, raw_text, raw_lines, findings):
     # Runs over the RAW text (comments matter here).
     for m in ESCAPE_RE.finditer(raw_text):
@@ -384,6 +413,7 @@ def lint_file(abs_path):
     check_join_loop_alloc(rel, text, raw_lines, findings)
     check_nondeterminism(rel, text, raw_lines, findings)
     check_padded_assert(rel, text, raw_lines, findings)
+    check_deque_guard(rel, text, raw_lines, findings)
     check_bare_escape(rel, raw, raw_lines, findings)
     return findings
 

@@ -30,33 +30,60 @@ namespace {
 
 // Runs after the last barrier of the dispatch: a worker that hits a failure
 // (or sees one via `abort`) simply stops pulling tasks.
+//
+// Workers pop LIFO from their home node's shard, stealing distance-ordered
+// FIFO when it runs dry. Slices of one skewed partition share a single
+// gathered build table through `slots` (chunked partitions are gathered
+// from every chunk, so the per-slice rebuild was the full gather each time).
 template <typename Scratch>
 void JoinChunkedPartitions(numa::NumaSystem* system, int tid, int node,
-                           thread::TaskQueue* queue,
+                           thread::ShardedTaskQueue* queue,
+                           SkewBuildSlots* slots,
                            const partition::ChunkedLayout& r_layout,
                            const partition::ChunkedLayout& s_layout,
                            const Tuple* r_data, const Tuple* s_data,
+                           uint64_t partition_domain, uint32_t bits,
                            bool build_unique, MatchSink* sink,
                            Scratch* scratch, ThreadStats* local,
                            JoinAbort* abort,
                            obs::JoinPhaseProfiler* profiler) {
   const int num_chunks = r_layout.num_chunks;
   thread::JoinTask task;
-  while (queue->Pop(&task)) {
+  int stolen_from = -1;
+  while (queue->Pop(node, &task, &stolen_from)) {
     if (abort->IsSet()) return;
     const uint32_t p = task.partition;
     const uint64_t r_size = r_layout.PartitionSize(p);
     if (r_size == 0 || s_layout.PartitionSize(p) == 0) continue;
 
-    {
-      obs::PhaseScope scope(profiler, tid, obs::JoinPhase::kBuild);
-      // Build: gather this partition's fragments from every chunk.
-      scratch->Prepare(r_size);
+    const Scratch* build_table = scratch;
+    bool built_here = true;
+    SkewBuildSlots::Slot* slot =
+        task.probe_slice_count > 1 ? slots->Find(p) : nullptr;
+    const auto gather = [&](Scratch* target) {
+      target->Prepare(r_size);
       for (int c = 0; c < num_chunks; ++c) {
         const Tuple* fragment = r_data + r_layout.FragmentOffset(c, p);
         const uint64_t size = r_layout.FragmentSize(c, p);
         system->CountRead(node, fragment, size * sizeof(Tuple));
-        for (uint64_t i = 0; i < size; ++i) scratch->Insert(fragment[i]);
+        for (uint64_t i = 0; i < size; ++i) target->Insert(fragment[i]);
+      }
+    };
+    {
+      obs::PhaseScope scope(profiler, tid, obs::JoinPhase::kBuild);
+      // Build: gather this partition's fragments from every chunk.
+      if (slot != nullptr) {
+        build_table = slots->GetOrBuild<Scratch>(
+            slot,
+            [&] {
+              auto table = std::make_unique<Scratch>(
+                  system, r_size, partition_domain, bits, node);
+              gather(table.get());
+              return table;
+            },
+            &built_here);
+      } else {
+        gather(scratch);
       }
     }
 
@@ -72,12 +99,22 @@ void JoinChunkedPartitions(numa::NumaSystem* system, int tid, int node,
     const int chunk_end = static_cast<int>(
         static_cast<uint64_t>(num_chunks) * (task.probe_slice + 1) /
         task.probe_slice_count);
+    uint64_t probe_bytes = 0;
     for (int c = chunk_begin; c < chunk_end; ++c) {
       const Tuple* fragment = s_data + s_layout.FragmentOffset(c, p);
       const uint64_t size = s_layout.FragmentSize(c, p);
+      probe_bytes += size * sizeof(Tuple);
       system->CountRead(node, fragment, size * sizeof(Tuple));
-      ProbeRange(*scratch, fragment, 0, size, build_unique, sink, tid,
+      ProbeRange(*build_table, fragment, 0, size, build_unique, sink, tid,
                  local);
+    }
+    if (stolen_from >= 0) {
+      // Chunked partitions are spread over all nodes; attribute the probe
+      // fragments (and the gather, if this worker performed it) to the
+      // steal, matching the PR accounting.
+      uint64_t remote_bytes = probe_bytes;
+      if (built_here) remote_bytes += r_size * sizeof(Tuple);
+      queue->AddStealReadBytes(remote_bytes);
     }
   }
 }
@@ -179,7 +216,11 @@ class CprJoin final : public JoinAlgorithm {
 
     std::vector<ThreadStats> stats(num_threads);
     int64_t partition_end = 0;
-    thread::TaskQueue queue;
+    thread::Executor& executor = ExecutorOf(config);
+    std::unique_ptr<thread::ShardedTaskQueue> fallback_queue;
+    thread::ShardedTaskQueue* queue =
+        SelectJoinQueue(executor, *system, &fallback_queue);
+    SkewBuildSlots slots;
     uint64_t max_r_partition = 0;
     JoinAbort abort;
     auto profiler = obs::MakeJoinProfiler(num_threads);
@@ -187,7 +228,7 @@ class CprJoin final : public JoinAlgorithm {
     // assumption, Section 5.1).
     const int64_t start = NowNanos();
 
-    const Status dispatch_status = ExecutorOf(config).Dispatch(
+    const Status dispatch_status = executor.Dispatch(
         num_threads, [&](const thread::WorkerContext& ctx) {
       const int tid = ctx.thread_id;
       thread::Barrier& barrier = *ctx.barrier;
@@ -204,7 +245,10 @@ class CprJoin final : public JoinAlgorithm {
 
       if (tid == 0) {
         partition_end = NowNanos();
-        SeedQueue(&queue, config, s_partitioner.layout(), probe.size());
+        const Status seed_status =
+            SeedQueue(queue, &slots, system, config, s_partitioner.layout(),
+                      probe.size(), num_threads);
+        if (!seed_status.ok()) abort.Set(seed_status);
         const auto& r_layout = r_partitioner.layout();
         for (uint32_t p = 0; p < r_layout.num_partitions; ++p) {
           max_r_partition =
@@ -212,6 +256,7 @@ class CprJoin final : public JoinAlgorithm {
         }
       }
       barrier.ArriveAndWait();
+      if (abort.IsSet()) return;
 
       // The per-worker scratch table is the join phase's build-side
       // allocation. No barrier follows, so a failed worker just returns;
@@ -223,22 +268,23 @@ class CprJoin final : public JoinAlgorithm {
       if (array) {
         ArrayChunkScratch scratch(system, max_r_partition, partition_domain,
                                   bits, node);
-        JoinChunkedPartitions(system, tid, node, &queue,
+        JoinChunkedPartitions(system, tid, node, queue, &slots,
                               r_partitioner.layout(), s_partitioner.layout(),
-                              r_out.data(), s_out.data(), config.build_unique,
-                              config.sink, &scratch, &stats[tid], &abort,
-                              profiler.get());
+                              r_out.data(), s_out.data(), partition_domain,
+                              bits, config.build_unique, config.sink,
+                              &scratch, &stats[tid], &abort, profiler.get());
       } else {
         LinearChunkScratch scratch(system, max_r_partition, partition_domain,
                                    bits, node);
-        JoinChunkedPartitions(system, tid, node, &queue,
+        JoinChunkedPartitions(system, tid, node, queue, &slots,
                               r_partitioner.layout(), s_partitioner.layout(),
-                              r_out.data(), s_out.data(), config.build_unique,
-                              config.sink, &scratch, &stats[tid], &abort,
-                              profiler.get());
+                              r_out.data(), s_out.data(), partition_domain,
+                              bits, config.build_unique, config.sink,
+                              &scratch, &stats[tid], &abort, profiler.get());
       }
     });
     MMJOIN_RETURN_IF_ERROR(dispatch_status);
+    FlushStealMetrics(*queue);
     if (abort.IsSet()) return abort.status();
 
     const int64_t end = NowNanos();
@@ -251,39 +297,54 @@ class CprJoin final : public JoinAlgorithm {
   }
 
  private:
-  static void SeedQueue(thread::TaskQueue* queue, const JoinConfig& config,
-                        const partition::ChunkedLayout& s_layout,
-                        uint64_t probe_size) {
-    // Scheduling order is irrelevant for chunked joins (every partition is
-    // read from all nodes anyway, Section 6.2); use the sequential order.
+  // Seeds the sharded queue for this run on thread 0 between barriers.
+  // BeginRun comes first so a failed seed leaves the queue empty, not
+  // stale. A chunked partition has no home node (its fragments are spread
+  // over every chunk), so shards get contiguous *blocks* of the sequential
+  // order -- each owner then walks its partitions in ascending order, the
+  // same sequential sweep over the chunked layout the global queue gave
+  // every worker (a round-robin deal would stride each owner by the shard
+  // count and defeat prefetching within the chunk fragments).
+  static Status SeedQueue(thread::ShardedTaskQueue* queue,
+                          SkewBuildSlots* slots, numa::NumaSystem* system,
+                          const JoinConfig& config,
+                          const partition::ChunkedLayout& s_layout,
+                          uint64_t probe_size, int num_threads) {
+    const numa::Topology& topology = system->topology();
+    queue->BeginRun(topology.ActiveNodes(num_threads), system);
     const uint32_t num_partitions = s_layout.num_partitions;
-    const uint64_t avg =
-        std::max<uint64_t>(probe_size / num_partitions, 1);
-    std::vector<thread::JoinTask> consume;
+    std::vector<uint64_t> sizes(num_partitions);
     for (uint32_t p = 0; p < num_partitions; ++p) {
-      uint32_t slices = 1;
-      const uint64_t s_size = s_layout.PartitionSize(p);
-      if (config.skew_task_factor > 0 &&
-          s_size > avg * config.skew_task_factor) {
-        slices = static_cast<uint32_t>(
-            CeilDiv(s_size, avg * config.skew_task_factor));
-        slices = std::min<uint32_t>(
-            slices, static_cast<uint32_t>(s_layout.num_chunks));
-      }
-      for (uint32_t s = 0; s < slices; ++s) {
-        consume.push_back(thread::JoinTask{p, s, slices});
-      }
+      sizes[p] = s_layout.PartitionSize(p);
     }
-    uint64_t skew_slices = 0;
-    for (const thread::JoinTask& task : consume) {
-      if (task.probe_slice_count > 1) ++skew_slices;
+    // Slices partition the chunk range, so more slices than chunks would
+    // leave empty slices: cap there.
+    const uint32_t max_slices = std::min<uint32_t>(
+        thread::kMaxProbeSlicesPerPartition,
+        std::max<uint32_t>(static_cast<uint32_t>(s_layout.num_chunks), 1));
+    MMJOIN_ASSIGN_OR_RETURN(
+        thread::SkewTaskList tasks,
+        thread::BuildSkewTasks(sizes,
+                               thread::SequentialOrder(num_partitions),
+                               config.skew_task_factor, probe_size,
+                               max_slices));
+    slots->Configure(tasks.skewed_partitions);
+    const int num_shards = queue->num_shards();
+    for (const thread::JoinTask& task : tasks.consume_order) {
+      const int preferred = static_cast<int>(
+          static_cast<uint64_t>(task.partition) * num_shards /
+          std::max<uint32_t>(num_partitions, 1));
+      queue->SeedTask(preferred, task);
     }
+    // skew_slices counts tasks beyond one per partition, so tasks_seeded ==
+    // num_partitions + skew_slices (asserted in tests/obs_test.cc).
     obs::MetricsRegistry::Get().AddCounter("join.tasks_seeded",
-                                           consume.size());
-    obs::MetricsRegistry::Get().AddCounter("join.skew_slices", skew_slices);
-    for (auto it = consume.rbegin(); it != consume.rend(); ++it) {
-      queue->Push(*it);
-    }
+                                           tasks.consume_order.size());
+    obs::MetricsRegistry::Get().AddCounter("join.skew_slices",
+                                           tasks.skew_slices);
+    obs::MetricsRegistry::Get().AddCounter("join.skew_partitions",
+                                           tasks.skew_partitions);
+    return OkStatus();
   }
 
   Algorithm id_;

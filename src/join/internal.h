@@ -8,11 +8,16 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "join/join_algorithm.h"
 #include "join/join_defs.h"
 #include "numa/system.h"
+#include "obs/metrics.h"
 #include "thread/executor.h"
+#include "thread/task_queue.h"
 #include "util/annotations.h"
 #include "util/failpoint.h"
 #include "util/macros.h"
@@ -58,6 +63,110 @@ class JoinAbort {
   mutable Mutex mutex_;
   Status status_ MMJOIN_GUARDED_BY(mutex_);
 };
+
+// Shared build tables for skewed partitions.
+//
+// Skew handling splits a large probe partition into several probe-slice
+// tasks that may run on different threads. Historically every slice rebuilt
+// a private scratch table of the *same* build partition -- O(slices) build
+// cost exactly where skew already made the partition expensive. A
+// SkewBuildSlots instead holds one slot per skewed partition: the first
+// slice to arrive builds the table once, later slices (and concurrent ones,
+// via the CondVar) share it read-only.
+//
+// Lifecycle: a stack object per join run. Configure() runs on the seeding
+// thread between barriers (single-threaded); GetOrBuild() runs concurrently
+// in the join phase. Destruction at end of run frees the tables, so the
+// fault-injection live-region accounting still balances.
+class SkewBuildSlots {
+ public:
+  struct Slot {
+    Mutex mutex;
+    CondVar cv;
+    bool building MMJOIN_GUARDED_BY(mutex) = false;
+    // Type-erased so one slot type serves every Scratch adapter; the deleter
+    // captured by GetOrBuild restores the concrete type.
+    std::shared_ptr<const void> table MMJOIN_GUARDED_BY(mutex);
+  };
+
+  // One slot per partition that BuildSkewTasks split. Seeding-thread only.
+  void Configure(const std::vector<uint32_t>& skewed_partitions) {
+    slots_.clear();
+    for (const uint32_t p : skewed_partitions) {
+      slots_.emplace(p, std::make_unique<Slot>());
+    }
+  }
+
+  // Null for partitions that were not split (callers then use their private
+  // per-worker scratch as before). The map itself is read-only during the
+  // join phase, so lookups take no lock.
+  Slot* Find(uint32_t partition) const {
+    const auto it = slots_.find(partition);
+    return it == slots_.end() ? nullptr : it->second.get();
+  }
+
+  // Returns the slot's table, building it exactly once: the first caller
+  // runs `build_fn` (-> unique_ptr<Scratch>) outside the slot mutex while
+  // later callers wait on the CondVar. `built` reports whether *this* call
+  // did the build (the builder pays the build-side memory reads, which
+  // matters for steal accounting). The returned table is valid until the
+  // SkewBuildSlots is destroyed or reconfigured.
+  template <typename Scratch, typename BuildFn>
+  const Scratch* GetOrBuild(Slot* slot, BuildFn&& build_fn, bool* built) {
+    *built = false;
+    {
+      MutexLock lock(slot->mutex);
+      while (slot->building) slot->cv.Wait(slot->mutex);
+      if (slot->table != nullptr) {
+        return static_cast<const Scratch*>(slot->table.get());
+      }
+      slot->building = true;
+    }
+    // Build outside the lock: the table constructor allocates and the
+    // insert loop streams the whole build partition.
+    *built = true;
+    std::unique_ptr<Scratch> table = build_fn();
+    const Scratch* raw = table.get();
+    std::shared_ptr<const void> erased(
+        table.release(),
+        [](const void* p) { delete static_cast<const Scratch*>(p); });
+    MutexLock lock(slot->mutex);
+    slot->table = std::move(erased);
+    slot->building = false;
+    slot->cv.NotifyAll();
+    return raw;
+  }
+
+ private:
+  std::unordered_map<uint32_t, std::unique_ptr<Slot>> slots_;
+};
+
+// Exports one run's work-stealing telemetry. Called once per join run after
+// the dispatch returns (even for runs that stole nothing, so the counters
+// are always present in exported metrics).
+inline void FlushStealMetrics(const thread::ShardedTaskQueue& queue) {
+  const thread::ShardedTaskQueue::RunStats stats = queue.run_stats();
+  obs::MetricsRegistry::Get().AddCounter("join.tasks_stolen",
+                                         stats.tasks_stolen);
+  obs::MetricsRegistry::Get().AddCounter("join.steal_remote_reads",
+                                         stats.steal_remote_read_bytes);
+}
+
+// The queue a join run schedules its co-partition tasks on: the executor's
+// persistent sharded queue when its shard count matches the join's software
+// topology, else `fallback` (a run-local queue sized to the topology).
+// Mismatches only happen when a caller pairs an executor with a NumaSystem
+// modeling a different node count.
+inline thread::ShardedTaskQueue* SelectJoinQueue(
+    thread::Executor& executor, const numa::NumaSystem& system,
+    std::unique_ptr<thread::ShardedTaskQueue>* fallback) {
+  const int num_nodes = system.topology().num_nodes();
+  if (executor.join_queue().num_shards() == num_nodes) {
+    return &executor.join_queue();
+  }
+  *fallback = std::make_unique<thread::ShardedTaskQueue>(num_nodes);
+  return fallback->get();
+}
 
 // Canonical per-phase allocation failpoints. Inline functions (not the
 // macro) so every join TU evaluates the *same* registered failpoint --

@@ -170,14 +170,20 @@ struct ArrayScratch {
 // Joins co-partitions pulled from `queue` with a per-thread scratch table.
 // Runs after the last barrier of the dispatch, so a worker that hits a
 // failure (or sees one via `abort`) may simply stop pulling tasks.
+//
+// A worker pops LIFO from its home node's shard and steals distance-ordered
+// FIFO when it runs dry. Slices of one skewed partition share a single
+// build table through `slots` (built by whichever slice arrives first)
+// instead of each rebuilding a private copy.
 template <typename Scratch>
 void JoinPartitions(numa::NumaSystem* system, int tid, int node,
-                    int num_threads, thread::TaskQueue* queue,
-                    const FinalLayout& r_layout, const FinalLayout& s_layout,
-                    const Tuple* r_data, const Tuple* s_data,
-                    uint64_t partition_domain, uint32_t total_bits,
-                    bool build_unique, MatchSink* sink, ThreadStats* local,
-                    JoinAbort* abort, obs::JoinPhaseProfiler* profiler) {
+                    int num_threads, thread::ShardedTaskQueue* queue,
+                    SkewBuildSlots* slots, const FinalLayout& r_layout,
+                    const FinalLayout& s_layout, const Tuple* r_data,
+                    const Tuple* s_data, uint64_t partition_domain,
+                    uint32_t total_bits, bool build_unique, MatchSink* sink,
+                    ThreadStats* local, JoinAbort* abort,
+                    obs::JoinPhaseProfiler* profiler) {
   // The per-worker scratch table is the join phase's build-side allocation.
   if (BuildAllocFailpoint()) {
     abort->Set(InjectedAllocError("build"));
@@ -186,22 +192,40 @@ void JoinPartitions(numa::NumaSystem* system, int tid, int node,
   Scratch scratch(system, r_layout.MaxPartitionSize(), partition_domain,
                   total_bits, node);
   thread::JoinTask task;
-  while (queue->Pop(&task)) {
+  int stolen_from = -1;
+  while (queue->Pop(node, &task, &stolen_from)) {
     if (abort->IsSet()) return;
     const uint32_t p = task.partition;
     const uint64_t r_size = r_layout.size[p];
     const uint64_t s_size = s_layout.size[p];
     if (r_size == 0 || s_size == 0) continue;
 
+    const Tuple* r_part = r_data + r_layout.begin[p];
+    const Scratch* build_table = &scratch;
+    bool built_here = true;
+    SkewBuildSlots::Slot* slot =
+        task.probe_slice_count > 1 ? slots->Find(p) : nullptr;
     {
       obs::PhaseScope scope(profiler, tid, obs::JoinPhase::kBuild);
-      // Build. Each probe-slice task builds its own scratch copy of the
-      // partition table: slices of one skewed partition may run on different
-      // threads ("assigning multiple threads to an individual partition").
-      const Tuple* r_part = r_data + r_layout.begin[p];
-      scratch.Prepare(r_size);
-      system->CountRead(node, r_part, r_size * sizeof(Tuple));
-      for (uint64_t i = 0; i < r_size; ++i) scratch.Insert(r_part[i]);
+      if (slot != nullptr) {
+        build_table = slots->GetOrBuild<Scratch>(
+            slot,
+            [&] {
+              auto table = std::make_unique<Scratch>(
+                  system, r_size, partition_domain, total_bits, node);
+              table->Prepare(r_size);
+              system->CountRead(node, r_part, r_size * sizeof(Tuple));
+              for (uint64_t i = 0; i < r_size; ++i) {
+                table->Insert(r_part[i]);
+              }
+              return table;
+            },
+            &built_here);
+      } else {
+        scratch.Prepare(r_size);
+        system->CountRead(node, r_part, r_size * sizeof(Tuple));
+        for (uint64_t i = 0; i < r_size; ++i) scratch.Insert(r_part[i]);
+      }
     }
 
     if (ProbeAllocFailpoint()) {
@@ -216,34 +240,16 @@ void JoinPartitions(numa::NumaSystem* system, int tid, int node,
     const Tuple* s_part = s_data + s_layout.begin[p];
     system->CountRead(node, s_part + slice_begin,
                       (slice_end - slice_begin) * sizeof(Tuple));
-    ProbeRange(scratch, s_part, slice_begin, slice_end, build_unique, sink,
-               tid, local);
-  }
-}
-
-// Builds the task list in consume order: scheduling order over partitions,
-// with skewed probe partitions split into multiple slices.
-std::vector<thread::JoinTask> BuildTasks(const FinalLayout& s_layout,
-                                         const std::vector<uint32_t>& order,
-                                         uint32_t skew_factor,
-                                         uint64_t probe_size) {
-  const uint64_t num_partitions = s_layout.size.size();
-  const uint64_t avg = std::max<uint64_t>(probe_size / num_partitions, 1);
-  std::vector<thread::JoinTask> consume_order;
-  consume_order.reserve(order.size());
-  for (const uint32_t p : order) {
-    uint32_t slices = 1;
-    if (skew_factor > 0 && s_layout.size[p] > avg * skew_factor) {
-      slices = static_cast<uint32_t>(
-          CeilDiv(s_layout.size[p], avg * skew_factor));
+    if (stolen_from >= 0) {
+      // The stolen task's probe slice (and build partition, if this worker
+      // built it) live near the victim, not here.
+      uint64_t remote_bytes = (slice_end - slice_begin) * sizeof(Tuple);
+      if (built_here) remote_bytes += r_size * sizeof(Tuple);
+      queue->AddStealReadBytes(remote_bytes);
     }
-    for (uint32_t s = 0; s < slices; ++s) {
-      consume_order.push_back(thread::JoinTask{p, s, slices});
-    }
+    ProbeRange(*build_table, s_part, slice_begin, slice_end, build_unique,
+               sink, tid, local);
   }
-  // Stack semantics: seed in reverse so pops follow consume order.
-  std::reverse(consume_order.begin(), consume_order.end());
-  return consume_order;
 }
 
 class PrJoin final : public JoinAlgorithm {
@@ -312,7 +318,11 @@ class PrJoin final : public JoinAlgorithm {
 
     std::vector<ThreadStats> stats(num_threads);
     int64_t partition_end = 0;
-    thread::TaskQueue queue;
+    thread::Executor& executor = ExecutorOf(config);
+    std::unique_ptr<thread::ShardedTaskQueue> fallback_queue;
+    thread::ShardedTaskQueue* queue =
+        SelectJoinQueue(executor, *system, &fallback_queue);
+    SkewBuildSlots slots;
     FinalLayout r_layout, s_layout;
     JoinAbort abort;
     auto profiler = obs::MakeJoinProfiler(num_threads);
@@ -320,7 +330,7 @@ class PrJoin final : public JoinAlgorithm {
     // assumption, Section 5.1).
     const int64_t start = NowNanos();
 
-    const Status dispatch_status = ExecutorOf(config).Dispatch(
+    const Status dispatch_status = executor.Dispatch(
         num_threads, [&](const thread::WorkerContext& ctx) {
       const int tid = ctx.thread_id;
       thread::Barrier& barrier = *ctx.barrier;
@@ -347,17 +357,21 @@ class PrJoin final : public JoinAlgorithm {
         partition_end = NowNanos();
         r_layout = FromSinglePass(r_partitioner.layout());
         s_layout = FromSinglePass(s_partitioner.layout());
-        SeedQueue(&queue, config, r_layout, s_layout, probe.size(),
-                  system->topology().num_nodes());
+        const Status seed_status =
+            SeedQueue(queue, &slots, system, config, s_layout, probe.size(),
+                      num_threads);
+        if (!seed_status.ok()) abort.Set(seed_status);
       }
       barrier.ArriveAndWait();
+      if (abort.IsSet()) return;
 
-      RunJoinPhase(system, tid, node, num_threads, &queue, r_layout,
+      RunJoinPhase(system, tid, node, num_threads, queue, &slots, r_layout,
                    s_layout, r_out.data(), s_out.data(), domain, total_bits,
                    config.build_unique, config.sink, &stats[tid], &abort,
                    profiler.get());
     });
     MMJOIN_RETURN_IF_ERROR(dispatch_status);
+    FlushStealMetrics(*queue);
     if (abort.IsSet()) return abort.status();
 
     const int64_t end = NowNanos();
@@ -412,7 +426,11 @@ class PrJoin final : public JoinAlgorithm {
 
     std::vector<ThreadStats> stats(num_threads);
     int64_t partition_end = 0;
-    thread::TaskQueue queue;
+    thread::Executor& executor = ExecutorOf(config);
+    std::unique_ptr<thread::ShardedTaskQueue> fallback_queue;
+    thread::ShardedTaskQueue* queue =
+        SelectJoinQueue(executor, *system, &fallback_queue);
+    SkewBuildSlots slots;
     FinalLayout r_layout, s_layout;
     r_layout.begin.assign(static_cast<std::size_t>(P1) * P2, 0);
     r_layout.size.assign(static_cast<std::size_t>(P1) * P2, 0);
@@ -426,7 +444,7 @@ class PrJoin final : public JoinAlgorithm {
     auto profiler = obs::MakeJoinProfiler(num_threads);
     const int64_t start = NowNanos();
 
-    const Status dispatch_status = ExecutorOf(config).Dispatch(
+    const Status dispatch_status = executor.Dispatch(
         num_threads, [&](const thread::WorkerContext& ctx) {
       const int tid = ctx.thread_id;
       thread::Barrier& barrier = *ctx.barrier;
@@ -474,17 +492,21 @@ class PrJoin final : public JoinAlgorithm {
 
       if (tid == 0) {
         partition_end = NowNanos();
-        SeedQueue(&queue, config, r_layout, s_layout, probe.size(),
-                  system->topology().num_nodes());
+        const Status seed_status =
+            SeedQueue(queue, &slots, system, config, s_layout, probe.size(),
+                      num_threads);
+        if (!seed_status.ok()) abort.Set(seed_status);
       }
       barrier.ArriveAndWait();
+      if (abort.IsSet()) return;
 
-      RunJoinPhase(system, tid, node, num_threads, &queue, r_layout,
+      RunJoinPhase(system, tid, node, num_threads, queue, &slots, r_layout,
                    s_layout, r_out.data(), s_out.data(), domain, total_bits,
                    config.build_unique, config.sink, &stats[tid], &abort,
                    profiler.get());
     });
     MMJOIN_RETURN_IF_ERROR(dispatch_status);
+    FlushStealMetrics(*queue);
     if (abort.IsSet()) return abort.status();
 
     const int64_t end = NowNanos();
@@ -516,56 +538,80 @@ class PrJoin final : public JoinAlgorithm {
     }
   }
 
-  void SeedQueue(thread::TaskQueue* queue, const JoinConfig& config,
-                 const FinalLayout& r_layout, const FinalLayout& s_layout,
-                 uint64_t probe_size, int num_nodes) const {
+  // Seeds the sharded queue for this run. Runs on thread 0 between barriers
+  // (single-threaded). BeginRun comes first so a failed seed leaves the
+  // queue empty, not stale. Each task is seeded onto the node its probe
+  // slice's memory lives on (partition buffers are kChunkedRoundRobin, so
+  // NodeOfOffset reproduces the placement); the consume order within each
+  // shard follows the scheduling order, preserving the iS round-robin
+  // interleave and -- with a single active shard -- the exact historical
+  // global-LIFO order.
+  Status SeedQueue(thread::ShardedTaskQueue* queue, SkewBuildSlots* slots,
+                   numa::NumaSystem* system, const JoinConfig& config,
+                   const FinalLayout& s_layout, uint64_t probe_size,
+                   int num_threads) const {
+    const numa::Topology& topology = system->topology();
+    queue->BeginRun(topology.ActiveNodes(num_threads), system);
     const auto num_partitions =
-        static_cast<uint32_t>(r_layout.size.size());
+        static_cast<uint32_t>(s_layout.size.size());
     const std::vector<uint32_t> order =
         spec_.improved_sched
-            ? thread::RoundRobinNodeOrder(num_partitions, num_nodes)
+            ? thread::RoundRobinNodeOrder(num_partitions,
+                                          topology.num_nodes())
             : thread::SequentialOrder(num_partitions);
-    uint64_t num_tasks = 0;
-    uint64_t skew_slices = 0;
-    for (thread::JoinTask& task :
-         BuildTasks(s_layout, order, config.skew_task_factor, probe_size)) {
-      ++num_tasks;
-      if (task.probe_slice_count > 1) ++skew_slices;
-      queue->Push(task);
+    MMJOIN_ASSIGN_OR_RETURN(
+        thread::SkewTaskList tasks,
+        thread::BuildSkewTasks(s_layout.size, order, config.skew_task_factor,
+                               probe_size));
+    slots->Configure(tasks.skewed_partitions);
+    const uint64_t probe_bytes = probe_size * sizeof(Tuple);
+    for (const thread::JoinTask& task : tasks.consume_order) {
+      const int shard = topology.NodeOfOffset(
+          numa::Placement::kChunkedRoundRobin, 0,
+          s_layout.begin[task.partition] * sizeof(Tuple), probe_bytes);
+      queue->SeedTask(shard, task);
     }
     // Once per join run, not per task: cheap enough to record always.
-    obs::MetricsRegistry::Get().AddCounter("join.tasks_seeded", num_tasks);
-    obs::MetricsRegistry::Get().AddCounter("join.skew_slices", skew_slices);
+    // skew_slices counts tasks beyond one per partition, so tasks_seeded ==
+    // num_partitions + skew_slices (asserted in tests/obs_test.cc).
+    obs::MetricsRegistry::Get().AddCounter("join.tasks_seeded",
+                                           tasks.consume_order.size());
+    obs::MetricsRegistry::Get().AddCounter("join.skew_slices",
+                                           tasks.skew_slices);
+    obs::MetricsRegistry::Get().AddCounter("join.skew_partitions",
+                                           tasks.skew_partitions);
+    return OkStatus();
   }
 
   void RunJoinPhase(numa::NumaSystem* system, int tid, int node,
-                    int num_threads, thread::TaskQueue* queue,
-                    const FinalLayout& r_layout, const FinalLayout& s_layout,
-                    const Tuple* r_data, const Tuple* s_data, uint64_t domain,
-                    uint32_t total_bits, bool build_unique, MatchSink* sink,
-                    ThreadStats* local, JoinAbort* abort,
+                    int num_threads, thread::ShardedTaskQueue* queue,
+                    SkewBuildSlots* slots, const FinalLayout& r_layout,
+                    const FinalLayout& s_layout, const Tuple* r_data,
+                    const Tuple* s_data, uint64_t domain, uint32_t total_bits,
+                    bool build_unique, MatchSink* sink, ThreadStats* local,
+                    JoinAbort* abort,
                     obs::JoinPhaseProfiler* profiler) const {
     const uint64_t partition_domain =
         domain == 0 ? 0 : CeilDiv(domain, uint64_t{1} << total_bits);
     switch (spec_.table) {
       case TableKind::kChained:
         JoinPartitions<ChainedScratch>(system, tid, node, num_threads, queue,
-                                       r_layout, s_layout, r_data, s_data,
-                                       partition_domain, total_bits,
+                                       slots, r_layout, s_layout, r_data,
+                                       s_data, partition_domain, total_bits,
                                        build_unique, sink, local, abort,
                                        profiler);
         break;
       case TableKind::kLinear:
         JoinPartitions<LinearScratch>(system, tid, node, num_threads, queue,
-                                      r_layout, s_layout, r_data, s_data,
-                                      partition_domain, total_bits,
+                                      slots, r_layout, s_layout, r_data,
+                                      s_data, partition_domain, total_bits,
                                       build_unique, sink, local, abort,
                                       profiler);
         break;
       case TableKind::kArray:
         JoinPartitions<ArrayScratch>(system, tid, node, num_threads, queue,
-                                     r_layout, s_layout, r_data, s_data,
-                                     partition_domain, total_bits,
+                                     slots, r_layout, s_layout, r_data,
+                                     s_data, partition_domain, total_bits,
                                      build_unique, sink, local, abort,
                                      profiler);
         break;

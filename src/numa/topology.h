@@ -13,8 +13,10 @@
 #ifndef MMJOIN_NUMA_TOPOLOGY_H_
 #define MMJOIN_NUMA_TOPOLOGY_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "util/macros.h"
 
@@ -49,6 +51,49 @@ class Topology {
     if (num_threads <= num_nodes_) return thread_id % num_nodes_;
     return static_cast<int>((static_cast<long>(thread_id) * num_nodes_) /
                             num_threads);
+  }
+
+  // The distinct nodes a team of `num_threads` workers occupies under
+  // NodeOfThread, ascending. A 1-thread team lives entirely on node 0 --
+  // the sharded join scheduler seeds only these nodes so a small team never
+  // strands tasks on a shard nobody polls locally.
+  std::vector<int> ActiveNodes(int num_threads) const {
+    std::vector<int> nodes;
+    for (int t = 0; t < num_threads; ++t) {
+      const int node = NodeOfThread(t, num_threads);
+      if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) {
+        nodes.push_back(node);
+      }
+    }
+    std::sort(nodes.begin(), nodes.end());
+    return nodes;
+  }
+
+  // Software inter-node distance: hops on a ring interconnect (the paper's
+  // 4-socket box wires QPI as a mesh, but a ring is the conventional
+  // software model and gives the steal order the property that matters --
+  // nearer nodes are tried first, deterministically).
+  int NodeDistance(int from, int to) const {
+    MMJOIN_DCHECK(from >= 0 && from < num_nodes_);
+    MMJOIN_DCHECK(to >= 0 && to < num_nodes_);
+    const int direct = from < to ? to - from : from - to;
+    return std::min(direct, num_nodes_ - direct);
+  }
+
+  // Every node other than `from`, sorted by (NodeDistance, node index):
+  // the order a worker on `from` walks remote shards when stealing. Ties
+  // (a ring has two neighbours at each distance) break toward the lower
+  // node index so the order is deterministic.
+  std::vector<int> NodesByDistance(int from) const {
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(num_nodes_) - 1);
+    for (int node = 0; node < num_nodes_; ++node) {
+      if (node != from) order.push_back(node);
+    }
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return NodeDistance(from, a) < NodeDistance(from, b);
+    });
+    return order;
   }
 
   // Node of byte offset `offset` within an allocation of `total_bytes` laid

@@ -10,8 +10,8 @@
 // All generators are deterministic in their seed.
 //
 // Nonsensical parameters (zero cardinality, a key domain that cannot hold
-// the requested unique keys, Zipf theta outside [0, 1)) are rejected with
-// InvalidArgument instead of generating garbage. Empty relations are still
+// the requested unique keys, Zipf theta outside [0, kMaxZipfTheta]) are
+// rejected with InvalidArgument instead of generating garbage. Empty relations are still
 // constructible directly via Relation(system, 0) where a degenerate input is
 // genuinely wanted (boundary tests).
 

@@ -8,10 +8,26 @@
 namespace mmjoin::workload {
 namespace {
 
-// Incomplete zeta sum: sum_{k=1..n} 1/k^theta. Exact for small n, Euler-
-// Maclaurin approximation for large n (error < 1e-6 relative for the theta
-// range used here).
-double Zeta(uint64_t n, double theta) {
+// Half-width of the window around theta = 1 treated as "harmonic". Wide
+// enough that the general Zeta branch never runs with 1 - theta small
+// enough to amplify cancellation, narrow enough that substituting the
+// window edge for theta changes the distribution by less than the
+// approximation error already present.
+constexpr double kThetaOneWindow = 1e-8;
+
+// Gray's constants divide by (1 - theta), so every theta inside the window
+// collapses to the single representative 1 - kThetaOneWindow: all
+// near-harmonic generators share bit-identical constants (theta = 1 and
+// theta = 1 + 1e-12 draw the same sequences), and the distribution differs
+// from the exact-harmonic one by only O(1e-8) per rank probability.
+double GraySafeTheta(double theta) {
+  if (std::abs(theta - 1.0) >= kThetaOneWindow) return theta;
+  return 1.0 - kThetaOneWindow;
+}
+
+}  // namespace
+
+double ZipfZeta(uint64_t n, double theta) {
   if (n <= 100000) {
     double sum = 0;
     for (uint64_t k = 1; k <= n; ++k) sum += std::pow(1.0 / k, theta);
@@ -23,7 +39,9 @@ double Zeta(uint64_t n, double theta) {
   // Integral tail from 10000.5 to n + 0.5.
   const double a = 10000.5;
   const double b = nn + 0.5;
-  if (theta == 1.0) {
+  if (std::abs(theta - 1.0) < kThetaOneWindow) {
+    // Epsilon window, not an exact compare: theta = 1 + 1e-12 must take the
+    // log tail too, instead of the general branch's near-pole cancellation.
     sum += std::log(b / a);
   } else {
     sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) /
@@ -32,17 +50,15 @@ double Zeta(uint64_t n, double theta) {
   return sum;
 }
 
-}  // namespace
-
 Status ZipfGenerator::Validate(uint64_t n, double theta) {
   if (n < 1) {
     return InvalidArgumentError("ZipfGenerator: n must be >= 1");
   }
   // The negated comparison also rejects NaN.
-  if (!(theta >= 0.0 && theta < 1.0)) {
+  if (!(theta >= 0.0 && theta <= kMaxZipfTheta)) {
     return InvalidArgumentError(
-        "ZipfGenerator: theta " + std::to_string(theta) +
-        " outside [0, 1) -- Gray's approximation diverges");
+        "ZipfGenerator: theta " + std::to_string(theta) + " outside [0, " +
+        std::to_string(kMaxZipfTheta) + "]");
   }
   return OkStatus();
 }
@@ -51,16 +67,18 @@ ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
     : n_(n), theta_(theta), rng_(seed) {
   MMJOIN_CHECK(Validate(n, theta).ok());
   if (theta == 0.0) {
-    alpha_ = zetan_ = eta_ = threshold1_ = threshold2_ = 0.0;
+    gray_theta_ = alpha_ = zetan_ = eta_ = threshold1_ = threshold2_ = 0.0;
     return;
   }
-  zetan_ = Zeta(n, theta);
-  const double zeta2 = Zeta(2, theta);
-  alpha_ = 1.0 / (1.0 - theta);
-  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+  gray_theta_ = GraySafeTheta(theta);
+  zetan_ = ZipfZeta(n, gray_theta_);
+  const double zeta2 = ZipfZeta(2, gray_theta_);
+  alpha_ = 1.0 / (1.0 - gray_theta_);
+  eta_ = (1.0 -
+          std::pow(2.0 / static_cast<double>(n), 1.0 - gray_theta_)) /
          (1.0 - zeta2 / zetan_);
   threshold1_ = 1.0 / zetan_;
-  threshold2_ = (1.0 + std::pow(0.5, theta)) / zetan_;
+  threshold2_ = (1.0 + std::pow(0.5, gray_theta_)) / zetan_;
 }
 
 uint64_t ZipfGenerator::Next() {
@@ -68,7 +86,9 @@ uint64_t ZipfGenerator::Next() {
   const double u = rng_.NextDouble();
   const double uz = u * zetan_;
   if (uz < 1.0) return 1;
-  if (uz < 1.0 + std::pow(0.5, theta_)) return 2;
+  // gray_theta_, not theta_: inside the harmonic window every theta must
+  // sample identically, including this branch threshold.
+  if (uz < 1.0 + std::pow(0.5, gray_theta_)) return 2;
   const double rank =
       1.0 + static_cast<double>(n_) *
                 std::pow(eta_ * u - eta_ + 1.0, alpha_);

@@ -16,13 +16,31 @@
 
 namespace mmjoin::workload {
 
+// Highest skew parameter the generator accepts. Gray's formula is defined
+// for any theta != 1 (theta = 1 is handled by nudging into an epsilon
+// window, see GraySafeTheta in zipf.cc); beyond ~8 essentially all mass sits
+// on rank 1 and the pow() terms start flirting with overflow, so larger
+// values are rejected as configuration errors. The paper's Fig 15 skew
+// sweep tops out at 1.5.
+inline constexpr double kMaxZipfTheta = 8.0;
+
+// Incomplete zeta sum: sum_{k=1..n} 1/k^theta. Exact for small n,
+// Euler-Maclaurin approximation for large n (relative error < 1e-6 over the
+// accepted theta range). theta within 1e-8 of 1 takes the exact-harmonic
+// tail -- an epsilon window, not an exact float compare, so theta = 1 +
+// 1e-12 gets the same precision as theta = 1 (the general branch's
+// (b^(1-theta) - a^(1-theta))/(1-theta) is continuous but needlessly
+// cancellation-prone that close to the pole). Exposed for continuity tests.
+double ZipfZeta(uint64_t n, double theta);
+
 // Samples ranks in [1, n] with P(rank = k) proportional to 1/k^theta.
-// theta = 0 degenerates to uniform; theta in (0, 1) uses Gray's O(1)
-// approximation ("zipfian" in YCSB terms).
+// theta = 0 degenerates to uniform; larger theta uses Gray's O(1)
+// approximation ("zipfian" in YCSB terms), which also covers theta >= 1 --
+// the paper's skew experiments need theta up to 1.5 (Fig 15).
 class ZipfGenerator {
  public:
-  // Gray's approximation is valid for theta in [0, 1) and n >= 1 (theta = 1
-  // diverges and theta outside the range, including NaN, is meaningless).
+  // Accepts theta in [0, kMaxZipfTheta] and n >= 1; rejects NaN and
+  // anything outside the range.
   static Status Validate(uint64_t n, double theta);
 
   // Aborts on parameters Validate rejects; validate first on untrusted
@@ -37,7 +55,8 @@ class ZipfGenerator {
 
  private:
   uint64_t n_;
-  double theta_;
+  double theta_;       // as requested (theta() reports this)
+  double gray_theta_;  // theta actually sampled with; see GraySafeTheta
   double alpha_;
   double zetan_;
   double eta_;

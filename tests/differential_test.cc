@@ -113,5 +113,33 @@ TEST_P(DifferentialTest, RandomTrialBatch) {
 
 INSTANTIATE_TEST_SUITE_P(Batches, DifferentialTest, ::testing::Range(0, 8));
 
+// Heavy-skew differential: Zipf theta = 1.25 (the regime of the paper's
+// Fig 15 where most probe tuples hit a handful of partitions) with the skew
+// splitter enabled, so every algorithm exercises probe-slice tasks, the
+// shared skew build slots, and cross-node steals -- then must still match
+// the reference exactly.
+TEST(DifferentialSkewTest, ZipfThetaAboveOneMatchesReference) {
+  static numa::NumaSystem* system = new numa::NumaSystem(4);
+  constexpr uint64_t kBuild = 40000;
+  constexpr uint64_t kProbe = 400000;
+
+  const workload::Relation build =
+      workload::MakeDenseBuild(system, kBuild, 0xB17Du).value();
+  const workload::Relation probe =
+      workload::MakeZipfProbe(system, kProbe, kBuild, 1.25, 0x5EEDu).value();
+  const JoinResult expected = ReferenceJoin(build.cspan(), probe.cspan());
+
+  JoinConfig config;
+  config.num_threads = 8;
+  config.skew_task_factor = 4;
+
+  for (const Algorithm algorithm : AllAlgorithms()) {
+    const JoinResult result =
+        RunJoin(algorithm, system, config, build, probe).value();
+    ASSERT_EQ(result.matches, expected.matches) << NameOf(algorithm);
+    ASSERT_EQ(result.checksum, expected.checksum) << NameOf(algorithm);
+  }
+}
+
 }  // namespace
 }  // namespace mmjoin::join

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "numa/system.h"
 #include "numa/topology.h"
 #include "util/types.h"
@@ -58,6 +60,59 @@ TEST(Topology, InterleavedPagesRoundRobin) {
 TEST(Topology, LocalPlacement) {
   Topology topo(4);
   EXPECT_EQ(topo.NodeOfOffset(Placement::kLocal, 2, 123456, 1 << 20), 2);
+}
+
+TEST(Topology, ActiveNodesListsDistinctHomeNodesAscending) {
+  Topology topo(4);
+  EXPECT_EQ(topo.ActiveNodes(1), (std::vector<int>{0}));
+  EXPECT_EQ(topo.ActiveNodes(2), (std::vector<int>{0, 1}));
+  EXPECT_EQ(topo.ActiveNodes(4), (std::vector<int>{0, 1, 2, 3}));
+  // More threads than nodes: every node hosts a block, still one entry each.
+  EXPECT_EQ(topo.ActiveNodes(8), (std::vector<int>{0, 1, 2, 3}));
+  // 3 threads on 4 nodes: block placement leaves one node idle.
+  const std::vector<int> three = topo.ActiveNodes(3);
+  EXPECT_EQ(three.size(), 3u);
+  for (std::size_t i = 1; i < three.size(); ++i) {
+    EXPECT_LT(three[i - 1], three[i]);
+  }
+}
+
+TEST(Topology, NodeDistanceIsSymmetricRingDistance) {
+  Topology topo(4);
+  EXPECT_EQ(topo.NodeDistance(0, 0), 0);
+  EXPECT_EQ(topo.NodeDistance(0, 1), 1);
+  EXPECT_EQ(topo.NodeDistance(0, 2), 2);
+  EXPECT_EQ(topo.NodeDistance(0, 3), 1);  // wraps around the ring
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_EQ(topo.NodeDistance(a, b), topo.NodeDistance(b, a));
+    }
+  }
+}
+
+TEST(Topology, NodesByDistanceOrdersNeighboursFirst) {
+  Topology topo(4);
+  // From node 0: both ring neighbours (1 and 3) before the opposite node
+  // (2); equal distances tie toward the lower index.
+  EXPECT_EQ(topo.NodesByDistance(0), (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(topo.NodesByDistance(1), (std::vector<int>{0, 2, 3}));
+  EXPECT_EQ(topo.NodesByDistance(2), (std::vector<int>{1, 3, 0}));
+  // Two nodes: only the one remote candidate.
+  EXPECT_EQ(Topology(2).NodesByDistance(0), (std::vector<int>{1}));
+  // One node: nobody to steal from.
+  EXPECT_TRUE(Topology(1).NodesByDistance(0).empty());
+}
+
+TEST(NumaSystem, TaskStealMatrixCountsThiefVictimPairs) {
+  NumaSystem system(4);
+  EXPECT_EQ(system.TotalTaskSteals(), 0u);
+  system.CountTaskSteal(/*thief_node=*/0, /*victim_node=*/2);
+  system.CountTaskSteal(0, 2);
+  system.CountTaskSteal(3, 1);
+  EXPECT_EQ(system.TaskSteals(0, 2), 2u);
+  EXPECT_EQ(system.TaskSteals(3, 1), 1u);
+  EXPECT_EQ(system.TaskSteals(2, 0), 0u);  // direction matters
+  EXPECT_EQ(system.TotalTaskSteals(), 3u);
 }
 
 TEST(NumaSystem, NodeOfResolvesPlacements) {

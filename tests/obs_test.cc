@@ -316,6 +316,63 @@ TEST_F(ObsTest, MetricsJsonIsValidAndIncludesRegisteredCounters) {
   EXPECT_NE(json.find("\"numa.local_read_bytes\""), std::string::npos);
 }
 
+uint64_t CounterValue(const std::string& name) {
+  for (const obs::Metric& metric : obs::MetricsRegistry::Get().Snapshot()) {
+    if (metric.name == name) return metric.value;
+  }
+  return 0;
+}
+
+// The skew counters obey their definitions: skew_slices counts tasks
+// *beyond* one per partition, so tasks_seeded = partitions + skew_slices;
+// skew_partitions counts partitions that were split, so it never exceeds
+// skew_slices. Checked as deltas across one heavily skewed PRO run with a
+// pinned radix_bits (64 partitions).
+TEST_F(ObsTest, SkewCountersStayConsistentAcrossASkewedRun) {
+  numa::NumaSystem system(4);
+  const uint64_t build_size = 1 << 15;
+  auto build = workload::MakeDenseBuild(&system, build_size, /*seed=*/11);
+  ASSERT_TRUE(build.ok());
+  auto probe = workload::MakeZipfProbe(&system, 1 << 17, build_size,
+                                       /*theta=*/1.25, /*seed=*/12);
+  ASSERT_TRUE(probe.ok());
+
+  const uint64_t seeded_before = CounterValue("join.tasks_seeded");
+  const uint64_t slices_before = CounterValue("join.skew_slices");
+  const uint64_t skew_parts_before = CounterValue("join.skew_partitions");
+  const uint64_t stolen_before = CounterValue("join.tasks_stolen");
+
+  join::JoinConfig config;
+  config.num_threads = 4;
+  config.radix_bits = 6;  // 64 final partitions
+  config.skew_task_factor = 4;
+  auto result = join::RunJoin(join::Algorithm::kPRO, &system, config, *build,
+                              *probe);
+  ASSERT_TRUE(result.ok());
+
+  const uint64_t seeded = CounterValue("join.tasks_seeded") - seeded_before;
+  const uint64_t slices = CounterValue("join.skew_slices") - slices_before;
+  const uint64_t skew_parts =
+      CounterValue("join.skew_partitions") - skew_parts_before;
+  EXPECT_EQ(seeded - slices, uint64_t{1} << config.radix_bits);
+  EXPECT_LE(skew_parts, slices);
+  // theta = 1.25 concentrates enough probe mass that at least one partition
+  // must split under skew_task_factor = 4.
+  EXPECT_GT(slices, 0u);
+  EXPECT_GT(skew_parts, 0u);
+
+  // The steal counters are exported on every run (possibly as zero deltas).
+  bool saw_stolen = false;
+  bool saw_steal_reads = false;
+  for (const obs::Metric& metric : obs::MetricsRegistry::Get().Snapshot()) {
+    if (metric.name == "join.tasks_stolen") saw_stolen = true;
+    if (metric.name == "join.steal_remote_reads") saw_steal_reads = true;
+  }
+  EXPECT_TRUE(saw_stolen);
+  EXPECT_TRUE(saw_steal_reads);
+  EXPECT_GE(CounterValue("join.tasks_stolen"), stolen_before);
+}
+
 TEST_F(ObsTest, MetricsSnapshotIsSortedByName) {
   const std::vector<obs::Metric> metrics =
       obs::MetricsRegistry::Get().Snapshot();

@@ -8,9 +8,11 @@
 #include <set>
 #include <vector>
 
+#include "numa/system.h"
 #include "thread/executor.h"
 #include "thread/task_queue.h"
 #include "thread/thread_team.h"
+#include "util/status.h"
 
 namespace mmjoin::thread {
 namespace {
@@ -303,6 +305,249 @@ TEST(SchedulingOrder, TasksFromOrderPreservesConsumeOrder) {
   EXPECT_EQ(task.partition, 3u);
   ASSERT_TRUE(queue.Pop(&task));
   EXPECT_EQ(task.partition, 1u);
+}
+
+// --- ShardedTaskQueue -----------------------------------------------------
+
+std::vector<int> AllShards(int n) {
+  std::vector<int> shards(n);
+  std::iota(shards.begin(), shards.end(), 0);
+  return shards;
+}
+
+TEST(ShardedTaskQueue, LocalPopsFollowSeedOrderThenRuntimeLifo) {
+  ShardedTaskQueue queue(4);
+  queue.BeginRun(AllShards(4), nullptr);
+  // Seeds arrive in consume order; local pops must replay it exactly.
+  queue.SeedTask(0, JoinTask{1});
+  queue.SeedTask(0, JoinTask{2});
+  queue.SeedTask(0, JoinTask{3});
+  JoinTask task;
+  int stolen_from = -2;
+  ASSERT_TRUE(queue.Pop(0, &task, &stolen_from));
+  EXPECT_EQ(task.partition, 1u);
+  EXPECT_EQ(stolen_from, -1);  // local
+  // Runtime pushes (skew splits) are LIFO relative to remaining seeds.
+  queue.Push(0, JoinTask{9});
+  ASSERT_TRUE(queue.Pop(0, &task));
+  EXPECT_EQ(task.partition, 9u);
+  ASSERT_TRUE(queue.Pop(0, &task));
+  EXPECT_EQ(task.partition, 2u);
+  ASSERT_TRUE(queue.Pop(0, &task));
+  EXPECT_EQ(task.partition, 3u);
+  EXPECT_FALSE(queue.Pop(0, &task));
+}
+
+TEST(ShardedTaskQueue, SingleActiveShardMatchesGlobalQueueOrder) {
+  // The 1-thread contract: with one active shard, every seed remaps there
+  // and the consume order is bit-identical to the old global LIFO queue.
+  const std::vector<uint32_t> order = RoundRobinNodeOrder(16, 4);
+  TaskQueue global(TasksFromOrder(order));
+  ShardedTaskQueue sharded(4);
+  sharded.BeginRun({0}, nullptr);
+  for (const uint32_t p : order) {
+    // Preferred shards vary (as the real seeder's NodeOfOffset does) but
+    // only shard 0 is active.
+    sharded.SeedTask(static_cast<int>(p) % 4, JoinTask{p});
+  }
+  JoinTask from_global, from_sharded;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    ASSERT_TRUE(global.Pop(&from_global));
+    ASSERT_TRUE(sharded.Pop(0, &from_sharded));
+    EXPECT_EQ(from_sharded.partition, from_global.partition) << "pop " << i;
+  }
+  EXPECT_FALSE(global.Pop(&from_global));
+  EXPECT_FALSE(sharded.Pop(0, &from_sharded));
+}
+
+TEST(ShardedTaskQueue, StealsWalkNodesByDistanceAndTakeFifoEnd) {
+  // 4-node ring: from node 0 the steal order is [1, 3, 2] (both neighbours
+  // before the opposite node, ties toward the lower index).
+  ShardedTaskQueue queue(4);
+  queue.BeginRun(AllShards(4), nullptr);
+  queue.SeedTask(1, JoinTask{10});
+  queue.SeedTask(1, JoinTask{11});
+  queue.SeedTask(2, JoinTask{20});
+  queue.SeedTask(3, JoinTask{30});
+
+  JoinTask task;
+  int stolen_from = -2;
+  // Shard 0 is empty, so every pop steals. The FIFO (front) end of shard 1
+  // holds its *latest* consume-order seed -- the task its owner would have
+  // run last.
+  ASSERT_TRUE(queue.Pop(0, &task, &stolen_from));
+  EXPECT_EQ(stolen_from, 1);
+  EXPECT_EQ(task.partition, 11u);
+  ASSERT_TRUE(queue.Pop(0, &task, &stolen_from));
+  EXPECT_EQ(stolen_from, 1);
+  EXPECT_EQ(task.partition, 10u);
+  ASSERT_TRUE(queue.Pop(0, &task, &stolen_from));
+  EXPECT_EQ(stolen_from, 3);
+  EXPECT_EQ(task.partition, 30u);
+  ASSERT_TRUE(queue.Pop(0, &task, &stolen_from));
+  EXPECT_EQ(stolen_from, 2);
+  EXPECT_EQ(task.partition, 20u);
+  EXPECT_FALSE(queue.Pop(0, &task, &stolen_from));
+
+  const ShardedTaskQueue::RunStats stats = queue.run_stats();
+  EXPECT_EQ(stats.local_pops, 0u);
+  EXPECT_EQ(stats.tasks_stolen, 4u);
+}
+
+TEST(ShardedTaskQueue, StealsAreCountedInNumaSystemMatrix) {
+  numa::NumaSystem system(4);
+  ShardedTaskQueue queue(4);
+  queue.BeginRun(AllShards(4), &system);
+  queue.SeedTask(2, JoinTask{1});
+  queue.SeedTask(2, JoinTask{2});
+  JoinTask task;
+  ASSERT_TRUE(queue.Pop(0, &task));  // steals 2 -> 0
+  ASSERT_TRUE(queue.Pop(1, &task));  // steals 2 -> 1
+  EXPECT_EQ(system.TaskSteals(0, 2), 1u);
+  EXPECT_EQ(system.TaskSteals(1, 2), 1u);
+  EXPECT_EQ(system.TaskSteals(2, 0), 0u);
+  EXPECT_EQ(system.TotalTaskSteals(), 2u);
+}
+
+TEST(ShardedTaskQueue, InactiveShardSeedsRemapOntoActiveShards) {
+  ShardedTaskQueue queue(4);
+  // Only nodes 0 and 2 host workers (e.g. a 2-thread team).
+  queue.BeginRun({0, 2}, nullptr);
+  queue.SeedTask(0, JoinTask{0});
+  queue.SeedTask(1, JoinTask{1});  // inactive -> remapped
+  queue.SeedTask(2, JoinTask{2});
+  queue.SeedTask(3, JoinTask{3});  // inactive -> remapped
+  EXPECT_EQ(queue.SizeForTest(), 4u);
+  // Draining only the active shards must yield every task: nothing may
+  // strand on a shard nobody polls locally.
+  std::set<uint32_t> seen;
+  JoinTask task;
+  while (queue.Pop(0, &task)) seen.insert(task.partition);
+  while (queue.Pop(2, &task)) seen.insert(task.partition);
+  EXPECT_EQ(seen, (std::set<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(ShardedTaskQueue, BeginRunDropsStaleTasksFromAbortedRuns) {
+  ShardedTaskQueue queue(4);
+  queue.BeginRun(AllShards(4), nullptr);
+  queue.SeedTask(0, JoinTask{1});
+  queue.SeedTask(3, JoinTask{2});
+  // An aborted join leaves tasks behind; the next run must not see them.
+  queue.BeginRun(AllShards(4), nullptr);
+  EXPECT_EQ(queue.SizeForTest(), 0u);
+  JoinTask task;
+  EXPECT_FALSE(queue.Pop(0, &task));
+  EXPECT_EQ(queue.run_stats().tasks_stolen, 0u);
+}
+
+TEST(ShardedTaskQueue, ConcurrentDrainWithSkewPushesLosesNothing) {
+  // Empty-queue termination under concurrent push-from-skew-split: workers
+  // drain while the first kSplits pops each push one extra task. Every
+  // task must be seen exactly once and every worker must terminate.
+  constexpr uint32_t kSeeded = 1200;
+  constexpr uint32_t kSplits = 64;
+  ShardedTaskQueue queue(4);
+  queue.BeginRun(AllShards(4), nullptr);
+  for (uint32_t p = 0; p < kSeeded; ++p) {
+    queue.SeedTask(static_cast<int>(p) % 4, JoinTask{p});
+  }
+  std::vector<std::atomic<int>> seen(kSeeded + kSplits);
+  for (auto& s : seen) s = 0;
+  std::atomic<uint32_t> next_split{0};
+  RunTeam(8, [&](int tid) {
+    const int node = numa::Topology(4).NodeOfThread(tid, 8);
+    JoinTask task;
+    while (queue.Pop(node, &task)) {
+      seen[task.partition].fetch_add(1, std::memory_order_relaxed);
+      const uint32_t split =
+          next_split.fetch_add(1, std::memory_order_relaxed);
+      if (split < kSplits) {
+        queue.Push(node, JoinTask{kSeeded + split});
+      }
+    }
+  });
+  for (std::size_t p = 0; p < seen.size(); ++p) {
+    EXPECT_EQ(seen[p].load(), 1) << "task " << p;
+  }
+  EXPECT_EQ(queue.SizeForTest(), 0u);
+  const ShardedTaskQueue::RunStats stats = queue.run_stats();
+  EXPECT_EQ(stats.local_pops + stats.tasks_stolen,
+            uint64_t{kSeeded} + kSplits);
+}
+
+// --- BuildSkewTasks -------------------------------------------------------
+
+TEST(BuildSkewTasks, UnskewedInputYieldsOneTaskPerPartition) {
+  const std::vector<uint64_t> sizes = {100, 100, 100, 100};
+  const SkewTaskList list =
+      BuildSkewTasks(sizes, SequentialOrder(4), /*skew_factor=*/4,
+                     /*probe_size=*/400)
+          .value();
+  ASSERT_EQ(list.consume_order.size(), 4u);
+  EXPECT_EQ(list.skew_slices, 0u);
+  EXPECT_EQ(list.skew_partitions, 0u);
+  EXPECT_TRUE(list.skewed_partitions.empty());
+  for (uint32_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(list.consume_order[p].partition, p);
+    EXPECT_EQ(list.consume_order[p].probe_slice_count, 1u);
+  }
+}
+
+TEST(BuildSkewTasks, SkewedPartitionSplitsIntoSlices) {
+  // avg = 1200 / 3 = 400, threshold = 2 * 400 = 800: partition 1 (1000
+  // tuples) splits into ceil(1000 / 800) = 2 slices.
+  const std::vector<uint64_t> sizes = {100, 1000, 100};
+  const SkewTaskList list =
+      BuildSkewTasks(sizes, SequentialOrder(3), 2, 1200).value();
+  ASSERT_EQ(list.consume_order.size(), 4u);
+  EXPECT_EQ(list.skew_slices, 1u);      // tasks beyond one per partition
+  EXPECT_EQ(list.skew_partitions, 1u);  // partitions that were split
+  EXPECT_EQ(list.skewed_partitions, (std::vector<uint32_t>{1}));
+  EXPECT_EQ(list.consume_order.size(),
+            sizes.size() + list.skew_slices);  // counter identity
+  EXPECT_EQ(list.consume_order[1].partition, 1u);
+  EXPECT_EQ(list.consume_order[1].probe_slice, 0u);
+  EXPECT_EQ(list.consume_order[1].probe_slice_count, 2u);
+  EXPECT_EQ(list.consume_order[2].probe_slice, 1u);
+}
+
+TEST(BuildSkewTasks, ExtremeSkewClampsInsteadOfTruncating) {
+  // Regression: one partition of 2^33 tuples with avg 1 and factor 1 used
+  // to compute 2^33 slices and truncate the uint32_t cast to *zero*,
+  // corrupting probe_slice_count (division by zero downstream). The slice
+  // count must clamp to the explicit cap instead.
+  const std::vector<uint64_t> sizes = {uint64_t{1} << 33};
+  const SkewTaskList list =
+      BuildSkewTasks(sizes, SequentialOrder(1), /*skew_factor=*/1,
+                     /*probe_size=*/1)
+          .value();
+  ASSERT_FALSE(list.consume_order.empty());
+  EXPECT_EQ(list.consume_order.size(), uint64_t{kMaxProbeSlicesPerPartition});
+  for (const JoinTask& task : list.consume_order) {
+    EXPECT_EQ(task.probe_slice_count, kMaxProbeSlicesPerPartition);
+    EXPECT_GE(task.probe_slice_count, 1u);  // never zero
+  }
+}
+
+TEST(BuildSkewTasks, ThresholdOverflowIsAnError) {
+  // avg * skew_factor would overflow uint64: reported, not wrapped.
+  const std::vector<uint64_t> sizes = {10};
+  const auto result = BuildSkewTasks(sizes, SequentialOrder(1),
+                                     /*skew_factor=*/1u << 31,
+                                     /*probe_size=*/uint64_t{1} << 40);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BuildSkewTasks, MaxSlicesCapHonored) {
+  // CPR caps slices at its chunk count.
+  const std::vector<uint64_t> sizes = {1000, 8};
+  const SkewTaskList list =
+      BuildSkewTasks(sizes, SequentialOrder(2), 1, 16, /*max_slices=*/4)
+          .value();
+  EXPECT_EQ(list.consume_order[0].probe_slice_count, 4u);
+  EXPECT_EQ(list.skew_slices, 3u);
+  EXPECT_EQ(list.skew_partitions, 1u);
 }
 
 }  // namespace

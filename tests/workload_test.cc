@@ -197,13 +197,67 @@ TEST(Validation, ProbeAgainstEmptyDomainRejected) {
 TEST(Validation, ZipfThetaOutsideGraysRangeRejected) {
   EXPECT_TRUE(ZipfGenerator::Validate(100, 0.0).ok());
   EXPECT_TRUE(ZipfGenerator::Validate(100, 0.99).ok());
-  EXPECT_FALSE(ZipfGenerator::Validate(100, 1.0).ok());   // diverges
+  // theta >= 1 is in range since the theta = 1 pole got an epsilon window
+  // (the paper's Fig 15 skew sweep needs up to 1.5).
+  EXPECT_TRUE(ZipfGenerator::Validate(100, 1.0).ok());
+  EXPECT_TRUE(ZipfGenerator::Validate(100, 1.25).ok());
+  EXPECT_TRUE(ZipfGenerator::Validate(100, kMaxZipfTheta).ok());
   EXPECT_FALSE(ZipfGenerator::Validate(100, -0.1).ok());
-  EXPECT_FALSE(ZipfGenerator::Validate(100, 2.0).ok());
+  EXPECT_FALSE(ZipfGenerator::Validate(100, kMaxZipfTheta + 0.1).ok());
   EXPECT_FALSE(
       ZipfGenerator::Validate(100, std::nan("")).ok());
   EXPECT_FALSE(ZipfGenerator::Validate(0, 0.5).ok());
-  EXPECT_FALSE(MakeZipfProbe(System(), 100, 50, 1.0, 1).ok());
+  EXPECT_TRUE(MakeZipfProbe(System(), 100, 50, 1.0, 1).ok());
+  EXPECT_FALSE(MakeZipfProbe(System(), 100, 50, 9.0, 1).ok());
+}
+
+TEST(ZipfZeta, ContinuousAcrossThetaOne) {
+  // The harmonic special case must be an epsilon window, not an exact float
+  // compare: values straddling theta = 1 from either side agree to ~1e-6
+  // relative, on both the exact-sum path (small n) and the Euler-Maclaurin
+  // path (large n).
+  for (const uint64_t n : {uint64_t{50000}, uint64_t{1} << 20}) {
+    const double at_one = ZipfZeta(n, 1.0);
+    for (const double delta : {1e-12, 1e-9, 3e-8, 1e-7}) {
+      const double below = ZipfZeta(n, 1.0 - delta);
+      const double above = ZipfZeta(n, 1.0 + delta);
+      EXPECT_NEAR(below / at_one, 1.0, 1e-5)
+          << "n=" << n << " theta=1-" << delta;
+      EXPECT_NEAR(above / at_one, 1.0, 1e-5)
+          << "n=" << n << " theta=1+" << delta;
+      EXPECT_GE(below, above) << "zeta must decrease in theta";
+    }
+  }
+}
+
+TEST(ZipfGenerator, ThetaJustAboveOneMatchesHarmonicPath) {
+  // theta = 1 + 1e-12 historically took the general Zeta branch (exact
+  // equality test) and lost precision against the harmonic path; with the
+  // window both sides produce near-identical generators.
+  const uint64_t n = 1u << 20;
+  ZipfGenerator at_one(n, 1.0, 42);
+  ZipfGenerator just_above(n, 1.0 + 1e-12, 42);
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_EQ(at_one.Next(), just_above.Next()) << "draw " << i;
+  }
+}
+
+TEST(ZipfGenerator, ThetaAboveOneConcentratesMass) {
+  // Sanity for the Fig 15 operating point: at theta = 1.25 over 2^20
+  // values, the 10 hottest ranks carry about half the mass
+  // (zeta(1.25, 10) / zeta(1.25, 2^20) ~ 52%).
+  ZipfGenerator gen(1u << 20, 1.25, 11);
+  uint64_t top10 = 0;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) {
+    const uint64_t rank = gen.Next();
+    ASSERT_GE(rank, 1u);
+    ASSERT_LE(rank, uint64_t{1} << 20);
+    if (rank <= 10) ++top10;
+  }
+  const double share = static_cast<double>(top10) / draws;
+  EXPECT_GT(share, 0.45);
+  EXPECT_LT(share, 0.60);
 }
 
 TEST(Validation, SparseDomainOverflowRejected) {
