@@ -62,11 +62,13 @@ void AppendPhaseJson(std::string* out, const obs::PhaseProfile& profile) {
   *out += '}';
 }
 
-// One `mmjoin.bench.v1` JSON line per repeat. Names come from code-owned
-// tables (no escaping needed).
+}  // namespace
+
+// Names come from code-owned tables (no escaping needed).
 void AppendBenchRecord(const char* algorithm, int repeat_index,
                        uint64_t build_size, uint64_t probe_size, int threads,
-                       const join::JoinResult& result) {
+                       const join::JoinResult& result,
+                       const std::string& extra_json) {
   ObsSinks& sinks = Sinks();
   if (sinks.json == nullptr) return;
   std::string line = "{\"schema\":\"mmjoin.bench.v1\"";
@@ -89,12 +91,14 @@ void AppendBenchRecord(const char* algorithm, int repeat_index,
       static_cast<long long>(result.times.total_ns),
       result.ThroughputMtps(build_size, probe_size));
   line += buf;
+  if (!extra_json.empty()) {
+    line += ',';
+    line += extra_json;
+  }
   if (result.profile.has_value()) AppendPhaseJson(&line, *result.profile);
   line += "}\n";
   std::fwrite(line.data(), 1, line.size(), sinks.json);
 }
-
-}  // namespace
 
 BenchEnv BenchEnv::FromCli(const CommandLine& cli, uint64_t default_build,
                            uint64_t default_probe, int default_threads) {

@@ -40,6 +40,18 @@ struct BenchEnv {
 void PrintBanner(const char* artifact, const char* description,
                  const BenchEnv& env);
 
+// Appends one `mmjoin.bench.v1` JSON line to the --json sink opened by
+// PrintBanner (no-op when none is open). `extra_json` is spliced verbatim
+// into the record (prefixed with a comma when non-empty) for
+// harness-specific fields on top of the required schema -- e.g.
+// `"selectivity":0.01,"sink_chunks":42`. RunMedian calls this per repeat;
+// harnesses that time something other than a bare join (the exec pipeline
+// sweeps) call it directly.
+void AppendBenchRecord(const char* algorithm, int repeat_index,
+                       uint64_t build_size, uint64_t probe_size, int threads,
+                       const join::JoinResult& result,
+                       const std::string& extra_json = "");
+
 // Runs `algorithm` `env.repeat` times on the given workload and returns the
 // run with the median total time (first run warms the data). All repeats run
 // on the process-wide persistent pool (unless `config.executor` names

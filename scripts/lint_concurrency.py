@@ -30,6 +30,13 @@ Enforces repo invariants that neither the compiler nor clang-tidy check:
                      thread-safety analysis cannot see.
   bare-escape        MMJOIN_NO_THREAD_SAFETY_ANALYSIS must carry an
                      explanatory comment on the preceding or same line.
+  exec-guard         Container-typed members in src/exec/ must either be
+                     MMJOIN_GUARDED_BY-annotated or carry an ownership
+                     comment (single-owner / per-thread / read-only) on the
+                     same or one of the two preceding lines. Pipeline
+                     operators are called concurrently with distinct tids
+                     and hold no locks; every member must say which
+                     discipline makes that safe.
 
 Findings print as file:line: [rule] message. Exit code 1 when any finding is
 not covered by the allowlist (scripts/concurrency_allowlist.txt), 0 otherwise.
@@ -66,6 +73,14 @@ SYSTEM_CLOCK_RE = re.compile(r"std\s*::\s*chrono\s*::\s*system_clock")
 PADDED_STRUCT_RE = re.compile(r"struct\s+alignas\(kCacheLineSize\)\s+(\w+)")
 DEQUE_DECL_RE = re.compile(r"std\s*::\s*deque\s*<")
 ESCAPE_RE = re.compile(r"MMJOIN_NO_THREAD_SAFETY_ANALYSIS")
+EXEC_CONTAINER_RE = re.compile(
+    r"std\s*::\s*(?:vector|deque|unordered_map|unordered_set|map|set|"
+    r"array)\s*<"
+)
+# Member declarations follow the trailing-underscore convention; locals,
+# parameters, and return types never match.
+EXEC_MEMBER_RE = re.compile(r"[>*&]\s*(\w+_)\s*(?:;|=|\{|MMJOIN_GUARDED_BY)")
+EXEC_OWNERSHIP_WORDS = ("single-owner", "per-thread", "read-only")
 LOOP_HEAD_RE = re.compile(r"\b(for|while)\s*\(")
 DO_RE = re.compile(r"\bdo\s*\{")
 
@@ -373,6 +388,37 @@ def check_deque_guard(path, text, raw_lines, findings):
         )
 
 
+def check_exec_guard(path, text, raw_lines, findings):
+    if not path.startswith("src/exec/"):
+        return
+    for m in EXEC_CONTAINER_RE.finditer(text):
+        lineno = line_of(text, m.start())
+        line_end = text.find("\n", m.start())
+        decl = text[m.start() : line_end if line_end != -1 else len(text)]
+        member = EXEC_MEMBER_RE.search(decl)
+        if not member:
+            continue  # local, parameter, or return type -- not member state
+        if "MMJOIN_GUARDED_BY" in decl:
+            continue
+        window = " ".join(
+            source_line(raw_lines, l)
+            for l in (lineno - 2, lineno - 1, lineno)
+        )
+        if any(word in window for word in EXEC_OWNERSHIP_WORDS):
+            continue
+        findings.append(
+            Finding(
+                path,
+                lineno,
+                "exec-guard",
+                f"container member '{member.group(1)}' in src/exec/ without "
+                "MMJOIN_GUARDED_BY or an ownership comment "
+                "(single-owner / per-thread / read-only)",
+                source_line(raw_lines, lineno),
+            )
+        )
+
+
 def check_bare_escape(path, raw_text, raw_lines, findings):
     # Runs over the RAW text (comments matter here).
     for m in ESCAPE_RE.finditer(raw_text):
@@ -414,6 +460,7 @@ def lint_file(abs_path):
     check_nondeterminism(rel, text, raw_lines, findings)
     check_padded_assert(rel, text, raw_lines, findings)
     check_deque_guard(rel, text, raw_lines, findings)
+    check_exec_guard(rel, text, raw_lines, findings)
     check_bare_escape(rel, raw, raw_lines, findings)
     return findings
 

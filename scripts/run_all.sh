@@ -75,3 +75,22 @@ if ! python3 scripts/check_metrics.py --kind=bench BENCH_skew.json; then
   echo "FAILED: skew sweep wrote an invalid BENCH_skew.json" >&2
   exit 1
 fi) 2>&1 | tee -a bench_output.txt
+
+# Dedicated chunk-compaction sweep (selectivity x density threshold) at a
+# CI-friendly geometry. The full-size run above writes
+# BENCH_exec_compaction.json; this one lands in BENCH_exec.json so the
+# compaction acceptance numbers (EXPERIMENTS.md) diff against a stable
+# small-geometry baseline.
+(echo "######## exec compaction sweep (BENCH_exec.json) ########"
+rc=0
+MMJOIN_BENCH_JSON="BENCH_exec.json" timeout "$BENCH_TIMEOUT" \
+  build/bench/bench_exec_compaction --build=$((1 << 19)) \
+  --probe=$((1 << 21)) --threads=8 --repeat=1 || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAILED: exec compaction sweep exited with status $rc" >&2
+  exit 1
+fi
+if ! python3 scripts/check_metrics.py --kind=bench BENCH_exec.json; then
+  echo "FAILED: exec compaction sweep wrote an invalid BENCH_exec.json" >&2
+  exit 1
+fi) 2>&1 | tee -a bench_output.txt

@@ -1,0 +1,105 @@
+// Dynamic chunk compaction (the CachingPhysicalOperator technique from the
+// Data-Chunk-Compaction-in-DuckDB line of work, adapted to this pipeline).
+//
+// Post-filter and post-probe chunks are often sparse: a 3.57%-selective
+// filter leaves ~37 live rows in a 1024-capacity chunk, and a low-hit-rate
+// probe emits partially-filled match chunks at task boundaries. Shipping
+// such chunks downstream wastes the per-chunk costs (virtual dispatch,
+// selection bookkeeping, cache footprint of dead slots) that vectorization
+// exists to amortize.
+//
+// A ChunkCompactor sits at an operator boundary (one instance per worker
+// thread, per boundary) and decides per chunk:
+//
+//   density >= threshold  ->  pass through unchanged (zero copies)
+//   density <  threshold  ->  gather the live rows into an accumulation
+//                             buffer; emit the buffer when it fills
+//
+// threshold 0 never compacts (every chunk passes through); threshold 1
+// buffers everything that is not already full. The sweet spot is workload
+// dependent -- bench_exec_compaction sweeps selectivity x threshold.
+//
+// Single-owner: each instance belongs to one worker thread; Flush() runs on
+// the owner (or single-threaded at pipeline drain).
+
+#ifndef MMJOIN_EXEC_COMPACTION_H_
+#define MMJOIN_EXEC_COMPACTION_H_
+
+#include <cstdint>
+
+#include "exec/data_chunk.h"
+
+namespace mmjoin::exec {
+
+// Default density threshold: buffer chunks running below quarter capacity.
+inline constexpr double kDefaultCompactionThreshold = 0.25;
+
+// Per-boundary, per-thread accounting, folded into PipelineStats after the
+// run (exec.* counters, docs/OBSERVABILITY.md).
+struct CompactionStats {
+  uint64_t chunks_in = 0;        // chunks arriving at the boundary
+  uint64_t rows_in = 0;          // live rows arriving
+  uint64_t chunks_emitted = 0;   // chunks actually crossing the boundary
+  uint64_t rows_compacted = 0;   // live rows gathered into the buffer
+  uint64_t compaction_flushes = 0;  // buffer emissions (full or drain)
+};
+
+class ChunkCompactor {
+ public:
+  ChunkCompactor(int num_columns, double density_threshold)
+      : threshold_(density_threshold), buffer_(num_columns) {}
+
+  // Routes `chunk` toward `emit(DataChunk*)`. The emitted chunk is either
+  // `chunk` itself (pass-through) or the internal buffer (on fill); the
+  // callee must consume it before returning (its storage is reused).
+  template <typename EmitFn>
+  void Push(DataChunk* chunk, EmitFn&& emit) {
+    const uint32_t active = chunk->ActiveRows();
+    ++stats_.chunks_in;
+    stats_.rows_in += active;
+    if (active == 0) return;
+    if (threshold_ <= 0.0 || chunk->Density() >= threshold_) {
+      ++stats_.chunks_emitted;
+      emit(chunk);
+      return;
+    }
+    // Gather the live rows into the buffer, emitting whenever it fills.
+    stats_.rows_compacted += active;
+    uint32_t taken = 0;
+    while (taken < active) {
+      if (buffer_.Remaining() == 0) EmitBuffer(emit);
+      const uint32_t n = active - taken < buffer_.Remaining()
+                             ? active - taken
+                             : buffer_.Remaining();
+      buffer_.AppendActive(*chunk, taken, n);
+      taken += n;
+    }
+    if (buffer_.Remaining() == 0) EmitBuffer(emit);
+  }
+
+  // Emits buffered rows (drain at end of input). Owner-thread only.
+  template <typename EmitFn>
+  void Flush(EmitFn&& emit) {
+    if (buffer_.size() > 0) EmitBuffer(emit);
+  }
+
+  const CompactionStats& stats() const { return stats_; }
+  double threshold() const { return threshold_; }
+
+ private:
+  template <typename EmitFn>
+  void EmitBuffer(EmitFn&& emit) {
+    ++stats_.compaction_flushes;
+    ++stats_.chunks_emitted;
+    emit(&buffer_);
+    buffer_.Reset();
+  }
+
+  double threshold_;
+  DataChunk buffer_;
+  CompactionStats stats_;
+};
+
+}  // namespace mmjoin::exec
+
+#endif  // MMJOIN_EXEC_COMPACTION_H_

@@ -1,0 +1,160 @@
+// Fixed-capacity column-vector chunk -- the unit of work of the vectorized
+// operator pipeline (src/exec/).
+//
+// A DataChunk holds up to kChunkCapacity rows of `num_columns` uint32
+// columns (every value flowing through our pipelines is a key, a row id, or
+// a dictionary code; attribute payloads are fetched late, by row id, from
+// the base tables). Filters do not move data: they narrow the chunk's
+// *selection vector*, a list of physical row indices that are still alive.
+// Downstream operators iterate ActiveRows()/RowAt() and never see dead
+// rows. When a chunk becomes too sparse to be worth shipping, Compact()
+// gathers the selected rows to the front and drops the selection vector --
+// the primitive behind dynamic chunk compaction (exec::ChunkCompactor,
+// docs/PIPELINE.md).
+//
+// DataChunks are strictly single-owner: each pipeline worker thread owns
+// the chunks it fills (per-thread slots allocated before the dispatch), so
+// none of the members need locking.
+
+#ifndef MMJOIN_EXEC_DATA_CHUNK_H_
+#define MMJOIN_EXEC_DATA_CHUNK_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace mmjoin::exec {
+
+// Rows per chunk. Large enough to amortize per-chunk virtual calls and
+// selection bookkeeping, small enough that a 3-column chunk (12 KiB) stays
+// cache-resident between operators -- the same reasoning as DuckDB's 2048
+// and the MatchChunk capacity in join/join_defs.h.
+inline constexpr uint32_t kChunkCapacity = 1024;
+
+class DataChunk {
+ public:
+  static constexpr int kMaxColumns = 8;
+
+  explicit DataChunk(int num_columns) : num_columns_(num_columns) {
+    MMJOIN_CHECK(num_columns > 0 && num_columns <= kMaxColumns);
+    storage_.resize(static_cast<std::size_t>(num_columns) * kChunkCapacity);
+    sel_.resize(kChunkCapacity);
+  }
+
+  int num_columns() const { return num_columns_; }
+
+  uint32_t* column(int c) {
+    MMJOIN_DCHECK(c >= 0 && c < num_columns_);
+    return storage_.data() + static_cast<std::size_t>(c) * kChunkCapacity;
+  }
+  const uint32_t* column(int c) const {
+    MMJOIN_DCHECK(c >= 0 && c < num_columns_);
+    return storage_.data() + static_cast<std::size_t>(c) * kChunkCapacity;
+  }
+
+  // Physical rows stored in the columns.
+  uint32_t size() const { return size_; }
+  void set_size(uint32_t n) {
+    MMJOIN_DCHECK(n <= kChunkCapacity);
+    size_ = n;
+  }
+
+  // --- Selection vector ----------------------------------------------------
+
+  bool has_selection() const { return has_selection_; }
+  const uint32_t* selection() const { return sel_.data(); }
+
+  // Installs the first `count` entries of the internal selection buffer
+  // (filled via mutable_selection()) as the active selection.
+  uint32_t* mutable_selection() { return sel_.data(); }
+  void SetSelectionSize(uint32_t count) {
+    MMJOIN_DCHECK(count <= size_);
+    has_selection_ = true;
+    sel_size_ = count;
+  }
+  void ClearSelection() {
+    has_selection_ = false;
+    sel_size_ = 0;
+  }
+
+  // Logical rows: selection entries when one is active, else all physical
+  // rows.
+  uint32_t ActiveRows() const { return has_selection_ ? sel_size_ : size_; }
+
+  // Physical index of the i-th logical row.
+  MMJOIN_ALWAYS_INLINE uint32_t RowAt(uint32_t i) const {
+    return has_selection_ ? sel_[i] : i;
+  }
+
+  // Fraction of the chunk's capacity doing useful work when it crosses an
+  // operator boundary -- the signal dynamic compaction thresholds against.
+  double Density() const {
+    return static_cast<double>(ActiveRows()) / kChunkCapacity;
+  }
+
+  bool Empty() const { return ActiveRows() == 0; }
+
+  void Reset() {
+    size_ = 0;
+    ClearSelection();
+  }
+
+  // --- Row movement --------------------------------------------------------
+
+  // Gathers the selected rows to the front of every column and drops the
+  // selection vector. No-op for chunks without a selection.
+  void Compact() {
+    if (!has_selection_) return;
+    for (int c = 0; c < num_columns_; ++c) {
+      uint32_t* col = column(c);
+      for (uint32_t i = 0; i < sel_size_; ++i) col[i] = col[sel_[i]];
+    }
+    size_ = sel_size_;
+    ClearSelection();
+  }
+
+  // Appends logical rows [begin, begin + count) of `src` (same column
+  // count, selection applied) to this chunk's physical rows. The caller
+  // guarantees capacity; appending to a chunk with an active selection is a
+  // bug (Compact() first).
+  void AppendActive(const DataChunk& src, uint32_t begin, uint32_t count) {
+    MMJOIN_DCHECK(src.num_columns() == num_columns_);
+    MMJOIN_DCHECK(!has_selection_);
+    MMJOIN_DCHECK(begin + count <= src.ActiveRows());
+    MMJOIN_DCHECK(size_ + count <= kChunkCapacity);
+    if (!src.has_selection()) {
+      for (int c = 0; c < num_columns_; ++c) {
+        std::memcpy(column(c) + size_, src.column(c) + begin,
+                    static_cast<std::size_t>(count) * sizeof(uint32_t));
+      }
+    } else {
+      const uint32_t* sel = src.selection();
+      for (int c = 0; c < num_columns_; ++c) {
+        uint32_t* dst = column(c) + size_;
+        const uint32_t* col = src.column(c);
+        for (uint32_t i = 0; i < count; ++i) dst[i] = col[sel[begin + i]];
+      }
+    }
+    size_ += count;
+  }
+
+  // Free physical slots left in this chunk.
+  uint32_t Remaining() const { return kChunkCapacity - size_; }
+
+ private:
+  int num_columns_;
+  uint32_t size_ = 0;
+  bool has_selection_ = false;
+  uint32_t sel_size_ = 0;
+  // Column-major backing store (num_columns_ stripes of kChunkCapacity);
+  // single-owner: the worker thread that fills this chunk (see file header).
+  std::vector<uint32_t> storage_;
+  // single-owner: same thread as storage_.
+  std::vector<uint32_t> sel_;
+};
+
+}  // namespace mmjoin::exec
+
+#endif  // MMJOIN_EXEC_DATA_CHUNK_H_

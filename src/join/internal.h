@@ -236,9 +236,41 @@ inline JoinResult ReduceStats(const ThreadStats* stats, int num_threads) {
 // otherwise max key + 1 (scanned).
 uint64_t InferKeyDomain(ConstTupleSpan build, uint64_t provided);
 
+// Batches matches into a MatchChunk and flushes it to the sink's
+// ConsumeChunk fast path -- one virtual call per up-to-1024 matches instead
+// of one per match. Stack-allocated per probe task/fragment; the destructor
+// flushes the remainder, so partial chunks at task boundaries are delivered
+// (chunk *sizes* are therefore best-effort; consumers that care about
+// density compact downstream, see exec::ChunkCompactor).
+class MatchBuffer {
+ public:
+  MatchBuffer(MatchSink* sink, int tid) : sink_(sink), tid_(tid) {}
+  ~MatchBuffer() { Flush(); }
+
+  MatchBuffer(const MatchBuffer&) = delete;
+  MatchBuffer& operator=(const MatchBuffer&) = delete;
+
+  MMJOIN_ALWAYS_INLINE void Add(Tuple build, Tuple probe) {
+    chunk_.Add(build, probe);
+    if (MMJOIN_UNLIKELY(chunk_.full())) Flush();
+  }
+
+  void Flush() {
+    if (chunk_.size == 0) return;
+    sink_->ConsumeChunk(tid_, chunk_);
+    chunk_.size = 0;
+  }
+
+ private:
+  MatchSink* sink_;
+  int tid_;
+  MatchChunk chunk_;
+};
+
 // Probes probe[begin, end) against `table` (anything exposing Probe and
-// ProbeUnique), accumulating into `local` and optionally feeding `sink`.
-// The unique/sink dispatch happens once, outside the tight loops.
+// ProbeUnique), accumulating into `local` and optionally feeding `sink`
+// (chunk-batched through a MatchBuffer). The unique/sink dispatch happens
+// once, outside the tight loops.
 template <typename Table>
 void ProbeRange(const Table& table, const Tuple* probe, uint64_t begin,
                 uint64_t end, bool unique, MatchSink* sink, int tid,
@@ -251,11 +283,12 @@ void ProbeRange(const Table& table, const Tuple* probe, uint64_t begin,
                           [&](Tuple r) { AccumulateMatch(local, r, s); });
       }
     } else {
+      MatchBuffer buffer(sink, tid);
       for (uint64_t i = begin; i < end; ++i) {
         const Tuple s = probe[i];
         table.ProbeUnique(s.key, [&](Tuple r) {
           AccumulateMatch(local, r, s);
-          sink->Consume(tid, r, s);
+          buffer.Add(r, s);
         });
       }
     }
@@ -266,11 +299,12 @@ void ProbeRange(const Table& table, const Tuple* probe, uint64_t begin,
         table.Probe(s.key, [&](Tuple r) { AccumulateMatch(local, r, s); });
       }
     } else {
+      MatchBuffer buffer(sink, tid);
       for (uint64_t i = begin; i < end; ++i) {
         const Tuple s = probe[i];
         table.Probe(s.key, [&](Tuple r) {
           AccumulateMatch(local, r, s);
-          sink->Consume(tid, r, s);
+          buffer.Add(r, s);
         });
       }
     }

@@ -88,13 +88,50 @@ struct JoinResult {
   }
 };
 
+// A batch of matched pairs crossing the join -> consumer boundary in one
+// virtual call. Stored column-wise (struct-of-arrays) so chunk consumers --
+// the vectorized pipeline in src/exec/, bulk materialization -- copy with
+// three memcpys instead of a per-tuple loop. Both sides share the join key,
+// so it is stored once.
+struct MatchChunk {
+  static constexpr uint32_t kCapacity = 1024;
+
+  uint32_t size = 0;
+  uint32_t key[kCapacity];
+  uint32_t build_payload[kCapacity];
+  uint32_t probe_payload[kCapacity];
+
+  bool full() const { return size == kCapacity; }
+
+  MMJOIN_ALWAYS_INLINE void Add(Tuple build, Tuple probe) {
+    key[size] = probe.key;
+    build_payload[size] = build.payload;
+    probe_payload[size] = probe.payload;
+    ++size;
+  }
+};
+
 // Optional consumer of matched pairs (used by the TPC-H executors to build
-// join indexes). Consume may be called concurrently from different threads
-// with distinct thread ids.
+// join indexes and by the exec:: pipeline to feed post-join operators).
+// Both entry points may be called concurrently from different threads with
+// distinct thread ids.
+//
+// ConsumeChunk is the fast path: the join kernels batch matches into
+// MatchChunks (see internal::MatchBuffer) and hand over whole chunks, one
+// virtual call per up-to-1024 matches. Sinks that only implement the
+// tuple-at-a-time Consume get the default unbatching adapter below; chunk
+// sizes are best-effort (task/fragment boundaries flush partial chunks).
 class MatchSink {
  public:
   virtual ~MatchSink() = default;
   virtual void Consume(int thread_id, Tuple build, Tuple probe) = 0;
+
+  virtual void ConsumeChunk(int thread_id, const MatchChunk& chunk) {
+    for (uint32_t i = 0; i < chunk.size; ++i) {
+      Consume(thread_id, Tuple{chunk.key[i], chunk.build_payload[i]},
+              Tuple{chunk.key[i], chunk.probe_payload[i]});
+    }
+  }
 };
 
 struct JoinConfig {

@@ -33,11 +33,17 @@ struct MatchedPair {
 // threaded, after the join) to concatenate them into a join index.
 class JoinIndexSink final : public MatchSink {
  public:
-  explicit JoinIndexSink(int num_threads) : per_thread_(num_threads) {}
+  // Thread ids delivered to Consume/ConsumeChunk must lie in
+  // [0, num_threads). Non-positive counts are a caller bug (a sink with no
+  // buffers could only crash later, in the concurrent consume path, where
+  // the stack no longer names the culprit) -- fail fast here instead.
+  explicit JoinIndexSink(int num_threads)
+      : per_thread_(CheckedThreadCount(num_threads)) {}
 
   // Optional: pre-reserve per-thread capacity when the match count is
   // predictable (e.g. FK joins: |S| matches).
   void Reserve(uint64_t expected_total) {
+    if (per_thread_.empty()) return;  // unreachable post-ctor-check; belt
     for (auto& local : per_thread_) {
       local.reserve(expected_total / per_thread_.size() + 16);
     }
@@ -48,6 +54,20 @@ class JoinIndexSink final : public MatchSink {
                   tid < static_cast<int>(per_thread_.size()));
     per_thread_[tid].push_back(
         MatchedPair{probe.key, build.payload, probe.payload});
+  }
+
+  // Chunked fast path: one bounds check + one resize per up-to-1024
+  // matches, then straight columnar copies into the row-wise index.
+  void ConsumeChunk(int tid, const MatchChunk& chunk) override {
+    MMJOIN_DCHECK(tid >= 0 &&
+                  tid < static_cast<int>(per_thread_.size()));
+    std::vector<MatchedPair>& local = per_thread_[tid];
+    const std::size_t base = local.size();
+    local.resize(base + chunk.size);
+    for (uint32_t i = 0; i < chunk.size; ++i) {
+      local[base + i] = MatchedPair{chunk.key[i], chunk.build_payload[i],
+                                    chunk.probe_payload[i]};
+    }
   }
 
   // Total matches collected so far (call after the join).
@@ -73,6 +93,11 @@ class JoinIndexSink final : public MatchSink {
   }
 
  private:
+  static std::size_t CheckedThreadCount(int num_threads) {
+    MMJOIN_CHECK(num_threads > 0);
+    return static_cast<std::size_t>(num_threads);
+  }
+
   std::vector<std::vector<MatchedPair>> per_thread_;
 };
 

@@ -214,10 +214,11 @@ class MwayJoin final : public JoinAlgorithm {
                             AccumulateMatch(local, r, s);
                           });
         } else {
+          MatchBuffer buffer(sink, tid);
           MergeJoinSorted(r_sorted, r_layout.PartitionSize(p), s_sorted,
                           s_layout.PartitionSize(p), [&](Tuple r, Tuple s) {
                             AccumulateMatch(local, r, s);
-                            sink->Consume(tid, r, s);
+                            buffer.Add(r, s);
                           });
         }
       }

@@ -5,6 +5,8 @@
 #include <memory>
 #include <vector>
 
+#include "exec/operators.h"
+#include "exec/pipeline.h"
 #include "hash/linear_probing_table.h"
 #include "join/join_algorithm.h"
 #include "join/materialize.h"
@@ -15,53 +17,124 @@
 namespace mmjoin::tpch {
 namespace {
 
-struct alignas(kCacheLineSize) ThreadAgg {
-  double revenue = 0.0;
-  uint64_t matches = 0;
-  uint64_t results = 0;
-};
-static_assert(sizeof(ThreadAgg) == kCacheLineSize,
-              "ThreadAgg must occupy exactly one cache line (false-sharing "
-              "padding)");
+// --- Q19 as exec:: pipeline operators ---------------------------------------
+//
+// Both strategies are configurations of the same vectorized pipeline
+// (docs/PIPELINE.md):
+//
+//   kPipelined:  scan(l_partkey) -> pre-filter -> join -> post-filter -> agg
+//   kJoinIndex:  scan(l_partkey) -> pre-filter -> join -> index materialize,
+//                then  index scan -> post-filter -> agg
+//
+// The filters narrow selection vectors in place; sparse chunks are densified
+// at compactor boundaries per PipelineConfig::compaction_threshold.
 
-// MatchSink evaluating PostJoin + aggregation inline (late
-// materialization: attributes are touched via the row ids in the match).
-class RevenueSink final : public join::MatchSink {
+// Pushed-down selection on lineitem. Scan chunks carry
+// <l_partkey, lineitem row id>; PreJoin reads by row id (late
+// materialization), so the filter touches the payload column, not the key.
+class Q19PreFilter final : public exec::Operator {
  public:
-  RevenueSink(const LineitemTable& lineitem, const PartTable& part,
-              int num_threads)
-      : lineitem_(lineitem), part_(part), aggs_(num_threads) {}
+  explicit Q19PreFilter(const LineitemTable& lineitem)
+      : lineitem_(lineitem) {}
 
-  void Consume(int tid, Tuple build, Tuple probe) override {
-    ThreadAgg& agg = aggs_[tid];
-    ++agg.matches;
-    const uint64_t row_p = build.payload;
-    const uint64_t row_l = probe.payload;
-    if (PostJoin(lineitem_, part_, row_l, row_p)) {
-      ++agg.results;
-      agg.revenue +=
-          static_cast<double>(lineitem_.l_extendedprice()[row_l]) *
-          (1.0 - lineitem_.l_discount()[row_l]);
-    }
+  const char* name() const override { return "q19.pre_filter"; }
+  int output_columns() const override { return 2; }
+  bool is_filter() const override { return true; }
+
+  void Apply(int tid, exec::DataChunk* chunk) override {
+    (void)tid;
+    const uint32_t* rowid = chunk->column(exec::kScanPayloadCol);
+    exec::RefineSelection(chunk, [&](const exec::DataChunk&, uint32_t row) {
+      return PreJoin(lineitem_, rowid[row]);
+    });
   }
 
-  void Fold(Q19Result* result) const {
-    for (const ThreadAgg& agg : aggs_) {
-      result->revenue += agg.revenue;
-      result->join_matches += agg.matches;
-      result->result_rows += agg.results;
-    }
+ private:
+  const LineitemTable& lineitem_;
+};
+
+// Residual brand/container/quantity/size predicate over join-output chunks
+// (build payload = part row id, probe payload = lineitem row id).
+class Q19PostFilter final : public exec::Operator {
+ public:
+  Q19PostFilter(const LineitemTable& lineitem, const PartTable& part)
+      : lineitem_(lineitem), part_(part) {}
+
+  const char* name() const override { return "q19.post_filter"; }
+  int output_columns() const override { return 3; }
+  bool is_filter() const override { return true; }
+
+  void Apply(int tid, exec::DataChunk* chunk) override {
+    (void)tid;
+    const uint32_t* row_p = chunk->column(exec::kJoinBuildPayloadCol);
+    const uint32_t* row_l = chunk->column(exec::kJoinProbePayloadCol);
+    exec::RefineSelection(chunk, [&](const exec::DataChunk&, uint32_t row) {
+      return PostJoin(lineitem_, part_, row_l[row], row_p[row]);
+    });
   }
 
  private:
   const LineitemTable& lineitem_;
   const PartTable& part_;
-  std::vector<ThreadAgg> aggs_;
+};
+
+// SUM(l_extendedprice * (1 - l_discount)) over surviving join-output rows,
+// fetching the monetary columns by lineitem row id.
+class RevenueAggregate final : public exec::Sink {
+ public:
+  explicit RevenueAggregate(const LineitemTable& lineitem)
+      : lineitem_(lineitem) {}
+
+  const char* name() const override { return "q19.revenue_agg"; }
+
+  void Open(int num_threads) override {
+    slots_.assign(static_cast<std::size_t>(num_threads), Slot{});
+  }
+
+  void Append(int tid, const exec::DataChunk& chunk) override {
+    Slot& slot = slots_[static_cast<std::size_t>(tid)];
+    const uint32_t* row_l = chunk.column(exec::kJoinProbePayloadCol);
+    const float* price = lineitem_.l_extendedprice();
+    const float* discount = lineitem_.l_discount();
+    const uint32_t active = chunk.ActiveRows();
+    slot.rows += active;
+    double revenue = 0.0;
+    for (uint32_t i = 0; i < active; ++i) {
+      const uint32_t row = row_l[chunk.RowAt(i)];
+      revenue += static_cast<double>(price[row]) * (1.0 - discount[row]);
+    }
+    slot.revenue += revenue;
+  }
+
+  void Fold(Q19Result* result) const {
+    for (const Slot& slot : slots_) {
+      result->revenue += slot.revenue;
+      result->result_rows += slot.rows;
+    }
+  }
+
+ private:
+  struct SlotFields {
+    double revenue = 0.0;
+    uint64_t rows = 0;
+  };
+  struct alignas(kCacheLineSize) Slot : SlotFields {
+    char padding[kCacheLineSize - sizeof(SlotFields)];
+  };
+  static_assert(sizeof(Slot) == kCacheLineSize,
+                "Slot must occupy exactly one cache line (false-sharing "
+                "padding)");
+
+  const LineitemTable& lineitem_;
+  // per-thread slots indexed by tid; sized in Open before the dispatch
+  std::vector<Slot> slots_;
 };
 
 // Parallel filter + materialization of the probe column: <l_partkey, rowid>
 // for every lineitem row passing PreJoin. Two passes (count, then fill at
-// precomputed offsets) so the output is dense and deterministic.
+// precomputed offsets) so the output is dense and deterministic. Used by
+// the Appendix G morphing study (RunQ19Morph); RunQ19 itself goes through
+// the exec:: pipeline.
 numa::NumaBuffer<Tuple> FilterProbe(numa::NumaSystem* system,
                                     const LineitemTable& lineitem,
                                     thread::Executor& executor,
@@ -100,75 +173,72 @@ numa::NumaBuffer<Tuple> FilterProbe(numa::NumaSystem* system,
   return probe;
 }
 
+exec::PipelineStats RunPipelineOrDie(exec::Pipeline* pipeline,
+                                     numa::NumaSystem* system,
+                                     const exec::PipelineConfig& config) {
+  StatusOr<exec::PipelineStats> stats = pipeline->Run(system, config);
+  MMJOIN_CHECK(stats.ok());
+  return *stats;
+}
+
 }  // namespace
 
 Q19Result RunQ19(numa::NumaSystem* system, const LineitemTable& lineitem,
                  const PartTable& part, join::Algorithm algorithm,
                  int num_threads, Q19Strategy strategy,
-                 thread::Executor* executor) {
-  thread::Executor& exec =
-      executor != nullptr ? *executor : thread::GlobalExecutor();
+                 thread::Executor* executor, double compaction_threshold) {
   Q19Result result;
   const int64_t start = NowNanos();
 
-  numa::NumaBuffer<Tuple> probe = FilterProbe(system, lineitem, exec,
-                                              num_threads,
-                                              &result.filtered_rows);
-  const int64_t filter_end = NowNanos();
-
-  join::JoinConfig config;
+  exec::PipelineConfig config;
   config.num_threads = num_threads;
-  config.executor = &exec;
-  const std::unique_ptr<join::JoinAlgorithm> join =
-      join::CreateJoin(algorithm);
-  const ConstTupleSpan build(part.p_partkey(), part.num_tuples());
-  const ConstTupleSpan probe_span(probe.data(), result.filtered_rows);
+  config.executor = executor;
+  config.compaction_threshold = compaction_threshold;
+
+  exec::TupleScan scan(
+      ConstTupleSpan(lineitem.l_partkey(), lineitem.num_tuples()));
+  Q19PreFilter pre_filter(lineitem);
+  exec::HashJoinProbe::Spec join_spec;
+  join_spec.algorithm = algorithm;
+  join_spec.build = ConstTupleSpan(part.p_partkey(), part.num_tuples());
+  join_spec.key_domain = part.num_tuples();
+  exec::HashJoinProbe join_probe(join_spec);
+  Q19PostFilter post_filter(lineitem, part);
+  RevenueAggregate aggregate(lineitem);
 
   if (strategy == Q19Strategy::kPipelined) {
-    RevenueSink sink(lineitem, part, num_threads);
-    config.sink = &sink;
-    join->Run(system, config, build, probe_span,
-              /*key_domain=*/part.num_tuples());
-    sink.Fold(&result);
+    exec::Pipeline pipeline(&scan, {&pre_filter, &join_probe, &post_filter},
+                            &aggregate);
+    const exec::PipelineStats stats =
+        RunPipelineOrDie(&pipeline, system, config);
+    aggregate.Fold(&result);
+    result.filtered_rows = stats.pre_join_rows;
+    result.join_matches = stats.join_matches;
+    result.filter_ns = stats.pre_join_ns;
   } else {
-    // Join-index strategy: materialize <rowP, rowL> first, then a separate
-    // parallel post-filter + aggregation pass over the index.
-    join::JoinIndexSink index(num_threads);
-    index.Reserve(result.filtered_rows);
-    config.sink = &index;
-    join->Run(system, config, build, probe_span,
-              /*key_domain=*/part.num_tuples());
-    const std::vector<join::MatchedPair> pairs = index.Gather();
-    result.join_matches = pairs.size();
+    // Join-index strategy: the first pipeline ends in an index materializer
+    // right after the probe; post-filter + aggregation run as a second
+    // pipeline over the gathered index.
+    exec::JoinIndexMaterialize index;
+    exec::Pipeline join_pipeline(&scan, {&pre_filter, &join_probe}, &index);
+    const exec::PipelineStats join_stats =
+        RunPipelineOrDie(&join_pipeline, system, config);
+    result.filtered_rows = join_stats.pre_join_rows;
+    result.join_matches = join_stats.join_matches;
+    result.filter_ns = join_stats.pre_join_ns;
 
-    std::vector<ThreadAgg> aggs(num_threads);
-    exec.ParallelFor(num_threads, pairs.size(), [&](std::size_t begin,
-                                                    std::size_t end,
-                                                    const thread::WorkerContext&
-                                                        ctx) {
-      const thread::Range range{begin, end};
-      ThreadAgg& agg = aggs[ctx.thread_id];
-      for (uint64_t i = range.begin; i < range.end; ++i) {
-        const uint64_t row_p = pairs[i].build_payload;
-        const uint64_t row_l = pairs[i].probe_payload;
-        if (PostJoin(lineitem, part, row_l, row_p)) {
-          ++agg.results;
-          agg.revenue +=
-              static_cast<double>(lineitem.l_extendedprice()[row_l]) *
-              (1.0 - lineitem.l_discount()[row_l]);
-        }
-      }
-    });
-    for (const ThreadAgg& agg : aggs) {
-      result.revenue += agg.revenue;
-      result.result_rows += agg.results;
-    }
+    const std::vector<join::MatchedPair> pairs = index.Gather();
+    exec::JoinIndexScan index_scan(&pairs);
+    exec::Pipeline post_pipeline(&index_scan, {&post_filter}, &aggregate);
+    RunPipelineOrDie(&post_pipeline, system, config);
+    aggregate.Fold(&result);
   }
 
-  const int64_t end = NowNanos();
-  result.filter_ns = filter_end - start;
-  result.join_ns = end - filter_end;
-  result.total_ns = end - start;
+  // Phase accounting identity: everything after the pre-join filter stage
+  // is the join phase, so filter_ns + join_ns == total_ns by construction
+  // (asserted in tests/tpch_test.cc).
+  result.total_ns = NowNanos() - start;
+  result.join_ns = result.total_ns - result.filter_ns;
   return result;
 }
 

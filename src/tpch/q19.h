@@ -7,9 +7,12 @@
 // are aggregated into `revenue`.
 //
 // RunQ19 executes the query with any of the four joins the paper evaluates
-// (NOP, NOPA, CPRL, CPRA): the probe side is pre-filtered and materialized
-// (exactly the paper's methodology for Figure 14), the join streams matches
-// into a revenue sink -- no join index is materialized.
+// (NOP, NOPA, CPRL, CPRA; any of the thirteen works). Both strategies are
+// configurations of the vectorized exec:: pipeline (docs/PIPELINE.md): scan
+// -> pre-filter -> HashJoinProbe -> post-filter -> revenue aggregate, with
+// kJoinIndex splitting the plan at an index materializer and finishing with
+// an index-scan pipeline. The pre-filter stage materializes the probe side
+// before the join (exactly the paper's methodology for Figure 14).
 //
 // RunQ19Morph reproduces the Appendix G experiment: it morphs the naked
 // join micro-benchmark stepwise into the full query and reports the runtime
@@ -33,8 +36,9 @@ struct Q19Result {
   uint64_t join_matches = 0;   // matched pairs before PostJoin
   uint64_t result_rows = 0;    // pairs passing PostJoin
   int64_t filter_ns = 0;       // scan + filter + materialize probe column
-  int64_t join_ns = 0;         // the actual join (with inline post+agg)
-  int64_t total_ns = 0;
+  int64_t join_ns = 0;         // everything after the filter stage (join,
+                               // post-filter, aggregation, index passes)
+  int64_t total_ns = 0;        // == filter_ns + join_ns (tests assert this)
 };
 
 // Tuple-reconstruction strategy for the post-join work (the paper's
@@ -49,16 +53,18 @@ enum class Q19Strategy {
   kJoinIndex,
 };
 
-// Executes Q19 with the given join algorithm (the paper evaluates NOP,
-// NOPA, CPRL, CPRA; any of the thirteen works). All parallel phases --
+// Executes Q19 with the given join algorithm. All parallel phases --
 // filter/materialize, the join itself, and the post-join pass -- run on
 // `executor` (the process-wide pool when nullptr); no threads are spawned
-// per query.
+// per query. `compaction_threshold` is the pipeline's boundary density
+// threshold (exec::PipelineConfig; < 0 selects the default, 0 disables
+// compaction).
 Q19Result RunQ19(numa::NumaSystem* system, const LineitemTable& lineitem,
                  const PartTable& part, join::Algorithm algorithm,
                  int num_threads,
                  Q19Strategy strategy = Q19Strategy::kPipelined,
-                 thread::Executor* executor = nullptr);
+                 thread::Executor* executor = nullptr,
+                 double compaction_threshold = -1.0);
 
 // Appendix G morphing steps, all with the NOP join:
 //  step 1: naked join on pre-filtered, pre-materialized inputs

@@ -82,6 +82,38 @@ TEST(JoinIndexSink, GatherEmptiesTheSink) {
   EXPECT_EQ(pairs[1], (join::MatchedPair{2, 11, 21}));
 }
 
+// Regression: the constructor used to accept num_threads <= 0 unchecked,
+// leaving Reserve() to divide by per_thread_.size() == 0 and the concurrent
+// consume path to index into an empty vector.
+TEST(JoinIndexSink, RejectsNonPositiveThreadCounts) {
+  EXPECT_DEATH(join::JoinIndexSink sink(0), "check failed");
+  EXPECT_DEATH(join::JoinIndexSink sink(-3), "check failed");
+}
+
+TEST(JoinIndexSink, ReserveDistributesAcrossThreads) {
+  join::JoinIndexSink sink(4);
+  sink.Reserve(1000);  // must not divide by zero or throw
+  sink.Reserve(0);     // degenerate expectation is fine too
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+// The chunked fast path must agree with the tuple-at-a-time path.
+TEST(JoinIndexSink, ConsumeChunkMatchesConsume) {
+  join::MatchChunk chunk;
+  for (uint32_t i = 0; i < 100; ++i) {
+    chunk.Add(Tuple{i, i + 1000}, Tuple{i, i + 2000});
+  }
+
+  join::JoinIndexSink chunked(2);
+  chunked.ConsumeChunk(1, chunk);
+  join::JoinIndexSink scalar(2);
+  for (uint32_t i = 0; i < chunk.size; ++i) {
+    scalar.Consume(1, Tuple{chunk.key[i], chunk.build_payload[i]},
+                   Tuple{chunk.key[i], chunk.probe_payload[i]});
+  }
+  EXPECT_EQ(chunked.Gather(), scalar.Gather());
+}
+
 TEST(CallbackSink, StreamsMatches) {
   std::vector<uint64_t> per_thread(4, 0);
   auto sink = join::MakeCallbackSink(

@@ -161,6 +161,31 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(join::NameOf(info.param));
     });
 
+// Satellite of the pipeline rewrite: the phase accounting must keep the
+// identity filter_ns + join_ns == total_ns (join_ns is defined as
+// everything after the pre-join filter stage). A small tolerance absorbs
+// clock-read placement; real drift (double-counted or dropped phases) is
+// orders of magnitude larger.
+TEST(Q19, PhaseTimesSumToTotal) {
+  const GeneratorOptions options = SmallOptions();
+  LineitemTable lineitem = GenerateLineitem(System(), options);
+  PartTable part = GeneratePart(System(), options);
+
+  for (const Q19Strategy strategy :
+       {Q19Strategy::kPipelined, Q19Strategy::kJoinIndex}) {
+    const Q19Result result =
+        RunQ19(System(), lineitem, part, join::Algorithm::kCPRL,
+               /*num_threads=*/4, strategy);
+    EXPECT_GT(result.filter_ns, 0);
+    EXPECT_GT(result.join_ns, 0);
+    const int64_t tolerance = result.total_ns / 100 + 1000;  // 1% + 1us
+    EXPECT_NEAR(static_cast<double>(result.filter_ns + result.join_ns),
+                static_cast<double>(result.total_ns),
+                static_cast<double>(tolerance))
+        << "strategy=" << static_cast<int>(strategy);
+  }
+}
+
 class Q19StrategyTest : public ::testing::TestWithParam<join::Algorithm> {};
 
 TEST_P(Q19StrategyTest, JoinIndexStrategyMatchesPipelined) {
