@@ -7,9 +7,14 @@
 //   ./run_join --join=PRO --profile                # per-phase breakdown
 //   ./run_join --join=PRO --trace=trace.json       # Perfetto-loadable trace
 //   ./run_join --join=PRO --metrics=metrics.json   # counters snapshot
+//   ./run_join --join=PRO --mem-budget=16777216    # 16 MiB join budget
 //   ./run_join --list
+//
+// The memory budget can also come from the MMJOIN_MEM_BUDGET environment
+// variable (bytes); the --mem-budget flag wins when both are set.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/mmjoin.h"
 #include "obs/metrics.h"
@@ -134,6 +139,17 @@ int main(int argc, char** argv) {
   join::JoinConfig config;
   config.num_threads = threads;
   config.radix_bits = static_cast<uint32_t>(cli.GetInt("bits", 0));
+
+  // Per-join memory budget: --mem-budget=<bytes> wins over the
+  // MMJOIN_MEM_BUDGET environment variable; 0/absent means unbounded.
+  uint64_t mem_budget = static_cast<uint64_t>(cli.GetInt("mem-budget", 0));
+  if (mem_budget == 0) {
+    if (const char* env = std::getenv("MMJOIN_MEM_BUDGET");
+        env != nullptr && env[0] != '\0') {
+      mem_budget = std::strtoull(env, nullptr, 10);
+    }
+  }
+  if (mem_budget != 0) config.mem_budget_bytes = mem_budget;
 
   if (cli.Has("numa_profile")) system.EnableAccounting();
 

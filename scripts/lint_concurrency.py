@@ -37,6 +37,13 @@ Enforces repo invariants that neither the compiler nor clang-tidy check:
                      operators are called concurrently with distinct tids
                      and hold no locks; every member must say which
                      discipline makes that safe.
+  budget-guard       Integral members in src/mem/budget* must be std::atomic,
+                     const, MMJOIN_GUARDED_BY-annotated, or carry an
+                     ownership comment (single-owner / per-thread /
+                     read-only) on the same or one of the two preceding
+                     lines. BudgetTracker is shared by every worker of a
+                     join: a plain mutable counter there is a lost-update
+                     bug the admission CAS cannot compensate for.
 
 Findings print as file:line: [rule] message. Exit code 1 when any finding is
 not covered by the allowlist (scripts/concurrency_allowlist.txt), 0 otherwise.
@@ -81,6 +88,12 @@ EXEC_CONTAINER_RE = re.compile(
 # parameters, and return types never match.
 EXEC_MEMBER_RE = re.compile(r"[>*&]\s*(\w+_)\s*(?:;|=|\{|MMJOIN_GUARDED_BY)")
 EXEC_OWNERSHIP_WORDS = ("single-owner", "per-thread", "read-only")
+# Trailing-underscore integral members; `std::atomic<uint64_t> x_` cannot
+# match because '>' (not whitespace) follows the integral type name.
+BUDGET_MEMBER_RE = re.compile(
+    r"\b(?:uint64_t|uint32_t|int64_t|int32_t|std\s*::\s*size_t|size_t)"
+    r"\s+(\w+_)\s*(?:;|=|\{)"
+)
 LOOP_HEAD_RE = re.compile(r"\b(for|while)\s*\(")
 DO_RE = re.compile(r"\bdo\s*\{")
 
@@ -419,6 +432,36 @@ def check_exec_guard(path, text, raw_lines, findings):
         )
 
 
+def check_budget_guard(path, text, raw_lines, findings):
+    if not path.startswith("src/mem/budget"):
+        return
+    for m in BUDGET_MEMBER_RE.finditer(text):
+        lineno = line_of(text, m.start())
+        line_start = text.rfind("\n", 0, m.start()) + 1
+        line_end = text.find("\n", m.start())
+        decl = text[line_start : line_end if line_end != -1 else len(text)]
+        if "const" in decl or "MMJOIN_GUARDED_BY" in decl:
+            continue
+        window = " ".join(
+            source_line(raw_lines, l)
+            for l in (lineno - 2, lineno - 1, lineno)
+        )
+        if any(word in window for word in EXEC_OWNERSHIP_WORDS):
+            continue
+        findings.append(
+            Finding(
+                path,
+                lineno,
+                "budget-guard",
+                f"integral member '{m.group(1)}' in src/mem/budget* is "
+                "neither std::atomic, const, MMJOIN_GUARDED_BY-annotated, "
+                "nor ownership-commented (single-owner / per-thread / "
+                "read-only); shared budget counters race",
+                source_line(raw_lines, lineno),
+            )
+        )
+
+
 def check_bare_escape(path, raw_text, raw_lines, findings):
     # Runs over the RAW text (comments matter here).
     for m in ESCAPE_RE.finditer(raw_text):
@@ -461,6 +504,7 @@ def lint_file(abs_path):
     check_padded_assert(rel, text, raw_lines, findings)
     check_deque_guard(rel, text, raw_lines, findings)
     check_exec_guard(rel, text, raw_lines, findings)
+    check_budget_guard(rel, text, raw_lines, findings)
     check_bare_escape(rel, raw, raw_lines, findings)
     return findings
 

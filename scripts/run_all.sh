@@ -94,3 +94,22 @@ if ! python3 scripts/check_metrics.py --kind=bench BENCH_exec.json; then
   echo "FAILED: exec compaction sweep wrote an invalid BENCH_exec.json" >&2
   exit 1
 fi) 2>&1 | tee -a bench_output.txt
+
+# Dedicated memory-budget degradation sweep at a pinned CI-friendly
+# geometry (the harness itself covers two scales and three budget
+# fractions per algorithm). Overwrites the default-geometry BENCH_budget.json
+# from the generic loop above so budget-ladder regressions diff against a
+# stable baseline.
+(echo "######## memory budget sweep (BENCH_budget.json) ########"
+rc=0
+MMJOIN_BENCH_JSON="BENCH_budget.json" timeout "$BENCH_TIMEOUT" \
+  build/bench/bench_budget --build=$((1 << 19)) --probe=$((1 << 21)) \
+  --threads=8 --repeat=1 || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAILED: memory budget sweep exited with status $rc" >&2
+  exit 1
+fi
+if ! python3 scripts/check_metrics.py --kind=bench BENCH_budget.json; then
+  echo "FAILED: memory budget sweep wrote an invalid BENCH_budget.json" >&2
+  exit 1
+fi) 2>&1 | tee -a bench_output.txt

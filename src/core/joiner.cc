@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "mem/budget.h"
 #include "obs/trace.h"
 
 namespace mmjoin::core {
@@ -16,12 +17,27 @@ Status JoinerOptions::Validate() const {
         "num_threads=" + std::to_string(num_threads) + " outside [1, " +
         std::to_string(join::JoinConfig::kMaxThreads) + "]");
   }
+  if (mem_budget_bytes.has_value()) {
+    if (*mem_budget_bytes == 0) {
+      return InvalidArgumentError(
+          "mem_budget_bytes=0: a zero memory budget cannot admit any "
+          "allocation (omit the budget for unbounded)");
+    }
+    if (*mem_budget_bytes < join::JoinConfig::kMinMemBudgetBytes) {
+      return InvalidArgumentError(
+          "mem_budget_bytes=" + std::to_string(*mem_budget_bytes) +
+          " is below the minimum " +
+          std::to_string(join::JoinConfig::kMinMemBudgetBytes) +
+          " (one mmap-class partition buffer)");
+    }
+  }
   return OkStatus();
 }
 
 Joiner::Joiner(const JoinerOptions& options)
     : system_(options.num_nodes, options.page_policy),
       num_threads_(options.num_threads),
+      mem_budget_bytes_(options.mem_budget_bytes),
       executor_(std::make_unique<thread::Executor>(options.num_threads,
                                                    options.num_nodes)) {
   const Status status = options.Validate();
@@ -50,6 +66,10 @@ StatusOr<join::JoinResult> Joiner::Run(join::Algorithm algorithm,
   join::JoinConfig config = base_config;
   config.num_threads = num_threads_;
   config.executor = executor_.get();
+  // Joiner-level default budget: a config-level budget wins.
+  if (!config.mem_budget_bytes.has_value() && config.budget == nullptr) {
+    config.mem_budget_bytes = mem_budget_bytes_;
+  }
   obs::ObsScope scope(join::NameOf(algorithm), obs::SpanKind::kRun);
   return join::RunJoin(algorithm, &system_, config, build, probe);
 }
@@ -79,10 +99,16 @@ StatusOr<Joiner::AutoResult> Joiner::RunAuto(const workload::Relation& build,
 StatusOr<std::vector<join::MatchedPair>> Joiner::RunMaterialized(
     join::Algorithm algorithm, const workload::Relation& build,
     const workload::Relation& probe) {
+  // Tracker first: the sink's destructor releases its reservation, so the
+  // tracker must outlive the sink.
+  mem::BudgetTracker tracker(mem_budget_bytes_.value_or(0));
   join::JoinIndexSink sink(num_threads_);
-  sink.Reserve(probe.size());  // FK joins: ~one match per probe tuple
+  // FK joins: ~one match per probe tuple.
+  MMJOIN_RETURN_IF_ERROR(
+      sink.Reserve(probe.size(), tracker.bounded() ? &tracker : nullptr));
   join::JoinConfig config;
   config.sink = &sink;
+  if (tracker.bounded()) config.budget = &tracker;
   MMJOIN_RETURN_IF_ERROR(Run(algorithm, config, build, probe).status());
   return sink.Gather();
 }

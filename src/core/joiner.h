@@ -29,6 +29,11 @@ struct JoinerOptions {
   int num_nodes = 4;
   mem::PagePolicy page_policy = mem::PagePolicy::kHuge;
   int num_threads = 4;
+  // Default per-join memory budget applied to every join this Joiner runs
+  // (a config that carries its own mem_budget_bytes wins). nullopt =
+  // unbounded. Must be >= join::JoinConfig::kMinMemBudgetBytes; zero or
+  // sub-minimum explicit budgets are rejected by Validate.
+  std::optional<uint64_t> mem_budget_bytes;
 
   // Rejects option sets the constructor would otherwise abort on.
   Status Validate() const;
@@ -93,6 +98,7 @@ class Joiner {
  private:
   numa::NumaSystem system_;
   int num_threads_;
+  std::optional<uint64_t> mem_budget_bytes_;
   std::unique_ptr<thread::Executor> executor_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "mem/budget.h"
 #include "util/macros.h"
 
 namespace mmjoin::exec {
@@ -48,11 +49,10 @@ bool JoinIndexScan::NextChunk(int tid, DataChunk* chunk) {
   return true;
 }
 
-StatusOr<join::JoinResult> HashJoinProbe::Execute(numa::NumaSystem* system,
-                                                  ConstTupleSpan probe,
-                                                  join::MatchSink* sink,
-                                                  thread::Executor* executor,
-                                                  int num_threads) const {
+StatusOr<join::JoinResult> HashJoinProbe::Execute(
+    numa::NumaSystem* system, ConstTupleSpan probe, join::MatchSink* sink,
+    thread::Executor* executor, int num_threads,
+    std::optional<uint64_t> mem_budget_bytes) const {
   join::JoinConfig config;
   config.num_threads = num_threads;
   config.radix_bits = spec_.radix_bits;
@@ -61,9 +61,21 @@ StatusOr<join::JoinResult> HashJoinProbe::Execute(numa::NumaSystem* system,
   config.build_unique = spec_.build_unique;
   config.sink = sink;
   config.executor = executor;
+  config.mem_budget_bytes = spec_.mem_budget_bytes.has_value()
+                                ? spec_.mem_budget_bytes
+                                : mem_budget_bytes;
   MMJOIN_RETURN_IF_ERROR(config.Validate(spec_.build.size(), probe.size()));
   std::unique_ptr<join::JoinAlgorithm> algorithm =
       join::CreateJoin(spec_.algorithm);
+  // Run-local tracker, like join::RunJoin: the algorithm charges its planned
+  // working set against it and the tracker dies with this call.
+  if (config.mem_budget_bytes.has_value()) {
+    mem::BudgetTracker tracker(*config.mem_budget_bytes);
+    join::JoinConfig budgeted = config;
+    budgeted.budget = &tracker;
+    return algorithm->Run(system, budgeted, spec_.build, probe,
+                          spec_.key_domain);
+  }
   return algorithm->Run(system, config, spec_.build, probe, spec_.key_domain);
 }
 

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "exec/data_chunk.h"
@@ -100,6 +101,10 @@ class HashJoinProbe final : public Operator {
     uint32_t num_passes = 0;   // 0 = algorithm default
     uint32_t skew_task_factor = 8;
     bool build_unique = true;
+    // Per-join memory budget (join::JoinConfig semantics: nullopt =
+    // unbounded). Takes precedence over the pipeline-level budget passed
+    // to Execute.
+    std::optional<uint64_t> mem_budget_bytes;
   };
 
   explicit HashJoinProbe(const Spec& spec) : spec_(spec) {}
@@ -110,11 +115,10 @@ class HashJoinProbe final : public Operator {
 
   // Runs the wrapped algorithm with `sink` receiving the match stream.
   // Called by the Pipeline driver; not reachable through Process.
-  StatusOr<join::JoinResult> Execute(numa::NumaSystem* system,
-                                     ConstTupleSpan probe,
-                                     join::MatchSink* sink,
-                                     thread::Executor* executor,
-                                     int num_threads) const;
+  StatusOr<join::JoinResult> Execute(
+      numa::NumaSystem* system, ConstTupleSpan probe, join::MatchSink* sink,
+      thread::Executor* executor, int num_threads,
+      std::optional<uint64_t> mem_budget_bytes = std::nullopt) const;
 
  private:
   Spec spec_;

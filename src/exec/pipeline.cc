@@ -340,7 +340,7 @@ StatusOr<PipelineStats> Pipeline::Run(numa::NumaSystem* system,
   StatusOr<join::JoinResult> join_result = [&] {
     obs::ObsScope scope("exec.stage.join", obs::SpanKind::kOther);
     return join_op->Execute(system, probe_mat.span(), &match_sink, executor,
-                            num_threads);
+                            num_threads, config.mem_budget_bytes);
   }();
   if (!join_result.ok()) return join_result.status();
   {

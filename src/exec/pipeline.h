@@ -19,6 +19,7 @@
 #define MMJOIN_EXEC_PIPELINE_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "exec/compaction.h"
@@ -41,6 +42,10 @@ struct PipelineConfig {
   thread::Executor* executor = nullptr;
   // Placement of the materialized probe relation in front of a join.
   numa::Placement materialize_placement = numa::Placement::kChunkedRoundRobin;
+  // Memory budget forwarded to the embedded join (join::JoinConfig
+  // semantics: nullopt = unbounded; a HashJoinProbe::Spec-level budget
+  // wins over this pipeline-level default).
+  std::optional<uint64_t> mem_budget_bytes;
 
   double ResolvedThreshold() const {
     return compaction_threshold < 0.0 ? kDefaultCompactionThreshold

@@ -35,6 +35,15 @@ class ChtJoin final : public JoinAlgorithm {
 
     if (BuildAllocFailpoint()) return InjectedAllocError("build");
 
+    // Check-and-reject budget path: CHTJ's working set is one indivisible
+    // global CHT plus build-sized side arrays -- roughly 8 B dense tuple
+    // array + 8 B partition buffer + 8 B bucket_of + ~2 B bitmap per build
+    // tuple. Either that fits the budget or the join rejects up front.
+    MMJOIN_ASSIGN_OR_RETURN(
+        mem::BudgetReservation budget_hold,
+        mem::BudgetReservation::Acquire(config.budget, build.size() * 26,
+                                        "CHTJ concise hash table"));
+
     // Allocate + prefault all working memory before timing (buffer-manager
     // assumption, Section 5.1).
     hash::ConciseHashTable table(system, build.size(),

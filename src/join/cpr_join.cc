@@ -18,6 +18,7 @@
 #include "join/join_algorithm.h"
 #include "numa/system.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "partition/chunked.h"
 #include "partition/model.h"
 #include "thread/task_queue.h"
@@ -190,8 +191,55 @@ class CprJoin final : public JoinAlgorithm {
 
     const uint64_t domain =
         array ? InferKeyDomain(build, key_domain) : key_domain;
+
+    // Budget planning (docs/ROBUSTNESS.md "Memory budgets"): CPR has no
+    // two-pass mode, so degradation is bit escalation then spill waves.
+    // The reservation covers the whole run.
+    uint32_t wave_count = 1;
+    mem::BudgetReservation reservation;
+    if (config.budget != nullptr && config.budget->bounded()) {
+      partition::MemoryPlanInput plan_in;
+      plan_in.build_tuples = build.size();
+      plan_in.probe_tuples = probe.size();
+      plan_in.num_threads = num_threads;
+      plan_in.base_bits = std::max<uint32_t>(bits, 1);
+      plan_in.max_bits = std::max(
+          plan_in.base_bits,
+          std::min<uint32_t>(
+              24, std::max<uint32_t>(
+                      CeilLog2(std::max<uint64_t>(build.size(), 2)), 1)));
+      plan_in.bits_fixed = config.radix_bits != 0;
+      plan_in.scratch_total_bytes =
+          array ? partition::kArraySpace.bytes_per_tuple *
+                      static_cast<double>(std::max<uint64_t>(domain, 1))
+                : partition::kLinearSpace.bytes_per_tuple *
+                      static_cast<double>(build.size());
+      plan_in.budget_bytes = config.budget->budget_bytes();
+
+      const partition::MemoryPlan plan = partition::PlanMemoryBudget(plan_in);
+      if (!plan.feasible) {
+        return BudgetInfeasibleError(NameOf(id_), plan.planned_bytes,
+                                     plan_in.budget_bytes);
+      }
+      if (plan.replanned) mem::CountBudgetReplan();
+      bits = plan.radix_bits;
+      wave_count = plan.wave_count;
+      MMJOIN_ASSIGN_OR_RETURN(
+          reservation,
+          mem::BudgetReservation::Acquire(config.budget, plan.planned_bytes,
+                                          "CPR join working set"));
+    }
+    if (WaveBudgetFailpoint()) wave_count = std::max<uint32_t>(wave_count, 2);
+    if (wave_count > 1 && probe.empty()) wave_count = 1;
+
     const uint64_t partition_domain =
         domain == 0 ? 0 : CeilDiv(domain, uint64_t{1} << bits);
+
+    if (wave_count > 1) {
+      mem::CountBudgetWave();
+      return RunWaves(system, config, build, probe, partition_domain, bits,
+                      wave_count);
+    }
 
     if (PartitionAllocFailpoint()) return InjectedAllocError("partition");
     MMJOIN_ASSIGN_OR_RETURN(
@@ -297,6 +345,154 @@ class CprJoin final : public JoinAlgorithm {
   }
 
  private:
+  // Stage-2 degradation: the build side is chunk-partitioned once and stays
+  // resident; the probe side is processed in `wave_count` sequential spill
+  // waves, each chunk-partitioning ceil(|S| / wave_count) tuples into a
+  // reused wave buffer, re-seeding the queue, and joining against the
+  // resident R fragments. Scratch tables are constructed once and reused
+  // across waves. Per-wave results sum to the unbounded run's (matches,
+  // checksum) exactly -- the checksum is order-independent.
+  StatusOr<JoinResult> RunWaves(numa::NumaSystem* system,
+                                const JoinConfig& config, ConstTupleSpan build,
+                                ConstTupleSpan probe, uint64_t partition_domain,
+                                uint32_t bits, uint32_t wave_count) {
+    const int num_threads = config.num_threads;
+    const bool array = id_ == Algorithm::kCPRA;
+    const uint64_t wave_capacity =
+        CeilDiv(probe.size(), static_cast<uint64_t>(wave_count));
+
+    if (PartitionAllocFailpoint()) return InjectedAllocError("partition");
+    MMJOIN_ASSIGN_OR_RETURN(
+        numa::NumaBuffer<Tuple> r_out,
+        TryBuffer<Tuple>(system, build.size(),
+                         numa::Placement::kChunkedRoundRobin,
+                         "CPR R partition buffer"));
+    MMJOIN_ASSIGN_OR_RETURN(
+        numa::NumaBuffer<Tuple> s_wave,
+        TryBuffer<Tuple>(system, wave_capacity,
+                         numa::Placement::kChunkedRoundRobin,
+                         "CPR S wave buffer"));
+
+    partition::RadixOptions options;
+    options.fn = partition::RadixFn{0, bits};
+    options.use_swwcb = true;
+    options.num_threads = num_threads;
+    partition::ChunkedRadixPartitioner r_partitioner(
+        system, options, build, TupleSpan(r_out.data(), r_out.size()));
+    // Rebuilt by thread 0 at each wave head for that wave's probe slice.
+    // Both layouts share num_chunks == num_threads, which
+    // JoinChunkedPartitions requires for its chunk-sliced probe walk.
+    std::unique_ptr<partition::ChunkedRadixPartitioner> s_partitioner;
+
+    std::vector<ThreadStats> stats(num_threads);
+    int64_t partition_end = 0;
+    thread::Executor& executor = ExecutorOf(config);
+    std::unique_ptr<thread::ShardedTaskQueue> fallback_queue;
+    thread::ShardedTaskQueue* queue =
+        SelectJoinQueue(executor, *system, &fallback_queue);
+    SkewBuildSlots slots;
+    uint64_t max_r_partition = 0;
+    JoinAbort abort;
+    auto profiler = obs::MakeJoinProfiler(num_threads);
+    const int64_t start = NowNanos();
+
+    const Status dispatch_status = executor.Dispatch(
+        num_threads, [&](const thread::WorkerContext& ctx) {
+      const int tid = ctx.thread_id;
+      thread::Barrier& barrier = *ctx.barrier;
+      const int node =
+          system->topology().NodeOfThread(tid, num_threads);
+
+      {
+        obs::PhaseScope scope(profiler.get(), tid,
+                              obs::JoinPhase::kPartitionPass1);
+        r_partitioner.PartitionChunk(tid, node);
+        barrier.ArriveAndWait();
+      }
+      if (tid == 0) {
+        partition_end = NowNanos();
+        const auto& r_layout = r_partitioner.layout();
+        for (uint32_t p = 0; p < r_layout.num_partitions; ++p) {
+          max_r_partition =
+              std::max(max_r_partition, r_layout.PartitionSize(p));
+        }
+      }
+      // Unlike the single-shot path, the wave loop below has barriers, so a
+      // build-allocation failure must follow the check-before-barrier
+      // protocol: record it, arrive, and leave together.
+      if (BuildAllocFailpoint()) abort.Set(InjectedAllocError("build"));
+      barrier.ArriveAndWait();
+      if (abort.IsSet()) return;
+
+      const auto wave_loop = [&](auto& scratch) {
+        for (uint32_t w = 0; w < wave_count; ++w) {
+          obs::ObsScope wave_scope("budget.wave", obs::SpanKind::kOther);
+          uint64_t wave_size = 0;
+          if (tid == 0) {
+            const uint64_t wave_begin = probe.size() * w / wave_count;
+            wave_size = probe.size() * (w + 1) / wave_count - wave_begin;
+            s_partitioner =
+                std::make_unique<partition::ChunkedRadixPartitioner>(
+                    system, options,
+                    ConstTupleSpan(probe.data() + wave_begin, wave_size),
+                    TupleSpan(s_wave.data(), wave_size));
+            mem::CountBudgetWaveRound();
+          }
+          barrier.ArriveAndWait();
+
+          {
+            obs::PhaseScope scope(profiler.get(), tid,
+                                  obs::JoinPhase::kPartitionPass1);
+            s_partitioner->PartitionChunk(tid, node);
+            barrier.ArriveAndWait();
+          }
+
+          if (tid == 0) {
+            const Status seed_status =
+                SeedQueue(queue, &slots, system, config,
+                          s_partitioner->layout(), wave_size, num_threads);
+            if (!seed_status.ok()) abort.Set(seed_status);
+          }
+          barrier.ArriveAndWait();
+
+          if (!abort.IsSet()) {
+            JoinChunkedPartitions(system, tid, node, queue, &slots,
+                                  r_partitioner.layout(),
+                                  s_partitioner->layout(), r_out.data(),
+                                  s_wave.data(), partition_domain, bits,
+                                  config.build_unique, config.sink, &scratch,
+                                  &stats[tid], &abort, profiler.get());
+          }
+          // Wave-end barrier: all workers must be done with this wave's
+          // buffers and queue before thread 0 reconfigures them; aborts are
+          // published so everyone leaves together.
+          barrier.ArriveAndWait();
+          if (abort.IsSet()) return;
+        }
+      };
+      if (array) {
+        ArrayChunkScratch scratch(system, max_r_partition, partition_domain,
+                                  bits, node);
+        wave_loop(scratch);
+      } else {
+        LinearChunkScratch scratch(system, max_r_partition, partition_domain,
+                                   bits, node);
+        wave_loop(scratch);
+      }
+    });
+    MMJOIN_RETURN_IF_ERROR(dispatch_status);
+    FlushStealMetrics(*queue);
+    if (abort.IsSet()) return abort.status();
+
+    const int64_t end = NowNanos();
+    JoinResult result = ReduceStats(stats.data(), num_threads);
+    result.times.partition_ns = partition_end - start;
+    result.times.probe_ns = end - partition_end;
+    result.times.total_ns = end - start;
+    if (profiler != nullptr) result.profile = profiler->Finish();
+    return result;
+  }
+
   // Seeds the sharded queue for this run on thread 0 between barriers.
   // BeginRun comes first so a failed seed leaves the queue empty, not
   // stale. A chunked partition has no home node (its fragments are spread

@@ -14,6 +14,7 @@
 
 #include "join/join_algorithm.h"
 #include "join/join_defs.h"
+#include "mem/budget.h"
 #include "numa/system.h"
 #include "obs/metrics.h"
 #include "thread/executor.h"
@@ -182,6 +183,23 @@ inline Status InjectedAllocError(const char* phase) {
   return ResourceExhaustedError(
       std::string("injected allocation failure in ") + phase +
       " phase (failpoint alloc." + phase + ")");
+}
+
+// Forces the radix joins onto the spill-wave degradation path regardless of
+// the budget arithmetic, so tests can drive stage 2 deterministically (see
+// docs/ROBUSTNESS.md). Shared across the PR*/CPR* TUs like the alloc.*
+// failpoints above.
+inline bool WaveBudgetFailpoint() { return MMJOIN_FAILPOINT("budget.wave"); }
+
+// Stage-3 rejection: even maximum degradation (bit escalation, one pass,
+// kMaxSpillWaves) cannot fit the budget.
+inline Status BudgetInfeasibleError(const char* algorithm, uint64_t needed,
+                                    uint64_t budget) {
+  return ResourceExhaustedError(
+      std::string(algorithm) +
+      ": memory budget infeasible after all degradation stages (needs >= " +
+      std::to_string(needed) + " bytes, budget " + std::to_string(budget) +
+      ")");
 }
 
 // NumaBuffer::TryCreate with a phase-tagged error message.

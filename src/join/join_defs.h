@@ -17,6 +17,10 @@ namespace mmjoin::thread {
 class Executor;
 }  // namespace mmjoin::thread
 
+namespace mmjoin::mem {
+class BudgetTracker;
+}  // namespace mmjoin::mem
+
 namespace mmjoin::join {
 
 // The thirteen algorithms of the study, in the order of paper Table 2.
@@ -157,16 +161,31 @@ struct JoinConfig {
   // threads are spawned per join. core::Joiner points this at its own
   // persistent executor.
   thread::Executor* executor = nullptr;
+  // Per-join memory budget in bytes. nullopt = unbounded. When set (and no
+  // tracker is supplied below), RunJoin creates a run-local
+  // mem::BudgetTracker for the duration of the join. The PR*/CPR* family
+  // degrades gracefully under a tight budget (re-plan radix bits / passes,
+  // then sequential spill waves); the other algorithms check-and-reject with
+  // ResourceExhausted. See docs/ROBUSTNESS.md "Memory budgets".
+  std::optional<uint64_t> mem_budget_bytes;
+  // Externally owned tracker (e.g. a per-tenant budget shared by several
+  // joins). Takes precedence over mem_budget_bytes. Not owned.
+  mem::BudgetTracker* budget = nullptr;
 
   // Rejects configurations the kernels cannot execute safely: thread counts
   // outside [1, kMaxThreads], radix bits above kMaxRadixBits, more than two
-  // partitioning passes, and relation sizes whose partition buffers would
-  // overflow size_t arithmetic. Checked by RunJoin before any allocation.
+  // partitioning passes, relation sizes whose partition buffers would
+  // overflow size_t arithmetic, and explicit budgets below one partition
+  // buffer. Checked by RunJoin before any allocation.
   Status Validate(uint64_t build_size, uint64_t probe_size) const;
 
   static constexpr int kMaxThreads = 1024;
   static constexpr uint32_t kMaxRadixBits = 27;
   static constexpr uint64_t kMaxRelationSize = 1ull << 40;
+  // Smallest explicit budget Validate accepts: one mmap-class partition
+  // buffer (mem::TryAllocateAligned's mmap threshold). Anything smaller
+  // cannot hold even a single wave's scratch space.
+  static constexpr uint64_t kMinMemBudgetBytes = 1ull << 20;
 };
 
 }  // namespace mmjoin::join

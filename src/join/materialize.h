@@ -13,8 +13,10 @@
 #include <vector>
 
 #include "join/join_defs.h"
+#include "mem/budget.h"
 #include "obs/trace.h"
 #include "util/macros.h"
+#include "util/status.h"
 #include "util/types.h"
 
 namespace mmjoin::join {
@@ -40,6 +42,10 @@ class JoinIndexSink final : public MatchSink {
   explicit JoinIndexSink(int num_threads)
       : per_thread_(CheckedThreadCount(num_threads)) {}
 
+  ~JoinIndexSink() override {
+    if (budget_ != nullptr) budget_->Release(budget_reserved_bytes_);
+  }
+
   // Optional: pre-reserve per-thread capacity when the match count is
   // predictable (e.g. FK joins: |S| matches).
   void Reserve(uint64_t expected_total) {
@@ -47,6 +53,22 @@ class JoinIndexSink final : public MatchSink {
     for (auto& local : per_thread_) {
       local.reserve(expected_total / per_thread_.size() + 16);
     }
+  }
+
+  // Budgeted variant: charges the expected index bytes against `budget`
+  // before reserving. The tracker must outlive the sink (the destructor
+  // releases the reservation). A null or unbounded tracker degrades to the
+  // plain Reserve above.
+  Status Reserve(uint64_t expected_total, mem::BudgetTracker* budget) {
+    if (budget != nullptr && budget->bounded()) {
+      const uint64_t bytes = expected_total * sizeof(MatchedPair);
+      MMJOIN_RETURN_IF_ERROR(
+          budget->Reserve(bytes, "join index materialization"));
+      budget_ = budget;
+      budget_reserved_bytes_ += bytes;
+    }
+    Reserve(expected_total);
+    return OkStatus();
   }
 
   void Consume(int tid, Tuple build, Tuple probe) override {
@@ -99,6 +121,8 @@ class JoinIndexSink final : public MatchSink {
   }
 
   std::vector<std::vector<MatchedPair>> per_thread_;
+  mem::BudgetTracker* budget_ = nullptr;  // single-owner: borrowed, not owned
+  uint64_t budget_reserved_bytes_ = 0;    // single-owner: set pre-join only
 };
 
 // Streams matches into a caller-provided callback under a per-thread

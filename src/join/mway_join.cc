@@ -98,6 +98,18 @@ class MwayJoin final : public JoinAlgorithm {
     const uint32_t num_partitions = fn.num_partitions();
 
     if (PartitionAllocFailpoint()) return InjectedAllocError("partition");
+
+    // Check-and-reject budget path: MWAY materializes both relations into
+    // partition buffers (8 B/tuple) plus packed sort buffers and merge
+    // scratch (8 B/tuple each) -- 24 B per input tuple total. The sort/merge
+    // pipeline needs all of it live at once, so there is no graceful
+    // degradation stage for MWAY.
+    MMJOIN_ASSIGN_OR_RETURN(
+        mem::BudgetReservation budget_hold,
+        mem::BudgetReservation::Acquire(
+            config.budget, (build.size() + probe.size()) * 24,
+            "MWAY partition + sort buffers"));
+
     MMJOIN_ASSIGN_OR_RETURN(
         numa::NumaBuffer<Tuple> r_part,
         TryBuffer<Tuple>(system, build.size(),

@@ -13,13 +13,17 @@
 #include "join/internal.h"
 #include "join/join_algorithm.h"
 #include "numa/system.h"
+#include "partition/model.h"
 #include "thread/thread_team.h"
 #include "util/timer.h"
 
 namespace mmjoin::join::internal {
 namespace {
 
-// TableOps adapts the two table flavours to one code path.
+// TableOps adapts the two table flavours to one code path. TableBytes is
+// the check-and-reject budget estimate: NOP has one indivisible global
+// table, so there is no graceful degradation -- either the table fits the
+// budget or the join reports ResourceExhausted up front.
 struct LinearOps {
   using Table = hash::LinearProbingTable<hash::IdentityHash>;
   static std::unique_ptr<Table> Make(numa::NumaSystem* system,
@@ -27,6 +31,11 @@ struct LinearOps {
                                      uint64_t key_domain) {
     return std::make_unique<Table>(system, build.size(),
                                    numa::Placement::kInterleavedPages);
+  }
+  static uint64_t TableBytes(ConstTupleSpan build, uint64_t key_domain) {
+    return static_cast<uint64_t>(
+        partition::kLinearSpace.bytes_per_tuple *
+        static_cast<double>(build.size()));
   }
 };
 
@@ -39,6 +48,11 @@ struct ArrayOps {
                                    InferKeyDomain(build, key_domain),
                                    /*key_shift=*/0,
                                    numa::Placement::kInterleavedPages);
+  }
+  static uint64_t TableBytes(ConstTupleSpan build, uint64_t key_domain) {
+    return static_cast<uint64_t>(
+        partition::kArraySpace.bytes_per_tuple *
+        static_cast<double>(InferKeyDomain(build, key_domain)));
   }
 };
 
@@ -59,6 +73,15 @@ class NopFamilyJoin final : public JoinAlgorithm {
     // algorithm uniformly.
     if (PartitionAllocFailpoint()) return InjectedAllocError("partition");
     if (BuildAllocFailpoint()) return InjectedAllocError("build");
+
+    // Check-and-reject budget path: reserve the global table's estimated
+    // footprint for the duration of the run (released when `budget_hold`
+    // leaves scope with the table).
+    MMJOIN_ASSIGN_OR_RETURN(
+        mem::BudgetReservation budget_hold,
+        mem::BudgetReservation::Acquire(config.budget,
+                                        Ops::TableBytes(build, key_domain),
+                                        "NOP global hash table"));
 
     // Working memory is allocated and prefaulted before timing starts: the
     // paper assumes a buffer manager has faulted pages in already

@@ -23,6 +23,7 @@
 #include "join/join_algorithm.h"
 #include "numa/system.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "partition/model.h"
 #include "partition/radix.h"
 #include "thread/task_queue.h"
@@ -282,6 +283,75 @@ class PrJoin final : public JoinAlgorithm {
     if (config.num_passes == 1) two_pass = false;
     if (config.num_passes == 2) two_pass = true;
 
+    // Budget planning (docs/ROBUSTNESS.md "Memory budgets"): decide up
+    // front how this run fits its budget -- escalate radix bits, drop
+    // two-pass to one-pass, split the probe side into spill waves -- and
+    // reserve the planned working set for the whole run. The reservation
+    // lives until Run returns, so concurrent budgeted joins on a shared
+    // tracker are admitted against each other.
+    uint32_t wave_count = 1;
+    mem::BudgetReservation reservation;
+    if (config.budget != nullptr && config.budget->bounded()) {
+      partition::MemoryPlanInput plan_in;
+      plan_in.build_tuples = build.size();
+      plan_in.probe_tuples = probe.size();
+      plan_in.num_threads = num_threads;
+      plan_in.base_bits = std::max<uint32_t>(total_bits, 1);
+      plan_in.max_bits = std::max(
+          plan_in.base_bits,
+          std::min<uint32_t>(
+              24, std::max<uint32_t>(
+                      CeilLog2(std::max<uint64_t>(build.size(), 2)), 1)));
+      plan_in.bits_fixed = config.radix_bits != 0;
+      plan_in.scratch_total_bytes =
+          spec_.table == TableKind::kArray
+              ? partition::kArraySpace.bytes_per_tuple *
+                    static_cast<double>(std::max<uint64_t>(domain, 1))
+              : SpaceOf(spec_.table).bytes_per_tuple *
+                    static_cast<double>(build.size());
+      plan_in.fixed_overhead_bytes =
+          two_pass ? (build.size() + probe.size()) * sizeof(Tuple) : 0;
+      plan_in.budget_bytes = config.budget->budget_bytes();
+
+      partition::MemoryPlan plan = partition::PlanMemoryBudget(plan_in);
+      if (two_pass && (plan.wave_count > 1 || !plan.feasible)) {
+        // Stage 1 (passes): one-pass frees the pass-1 mid buffers. Spill
+        // waves require the single-pass partition index layout, so this
+        // always precedes stage 2.
+        two_pass = false;
+        plan_in.fixed_overhead_bytes = 0;
+        plan = partition::PlanMemoryBudget(plan_in);
+        mem::CountBudgetReplan();
+      }
+      if (!plan.feasible) {
+        return BudgetInfeasibleError(NameOf(id_), plan.planned_bytes,
+                                     plan_in.budget_bytes);
+      }
+      if (plan.replanned) mem::CountBudgetReplan();
+      total_bits = plan.radix_bits;
+      wave_count = plan.wave_count;
+      MMJOIN_ASSIGN_OR_RETURN(
+          reservation,
+          mem::BudgetReservation::Acquire(config.budget, plan.planned_bytes,
+                                          "PR join working set"));
+    }
+
+    // Failpoint: force the spill-wave path (budget or not) so tests drive
+    // stage 2 deterministically.
+    if (WaveBudgetFailpoint()) {
+      if (two_pass) {
+        two_pass = false;
+        mem::CountBudgetReplan();
+      }
+      wave_count = std::max<uint32_t>(wave_count, 2);
+    }
+    if (wave_count > 1 && probe.empty()) wave_count = 1;
+
+    if (wave_count > 1) {
+      mem::CountBudgetWave();
+      return RunOnePassWaves(system, config, build, probe, domain, total_bits,
+                             wave_count);
+    }
     return two_pass ? RunTwoPass(system, config, build, probe, domain,
                                  total_bits)
                     : RunOnePass(system, config, build, probe, domain,
@@ -369,6 +439,142 @@ class PrJoin final : public JoinAlgorithm {
                    s_layout, r_out.data(), s_out.data(), domain, total_bits,
                    config.build_unique, config.sink, &stats[tid], &abort,
                    profiler.get());
+    });
+    MMJOIN_RETURN_IF_ERROR(dispatch_status);
+    FlushStealMetrics(*queue);
+    if (abort.IsSet()) return abort.status();
+
+    const int64_t end = NowNanos();
+    JoinResult result = ReduceStats(stats.data(), num_threads);
+    result.times.partition_ns = partition_end - start;
+    result.times.probe_ns = end - partition_end;
+    result.times.total_ns = end - start;
+    if (profiler != nullptr) result.profile = profiler->Finish();
+    return result;
+  }
+
+  // Stage-2 degradation: single-pass radix join with the probe side
+  // processed in `wave_count` sequential spill waves. R is partitioned once
+  // and stays resident; only ceil(|S| / wave_count) probe tuples occupy
+  // partition-buffer memory at any time (the wave buffer is reused). Each
+  // wave radix-partitions its probe slice, re-seeds the task queue, and runs
+  // the normal co-partition join phase, so per-wave match counts/checksums
+  // sum to exactly the unbounded run's results (the checksum is
+  // order-independent).
+  StatusOr<JoinResult> RunOnePassWaves(numa::NumaSystem* system,
+                                       const JoinConfig& config,
+                                       ConstTupleSpan build,
+                                       ConstTupleSpan probe, uint64_t domain,
+                                       uint32_t total_bits,
+                                       uint32_t wave_count) {
+    const int num_threads = config.num_threads;
+    const uint64_t wave_capacity =
+        CeilDiv(probe.size(), static_cast<uint64_t>(wave_count));
+
+    if (PartitionAllocFailpoint()) return InjectedAllocError("partition");
+    MMJOIN_ASSIGN_OR_RETURN(
+        numa::NumaBuffer<Tuple> r_out,
+        TryBuffer<Tuple>(system, build.size(),
+                         numa::Placement::kChunkedRoundRobin,
+                         "PR R partition buffer"));
+    MMJOIN_ASSIGN_OR_RETURN(
+        numa::NumaBuffer<Tuple> s_wave,
+        TryBuffer<Tuple>(system, wave_capacity,
+                         numa::Placement::kChunkedRoundRobin,
+                         "PR S wave buffer"));
+
+    partition::RadixOptions options;
+    options.fn = partition::RadixFn{0, total_bits};
+    options.use_swwcb = spec_.use_swwcb;
+    options.num_threads = num_threads;
+    partition::GlobalRadixPartitioner r_partitioner(
+        system, options, build, TupleSpan(r_out.data(), r_out.size()));
+    // Rebuilt by thread 0 at each wave head for that wave's probe slice.
+    std::unique_ptr<partition::GlobalRadixPartitioner> s_partitioner;
+
+    std::vector<ThreadStats> stats(num_threads);
+    int64_t partition_end = 0;
+    thread::Executor& executor = ExecutorOf(config);
+    std::unique_ptr<thread::ShardedTaskQueue> fallback_queue;
+    thread::ShardedTaskQueue* queue =
+        SelectJoinQueue(executor, *system, &fallback_queue);
+    SkewBuildSlots slots;
+    FinalLayout r_layout, s_layout;
+    JoinAbort abort;
+    auto profiler = obs::MakeJoinProfiler(num_threads);
+    const int64_t start = NowNanos();
+
+    const Status dispatch_status = executor.Dispatch(
+        num_threads, [&](const thread::WorkerContext& ctx) {
+      const int tid = ctx.thread_id;
+      thread::Barrier& barrier = *ctx.barrier;
+      const int node =
+          system->topology().NodeOfThread(tid, num_threads);
+
+      // Partition R once; it stays resident across all waves.
+      {
+        obs::PhaseScope scope(profiler.get(), tid,
+                              obs::JoinPhase::kPartitionPass1);
+        r_partitioner.BuildHistogram(tid);
+        barrier.ArriveAndWait();
+        if (tid == 0) r_partitioner.ComputeOffsets();
+        barrier.ArriveAndWait();
+        r_partitioner.Scatter(tid, node);
+        barrier.ArriveAndWait();
+      }
+      if (tid == 0) {
+        partition_end = NowNanos();
+        r_layout = FromSinglePass(r_partitioner.layout());
+      }
+      // No barrier needed here: only thread 0 touches r_layout until the
+      // first wave barrier below publishes it.
+
+      for (uint32_t w = 0; w < wave_count; ++w) {
+        obs::ObsScope wave_scope("budget.wave", obs::SpanKind::kOther);
+        uint64_t wave_size = 0;
+        if (tid == 0) {
+          const uint64_t wave_begin = probe.size() * w / wave_count;
+          wave_size = probe.size() * (w + 1) / wave_count - wave_begin;
+          s_partitioner = std::make_unique<partition::GlobalRadixPartitioner>(
+              system, options,
+              ConstTupleSpan(probe.data() + wave_begin, wave_size),
+              TupleSpan(s_wave.data(), wave_size));
+          mem::CountBudgetWaveRound();
+        }
+        barrier.ArriveAndWait();
+
+        {
+          obs::PhaseScope scope(profiler.get(), tid,
+                                obs::JoinPhase::kPartitionPass1);
+          s_partitioner->BuildHistogram(tid);
+          barrier.ArriveAndWait();
+          if (tid == 0) s_partitioner->ComputeOffsets();
+          barrier.ArriveAndWait();
+          s_partitioner->Scatter(tid, node);
+          barrier.ArriveAndWait();
+        }
+
+        if (tid == 0) {
+          s_layout = FromSinglePass(s_partitioner->layout());
+          const Status seed_status = SeedQueue(
+              queue, &slots, system, config, s_layout, wave_size, num_threads);
+          if (!seed_status.ok()) abort.Set(seed_status);
+        }
+        barrier.ArriveAndWait();
+
+        if (!abort.IsSet()) {
+          RunJoinPhase(system, tid, node, num_threads, queue, &slots,
+                       r_layout, s_layout, r_out.data(), s_wave.data(),
+                       domain, total_bits, config.build_unique, config.sink,
+                       &stats[tid], &abort, profiler.get());
+        }
+        // Wave-end barrier: every worker must be done with this wave's
+        // buffers and queue before thread 0 reconfigures them -- and any
+        // abort (injected build/probe failure included) is published to all
+        // workers so they leave the wave loop together.
+        barrier.ArriveAndWait();
+        if (abort.IsSet()) return;
+      }
     });
     MMJOIN_RETURN_IF_ERROR(dispatch_status);
     FlushStealMetrics(*queue);

@@ -5,6 +5,7 @@
 
 #include "join/join_algorithm.h"
 #include "join/join_defs.h"
+#include "mem/budget.h"
 #include "obs/metrics.h"
 #include "util/failpoint.h"
 #include "util/macros.h"
@@ -93,6 +94,19 @@ Status JoinConfig::Validate(uint64_t build_size, uint64_t probe_size) const {
         "relation sizes (" + std::to_string(build_size) + ", " +
         std::to_string(probe_size) + ") exceed the supported maximum 2^40");
   }
+  if (mem_budget_bytes.has_value()) {
+    if (*mem_budget_bytes == 0) {
+      return InvalidArgumentError(
+          "mem_budget_bytes=0: a zero memory budget cannot admit any "
+          "allocation (omit the budget for unbounded)");
+    }
+    if (*mem_budget_bytes < kMinMemBudgetBytes) {
+      return InvalidArgumentError(
+          "mem_budget_bytes=" + std::to_string(*mem_budget_bytes) +
+          " is below the minimum " + std::to_string(kMinMemBudgetBytes) +
+          " (one mmap-class partition buffer)");
+    }
+  }
   return OkStatus();
 }
 
@@ -108,6 +122,14 @@ StatusOr<JoinResult> RunJoin(Algorithm algorithm, numa::NumaSystem* system,
         "(failpoint alloc.materialize)");
   }
   const std::unique_ptr<JoinAlgorithm> join = CreateJoin(algorithm);
+  if (config.budget == nullptr && config.mem_budget_bytes.has_value()) {
+    // Run-local budget: lives exactly as long as this join's buffers.
+    mem::BudgetTracker tracker(*config.mem_budget_bytes);
+    JoinConfig budgeted = config;
+    budgeted.budget = &tracker;
+    return join->Run(system, budgeted, build.cspan(), probe.cspan(),
+                     build.key_domain());
+  }
   return join->Run(system, config, build.cspan(), probe.cspan(),
                    build.key_domain());
 }

@@ -38,12 +38,30 @@ struct AtomicAllocStats {
   std::atomic<uint64_t> mmap_failures{0};
   std::atomic<uint64_t> injected_failures{0};
   std::atomic<uint64_t> numa_degradations{0};
+  std::atomic<uint64_t> current_bytes{0};
+  std::atomic<uint64_t> peak_bytes{0};
 };
 
 AtomicAllocStats g_alloc_stats;
 
 void Bump(std::atomic<uint64_t>& counter) {
   counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Resident-byte accounting: fetch_add then CAS-raise the high-water mark.
+// Relaxed orders -- these are statistics, not synchronization.
+void AddResident(std::size_t bytes) {
+  const uint64_t now =
+      g_alloc_stats.current_bytes.fetch_add(bytes, std::memory_order_relaxed) +
+      bytes;
+  uint64_t peak = g_alloc_stats.peak_bytes.load(std::memory_order_relaxed);
+  while (now > peak && !g_alloc_stats.peak_bytes.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void SubResident(std::size_t bytes) {
+  g_alloc_stats.current_bytes.fetch_sub(bytes, std::memory_order_relaxed);
 }
 
 const obs::MetricsProviderRegistration kAllocProvider(
@@ -63,6 +81,8 @@ const obs::MetricsProviderRegistration kAllocProvider(
           obs::Metric{"alloc.injected_failures", stats.injected_failures});
       metrics->push_back(
           obs::Metric{"alloc.numa_degradations", stats.numa_degradations});
+      metrics->push_back(obs::Metric{"mem.current_bytes", stats.current_bytes});
+      metrics->push_back(obs::Metric{"mem.peak_bytes", stats.peak_bytes});
     });
 
 }  // namespace
@@ -83,6 +103,9 @@ AllocStats GetAllocStats() {
       g_alloc_stats.injected_failures.load(std::memory_order_relaxed);
   out.numa_degradations =
       g_alloc_stats.numa_degradations.load(std::memory_order_relaxed);
+  out.current_bytes =
+      g_alloc_stats.current_bytes.load(std::memory_order_relaxed);
+  out.peak_bytes = g_alloc_stats.peak_bytes.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -94,6 +117,14 @@ void ResetAllocStats() {
   g_alloc_stats.mmap_failures.store(0, std::memory_order_relaxed);
   g_alloc_stats.injected_failures.store(0, std::memory_order_relaxed);
   g_alloc_stats.numa_degradations.store(0, std::memory_order_relaxed);
+  g_alloc_stats.current_bytes.store(0, std::memory_order_relaxed);
+  g_alloc_stats.peak_bytes.store(0, std::memory_order_relaxed);
+}
+
+void ResetPeakResident() {
+  g_alloc_stats.peak_bytes.store(
+      g_alloc_stats.current_bytes.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
 }
 
 void CountNumaDegradation() { Bump(g_alloc_stats.numa_degradations); }
@@ -155,6 +186,7 @@ StatusOr<void*> TryAllocateAligned(std::size_t bytes, std::size_t alignment,
     auto* tag = reinterpret_cast<MmapTag*>(user_addr - sizeof(MmapTag));
     tag->base = raw;
     tag->length = length;
+    AddResident(bytes);
     return user;
   }
 #endif  // __linux__
@@ -169,6 +201,7 @@ StatusOr<void*> TryAllocateAligned(std::size_t bytes, std::size_t alignment,
                                   std::to_string(bytes) + " bytes failed");
   }
   std::memset(ptr, 0, bytes);
+  AddResident(bytes);
   return ptr;
 }
 
@@ -180,6 +213,7 @@ void* AllocateAligned(std::size_t bytes, std::size_t alignment,
 
 void FreeAligned(void* ptr, std::size_t bytes) {
   if (ptr == nullptr) return;
+  SubResident(bytes);
 #if defined(__linux__)
   if (bytes >= kMmapThreshold) {
     auto* tag = reinterpret_cast<MmapTag*>(

@@ -38,10 +38,22 @@ struct AllocStats {
   uint64_t mmap_failures = 0;        // real mmap/posix_memalign failures
   uint64_t injected_failures = 0;    // failpoint-triggered failures
   uint64_t numa_degradations = 0;    // NUMA placement unavailable -> local
+  uint64_t current_bytes = 0;        // bytes allocated and not yet freed
+  uint64_t peak_bytes = 0;           // high-water mark of current_bytes
 };
 
 AllocStats GetAllocStats();
 void ResetAllocStats();
+
+// Resets the resident high-water mark to the current resident level (keeps
+// current_bytes intact). Callers measuring one join's peak bracket the run
+// with ResetPeakResident() + GetAllocStats().peak_bytes.
+//
+// Accounting caveat: a zero-byte allocation is normalized to `alignment`
+// bytes internally, but FreeAligned only sees the caller's original size, so
+// zero-byte alloc/free pairs drift current_bytes up by the alignment. Peak
+// measurements of real joins (which never allocate zero bytes) are exact.
+void ResetPeakResident();
 
 // Bumps the NUMA-degradation counter (called by numa::NumaSystem when a
 // requested placement cannot be honored and is downgraded to local).

@@ -1,0 +1,125 @@
+#include "mem/budget.h"
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/failpoint.h"
+
+namespace mmjoin::mem {
+namespace {
+
+struct AtomicBudgetStats {
+  std::atomic<uint64_t> reservations{0};
+  std::atomic<uint64_t> rejections{0};
+  std::atomic<uint64_t> replans{0};
+  std::atomic<uint64_t> waves{0};
+  std::atomic<uint64_t> wave_rounds{0};
+};
+
+AtomicBudgetStats g_budget_stats;
+
+void Bump(std::atomic<uint64_t>& counter) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+const obs::MetricsProviderRegistration kBudgetProvider(
+    "budget", [](std::vector<obs::Metric>* metrics) {
+      const BudgetStats stats = GetBudgetStats();
+      metrics->push_back(
+          obs::Metric{"mem.budget_reservations", stats.reservations});
+      metrics->push_back(
+          obs::Metric{"mem.budget_rejections", stats.rejections});
+      metrics->push_back(obs::Metric{"mem.budget_replans", stats.replans});
+      metrics->push_back(obs::Metric{"mem.budget_waves", stats.waves});
+      metrics->push_back(
+          obs::Metric{"mem.budget_wave_rounds", stats.wave_rounds});
+    });
+
+}  // namespace
+
+BudgetStats GetBudgetStats() {
+  BudgetStats out;
+  out.reservations = g_budget_stats.reservations.load(std::memory_order_relaxed);
+  out.rejections = g_budget_stats.rejections.load(std::memory_order_relaxed);
+  out.replans = g_budget_stats.replans.load(std::memory_order_relaxed);
+  out.waves = g_budget_stats.waves.load(std::memory_order_relaxed);
+  out.wave_rounds = g_budget_stats.wave_rounds.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ResetBudgetStats() {
+  g_budget_stats.reservations.store(0, std::memory_order_relaxed);
+  g_budget_stats.rejections.store(0, std::memory_order_relaxed);
+  g_budget_stats.replans.store(0, std::memory_order_relaxed);
+  g_budget_stats.waves.store(0, std::memory_order_relaxed);
+  g_budget_stats.wave_rounds.store(0, std::memory_order_relaxed);
+}
+
+void CountBudgetReplan() { Bump(g_budget_stats.replans); }
+void CountBudgetWave() { Bump(g_budget_stats.waves); }
+void CountBudgetWaveRound() { Bump(g_budget_stats.wave_rounds); }
+
+Status BudgetTracker::Reserve(uint64_t bytes, const char* what) {
+  if (MMJOIN_FAILPOINT("budget.reserve")) {
+    Bump(g_budget_stats.rejections);
+    return ResourceExhaustedError(
+        "injected budget reservation failure (failpoint budget.reserve, " +
+        std::string(what) + ", " + std::to_string(bytes) + " bytes)");
+  }
+
+  if (!bounded()) {
+    const uint64_t now =
+        reserved_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    UpdatePeak(now);
+    Bump(g_budget_stats.reservations);
+    return OkStatus();
+  }
+
+  // CAS admission: concurrent reservations may interleave, but the sum of
+  // admitted bytes never exceeds the budget.
+  uint64_t current = reserved_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (bytes > budget_bytes_ || current > budget_bytes_ - bytes) {
+      Bump(g_budget_stats.rejections);
+      return ResourceExhaustedError(
+          "memory budget exceeded reserving " + std::string(what) + ": need " +
+          std::to_string(bytes) + " bytes, " + std::to_string(current) +
+          " of " + std::to_string(budget_bytes_) + " already reserved");
+    }
+    if (reserved_.compare_exchange_weak(current, current + bytes,
+                                        std::memory_order_relaxed)) {
+      UpdatePeak(current + bytes);
+      Bump(g_budget_stats.reservations);
+      return OkStatus();
+    }
+  }
+}
+
+void BudgetTracker::Release(uint64_t bytes) {
+  reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+uint64_t BudgetTracker::available_bytes() const {
+  if (!bounded()) return std::numeric_limits<uint64_t>::max();
+  const uint64_t now = reserved_.load(std::memory_order_relaxed);
+  return now >= budget_bytes_ ? 0 : budget_bytes_ - now;
+}
+
+void BudgetTracker::UpdatePeak(uint64_t now) {
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+StatusOr<BudgetReservation> BudgetReservation::Acquire(BudgetTracker* tracker,
+                                                       uint64_t bytes,
+                                                       const char* what) {
+  if (tracker == nullptr) return BudgetReservation();
+  MMJOIN_RETURN_IF_ERROR(tracker->Reserve(bytes, what));
+  return BudgetReservation(tracker, bytes);
+}
+
+}  // namespace mmjoin::mem

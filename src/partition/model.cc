@@ -88,4 +88,100 @@ uint32_t PredictRadixBits(uint64_t build_tuples, TableSpaceSpec table,
   return std::clamp<uint32_t>(rounded, 1, 24);
 }
 
+namespace {
+
+// Scratch floor: even a tiny partition costs one page-ish of table space.
+constexpr uint64_t kMinScratchBytes = 4096;
+// Skew headroom: the largest partition can exceed the average; plan for
+// double so admitted plans survive moderate skew without re-reserving.
+constexpr double kSkewHeadroom = 2.0;
+
+uint64_t WaveProbeBytes(uint64_t probe_tuples, uint32_t waves) {
+  if (waves <= 1 || probe_tuples == 0) {
+    return probe_tuples * sizeof(Tuple);
+  }
+  return CeilDiv(probe_tuples, static_cast<uint64_t>(waves)) * sizeof(Tuple);
+}
+
+// Full working-set estimate at (bits, waves): fixed overhead + the R
+// partition output + the resident slice of the S partition output + every
+// worker's scratch table.
+uint64_t PlannedBytes(const MemoryPlanInput& in, uint32_t bits,
+                      uint32_t waves) {
+  return in.fixed_overhead_bytes + in.build_tuples * sizeof(Tuple) +
+         WaveProbeBytes(in.probe_tuples, waves) +
+         static_cast<uint64_t>(in.num_threads) *
+             BudgetScratchBytesPerWorker(in.scratch_total_bytes, bits);
+}
+
+}  // namespace
+
+uint64_t BudgetScratchBytesPerWorker(double scratch_total_bytes,
+                                     uint32_t radix_bits) {
+  const double per_partition =
+      scratch_total_bytes / static_cast<double>(uint64_t{1} << radix_bits);
+  const double with_headroom = per_partition * kSkewHeadroom;
+  if (with_headroom < static_cast<double>(kMinScratchBytes)) {
+    return kMinScratchBytes;
+  }
+  return static_cast<uint64_t>(with_headroom);
+}
+
+MemoryPlan PlanMemoryBudget(const MemoryPlanInput& in) {
+  MMJOIN_CHECK(in.num_threads >= 1);
+  MMJOIN_CHECK(in.base_bits >= 1 && in.base_bits <= in.max_bits);
+
+  MemoryPlan plan;
+  plan.radix_bits = in.base_bits;
+  plan.planned_bytes = PlannedBytes(in, plan.radix_bits, 1);
+  if (in.budget_bytes == 0 || plan.planned_bytes <= in.budget_bytes) {
+    return plan;  // unbounded, or the cache model's plan already fits
+  }
+
+  // Stage 1: escalate radix bits -- each extra bit halves the per-worker
+  // scratch table. (The caller separately drops two-pass to one-pass by
+  // re-planning with fixed_overhead_bytes = 0.)
+  if (!in.bits_fixed) {
+    // Stop as soon as an extra bit stops shrinking the plan (the scratch
+    // term has hit its kMinScratchBytes floor): escalating further buys no
+    // memory and only fragments the partitions.
+    while (plan.radix_bits < in.max_bits &&
+           PlannedBytes(in, plan.radix_bits, 1) > in.budget_bytes &&
+           PlannedBytes(in, plan.radix_bits + 1, 1) <
+               PlannedBytes(in, plan.radix_bits, 1)) {
+      ++plan.radix_bits;
+      plan.replanned = true;
+    }
+    plan.planned_bytes = PlannedBytes(in, plan.radix_bits, 1);
+    if (plan.planned_bytes <= in.budget_bytes) return plan;
+  }
+
+  // Stage 2: spill waves. Everything but the probe-side partition output is
+  // irreducibly resident; the probe side shrinks by 1/W.
+  const uint64_t resident = PlannedBytes(in, plan.radix_bits, 1) -
+                            WaveProbeBytes(in.probe_tuples, 1);
+  if (resident >= in.budget_bytes || in.probe_tuples == 0) {
+    plan.feasible = false;
+    plan.planned_bytes = resident;
+    return plan;
+  }
+  const uint64_t wave_budget = in.budget_bytes - resident;
+  const uint64_t wave_tuples = wave_budget / sizeof(Tuple);
+  if (wave_tuples == 0) {
+    plan.feasible = false;
+    plan.planned_bytes = resident + sizeof(Tuple);
+    return plan;
+  }
+  const uint64_t waves = CeilDiv(in.probe_tuples, wave_tuples);
+  if (waves > kMaxSpillWaves) {
+    plan.feasible = false;
+    plan.planned_bytes = resident + WaveProbeBytes(in.probe_tuples, kMaxSpillWaves);
+    return plan;
+  }
+  plan.wave_count = static_cast<uint32_t>(waves);
+  plan.planned_bytes = PlannedBytes(in, plan.radix_bits, plan.wave_count);
+  MMJOIN_CHECK(plan.planned_bytes <= in.budget_bytes);
+  return plan;
+}
+
 }  // namespace mmjoin::partition

@@ -173,20 +173,15 @@ numa::NumaBuffer<Tuple> FilterProbe(numa::NumaSystem* system,
   return probe;
 }
 
-exec::PipelineStats RunPipelineOrDie(exec::Pipeline* pipeline,
-                                     numa::NumaSystem* system,
-                                     const exec::PipelineConfig& config) {
-  StatusOr<exec::PipelineStats> stats = pipeline->Run(system, config);
-  MMJOIN_CHECK(stats.ok());
-  return *stats;
-}
-
 }  // namespace
 
-Q19Result RunQ19(numa::NumaSystem* system, const LineitemTable& lineitem,
-                 const PartTable& part, join::Algorithm algorithm,
-                 int num_threads, Q19Strategy strategy,
-                 thread::Executor* executor, double compaction_threshold) {
+StatusOr<Q19Result> TryRunQ19(numa::NumaSystem* system,
+                              const LineitemTable& lineitem,
+                              const PartTable& part, join::Algorithm algorithm,
+                              int num_threads, Q19Strategy strategy,
+                              thread::Executor* executor,
+                              double compaction_threshold,
+                              std::optional<uint64_t> mem_budget_bytes) {
   Q19Result result;
   const int64_t start = NowNanos();
 
@@ -194,6 +189,7 @@ Q19Result RunQ19(numa::NumaSystem* system, const LineitemTable& lineitem,
   config.num_threads = num_threads;
   config.executor = executor;
   config.compaction_threshold = compaction_threshold;
+  config.mem_budget_bytes = mem_budget_bytes;
 
   exec::TupleScan scan(
       ConstTupleSpan(lineitem.l_partkey(), lineitem.num_tuples()));
@@ -209,8 +205,8 @@ Q19Result RunQ19(numa::NumaSystem* system, const LineitemTable& lineitem,
   if (strategy == Q19Strategy::kPipelined) {
     exec::Pipeline pipeline(&scan, {&pre_filter, &join_probe, &post_filter},
                             &aggregate);
-    const exec::PipelineStats stats =
-        RunPipelineOrDie(&pipeline, system, config);
+    exec::PipelineStats stats;
+    MMJOIN_ASSIGN_OR_RETURN(stats, pipeline.Run(system, config));
     aggregate.Fold(&result);
     result.filtered_rows = stats.pre_join_rows;
     result.join_matches = stats.join_matches;
@@ -221,8 +217,8 @@ Q19Result RunQ19(numa::NumaSystem* system, const LineitemTable& lineitem,
     // pipeline over the gathered index.
     exec::JoinIndexMaterialize index;
     exec::Pipeline join_pipeline(&scan, {&pre_filter, &join_probe}, &index);
-    const exec::PipelineStats join_stats =
-        RunPipelineOrDie(&join_pipeline, system, config);
+    exec::PipelineStats join_stats;
+    MMJOIN_ASSIGN_OR_RETURN(join_stats, join_pipeline.Run(system, config));
     result.filtered_rows = join_stats.pre_join_rows;
     result.join_matches = join_stats.join_matches;
     result.filter_ns = join_stats.pre_join_ns;
@@ -230,7 +226,7 @@ Q19Result RunQ19(numa::NumaSystem* system, const LineitemTable& lineitem,
     const std::vector<join::MatchedPair> pairs = index.Gather();
     exec::JoinIndexScan index_scan(&pairs);
     exec::Pipeline post_pipeline(&index_scan, {&post_filter}, &aggregate);
-    RunPipelineOrDie(&post_pipeline, system, config);
+    MMJOIN_RETURN_IF_ERROR(post_pipeline.Run(system, config).status());
     aggregate.Fold(&result);
   }
 
@@ -240,6 +236,17 @@ Q19Result RunQ19(numa::NumaSystem* system, const LineitemTable& lineitem,
   result.total_ns = NowNanos() - start;
   result.join_ns = result.total_ns - result.filter_ns;
   return result;
+}
+
+Q19Result RunQ19(numa::NumaSystem* system, const LineitemTable& lineitem,
+                 const PartTable& part, join::Algorithm algorithm,
+                 int num_threads, Q19Strategy strategy,
+                 thread::Executor* executor, double compaction_threshold) {
+  StatusOr<Q19Result> result =
+      TryRunQ19(system, lineitem, part, algorithm, num_threads, strategy,
+                executor, compaction_threshold);
+  MMJOIN_CHECK(result.ok());
+  return *std::move(result);
 }
 
 Q19MorphResult RunQ19Morph(numa::NumaSystem* system,

@@ -22,11 +22,13 @@
 #define MMJOIN_TPCH_Q19_H_
 
 #include <cstdint>
+#include <optional>
 
 #include "join/join_defs.h"
 #include "numa/system.h"
 #include "thread/executor.h"
 #include "tpch/tables.h"
+#include "util/status.h"
 
 namespace mmjoin::tpch {
 
@@ -65,6 +67,18 @@ Q19Result RunQ19(numa::NumaSystem* system, const LineitemTable& lineitem,
                  Q19Strategy strategy = Q19Strategy::kPipelined,
                  thread::Executor* executor = nullptr,
                  double compaction_threshold = -1.0);
+
+// Status-propagating variant of RunQ19: pipeline failures (injected
+// allocation faults, budget rejections) surface as a Status instead of
+// aborting the process. RunQ19 is a CHECK-wrapper around this. The optional
+// `mem_budget_bytes` is forwarded to the embedded join
+// (exec::PipelineConfig::mem_budget_bytes semantics).
+StatusOr<Q19Result> TryRunQ19(
+    numa::NumaSystem* system, const LineitemTable& lineitem,
+    const PartTable& part, join::Algorithm algorithm, int num_threads,
+    Q19Strategy strategy = Q19Strategy::kPipelined,
+    thread::Executor* executor = nullptr, double compaction_threshold = -1.0,
+    std::optional<uint64_t> mem_budget_bytes = std::nullopt);
 
 // Appendix G morphing steps, all with the NOP join:
 //  step 1: naked join on pre-filtered, pre-materialized inputs

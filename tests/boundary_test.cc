@@ -165,6 +165,59 @@ TEST(Boundary, JoinerHandlesAllDuplicateBuildKeys) {
   }
 }
 
+// Memory-budget validation boundaries: zero and sub-minimum budgets are
+// configuration errors (InvalidArgument, caught before any work), at both
+// the per-join config and the Joiner-options level; the minimum itself is
+// accepted.
+TEST(Boundary, MemBudgetValidationLimits) {
+  workload::Relation build(System(), 1024);
+  workload::Relation probe(System(), 4096);
+  for (uint64_t i = 0; i < build.size(); ++i) {
+    build.data()[i] = Tuple{static_cast<uint32_t>(i),
+                            static_cast<uint32_t>(i)};
+  }
+  for (uint64_t i = 0; i < probe.size(); ++i) {
+    probe.data()[i] = Tuple{static_cast<uint32_t>(i % 1024),
+                            static_cast<uint32_t>(i)};
+  }
+  build.set_key_domain(1024);
+  probe.set_key_domain(1024);
+
+  join::JoinConfig zero;
+  zero.mem_budget_bytes = 0;
+  EXPECT_EQ(join::RunJoin(join::Algorithm::kPRO, System(), zero, build, probe)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  join::JoinConfig tiny;
+  tiny.mem_budget_bytes = join::JoinConfig::kMinMemBudgetBytes - 1;
+  EXPECT_EQ(join::RunJoin(join::Algorithm::kPRO, System(), tiny, build, probe)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  join::JoinConfig minimum;
+  minimum.mem_budget_bytes = join::JoinConfig::kMinMemBudgetBytes;
+  EXPECT_TRUE(
+      join::RunJoin(join::Algorithm::kPRO, System(), minimum, build, probe)
+          .ok());
+
+  core::JoinerOptions zero_opts;
+  zero_opts.mem_budget_bytes = 0;
+  EXPECT_EQ(core::Joiner::Create(zero_opts).status().code(),
+            StatusCode::kInvalidArgument);
+
+  core::JoinerOptions tiny_opts;
+  tiny_opts.mem_budget_bytes = 1024;
+  EXPECT_EQ(core::Joiner::Create(tiny_opts).status().code(),
+            StatusCode::kInvalidArgument);
+
+  core::JoinerOptions min_opts;
+  min_opts.mem_budget_bytes = join::JoinConfig::kMinMemBudgetBytes;
+  EXPECT_TRUE(core::Joiner::Create(min_opts).ok());
+}
+
 // Drives the CHT three-phase parallel build protocol directly (outside
 // CHTJ): threads mark disjoint group-aligned regions, one thread
 // finalizes, then parallel placement.

@@ -1,0 +1,409 @@
+// Per-join memory budget tests (docs/ROBUSTNESS.md "Memory budgets"):
+// BudgetTracker admission control, the PlanMemoryBudget degradation ladder
+// (re-plan bits -> spill waves -> reject), peak-resident accounting, and the
+// differential contract -- every algorithm produces bit-identical match
+// counts and checksums under a budget, or rejects with a clean
+// ResourceExhausted when its working set is indivisible.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "join/join_algorithm.h"
+#include "join/join_defs.h"
+#include "mem/aligned_alloc.h"
+#include "mem/budget.h"
+#include "numa/system.h"
+#include "partition/model.h"
+#include "util/failpoint.h"
+#include "util/status.h"
+#include "workload/generator.h"
+
+namespace mmjoin {
+namespace {
+
+// ---------------------------------------------------------------------------
+// BudgetTracker / BudgetReservation units
+// ---------------------------------------------------------------------------
+
+TEST(BudgetTracker, UnboundedAdmitsEverythingButStillAccounts) {
+  mem::BudgetTracker tracker;  // budget 0 == unbounded
+  EXPECT_FALSE(tracker.bounded());
+  ASSERT_TRUE(tracker.Reserve(1ull << 40, "huge").ok());
+  EXPECT_EQ(tracker.reserved_bytes(), 1ull << 40);
+  tracker.Release(1ull << 40);
+  EXPECT_EQ(tracker.reserved_bytes(), 0u);
+  // Peak survives the release: it reports the plan-level working set.
+  EXPECT_EQ(tracker.peak_reserved_bytes(), 1ull << 40);
+}
+
+TEST(BudgetTracker, BoundedRejectsOvercommitAndRecovers) {
+  mem::BudgetTracker tracker(1000);
+  EXPECT_TRUE(tracker.bounded());
+  ASSERT_TRUE(tracker.Reserve(600, "first").ok());
+  EXPECT_EQ(tracker.available_bytes(), 400u);
+
+  const Status denied = tracker.Reserve(600, "second");
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.code(), StatusCode::kResourceExhausted);
+  // The message names the claimant and the budget state.
+  EXPECT_NE(denied.message().find("second"), std::string::npos);
+  EXPECT_EQ(tracker.reserved_bytes(), 600u);  // failed reserve charged nothing
+
+  tracker.Release(600);
+  EXPECT_TRUE(tracker.Reserve(1000, "exact fit").ok());
+  EXPECT_EQ(tracker.available_bytes(), 0u);
+  tracker.Release(1000);
+}
+
+TEST(BudgetTracker, OversizedSingleRequestRejectedEvenWhenEmpty) {
+  mem::BudgetTracker tracker(100);
+  EXPECT_EQ(tracker.Reserve(101, "too big").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(tracker.reserved_bytes(), 0u);
+}
+
+TEST(BudgetReservation, RaiiReleasesOnScopeExit) {
+  mem::BudgetTracker tracker(4096);
+  {
+    auto reservation =
+        mem::BudgetReservation::Acquire(&tracker, 4096, "scoped");
+    ASSERT_TRUE(reservation.ok());
+    EXPECT_EQ(reservation->bytes(), 4096u);
+    EXPECT_EQ(tracker.reserved_bytes(), 4096u);
+  }
+  EXPECT_EQ(tracker.reserved_bytes(), 0u);
+}
+
+TEST(BudgetReservation, MoveTransfersOwnershipAndReleaseIsIdempotent) {
+  mem::BudgetTracker tracker(4096);
+  auto first = mem::BudgetReservation::Acquire(&tracker, 1024, "a");
+  ASSERT_TRUE(first.ok());
+  mem::BudgetReservation moved = *std::move(first);
+  EXPECT_EQ(tracker.reserved_bytes(), 1024u);
+  moved.Release();
+  moved.Release();  // idempotent
+  EXPECT_EQ(tracker.reserved_bytes(), 0u);
+}
+
+TEST(BudgetReservation, NullTrackerYieldsEmptyReservation) {
+  auto reservation =
+      mem::BudgetReservation::Acquire(nullptr, 1ull << 30, "unbudgeted");
+  ASSERT_TRUE(reservation.ok());
+  EXPECT_TRUE(reservation->empty());
+  EXPECT_EQ(reservation->bytes(), 0u);
+}
+
+TEST(BudgetStats, CountersTrackReservationsAndRejections) {
+  mem::ResetBudgetStats();
+  mem::BudgetTracker tracker(100);
+  ASSERT_TRUE(tracker.Reserve(100, "fits").ok());
+  EXPECT_FALSE(tracker.Reserve(1, "denied").ok());
+  tracker.Release(100);
+  const mem::BudgetStats stats = mem::GetBudgetStats();
+  EXPECT_EQ(stats.reservations, 1u);
+  EXPECT_EQ(stats.rejections, 1u);
+}
+
+TEST(BudgetStats, ReserveFailpointInjectsRejection) {
+  failpoint::DeactivateAll();
+  mem::ResetBudgetStats();
+  ASSERT_TRUE(failpoint::Configure("budget.reserve=once").ok());
+  mem::BudgetTracker tracker(1ull << 30);
+  const Status injected = tracker.Reserve(1, "victim");
+  ASSERT_FALSE(injected.ok());
+  EXPECT_EQ(injected.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(injected.message().find("injected"), std::string::npos);
+  EXPECT_EQ(tracker.reserved_bytes(), 0u);
+  // Disarmed after firing: the retry is admitted.
+  EXPECT_TRUE(tracker.Reserve(1, "victim").ok());
+  EXPECT_EQ(mem::GetBudgetStats().rejections, 1u);
+  tracker.Release(1);
+  failpoint::DeactivateAll();
+}
+
+// ---------------------------------------------------------------------------
+// PlanMemoryBudget: the degradation ladder
+// ---------------------------------------------------------------------------
+
+partition::MemoryPlanInput BaseInput() {
+  partition::MemoryPlanInput in;
+  in.build_tuples = 1u << 20;
+  in.probe_tuples = 1u << 23;
+  in.num_threads = 4;
+  in.base_bits = 10;
+  in.max_bits = 20;
+  in.scratch_total_bytes = 16.0 * static_cast<double>(in.build_tuples);
+  return in;
+}
+
+TEST(PlanMemoryBudget, UnboundedKeepsBasePlan) {
+  const partition::MemoryPlan plan = partition::PlanMemoryBudget(BaseInput());
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_FALSE(plan.replanned);
+  EXPECT_EQ(plan.radix_bits, 10u);
+  EXPECT_EQ(plan.wave_count, 1u);
+}
+
+TEST(PlanMemoryBudget, AmplePlanAdmittedUnchanged) {
+  partition::MemoryPlanInput in = BaseInput();
+  in.budget_bytes = 1ull << 32;
+  const partition::MemoryPlan plan = partition::PlanMemoryBudget(in);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_FALSE(plan.replanned);
+  EXPECT_EQ(plan.wave_count, 1u);
+  EXPECT_LE(plan.planned_bytes, in.budget_bytes);
+}
+
+TEST(PlanMemoryBudget, Stage1EscalatesRadixBits) {
+  partition::MemoryPlanInput in = BaseInput();
+  // Just below the base plan: one extra bit's worth of scratch shrink
+  // suffices, so the plan degrades without waves.
+  const uint64_t base =
+      partition::PlanMemoryBudget(BaseInput()).planned_bytes;
+  in.budget_bytes = base - 1;
+  const partition::MemoryPlan plan = partition::PlanMemoryBudget(in);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_TRUE(plan.replanned);
+  EXPECT_GT(plan.radix_bits, in.base_bits);
+  EXPECT_EQ(plan.wave_count, 1u);
+  EXPECT_LE(plan.planned_bytes, in.budget_bytes);
+}
+
+TEST(PlanMemoryBudget, Stage1RespectsFixedBits) {
+  partition::MemoryPlanInput in = BaseInput();
+  in.bits_fixed = true;
+  in.budget_bytes =
+      partition::PlanMemoryBudget(BaseInput()).planned_bytes - 1;
+  const partition::MemoryPlan plan = partition::PlanMemoryBudget(in);
+  EXPECT_EQ(plan.radix_bits, in.base_bits);  // never escalated
+  // The budget shortfall must be absorbed by waves instead.
+  EXPECT_GT(plan.wave_count, 1u);
+}
+
+TEST(PlanMemoryBudget, Stage2SpillsProbeSideInWaves) {
+  partition::MemoryPlanInput in = BaseInput();
+  // Too small for the whole probe side, ample for everything else.
+  const uint64_t probe_bytes = in.probe_tuples * sizeof(Tuple);
+  in.budget_bytes = probe_bytes / 4 + in.build_tuples * sizeof(Tuple) +
+                    4 * (1u << 20);
+  const partition::MemoryPlan plan = partition::PlanMemoryBudget(in);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_GT(plan.wave_count, 1u);
+  EXPECT_LE(plan.wave_count, partition::kMaxSpillWaves);
+  EXPECT_LE(plan.planned_bytes, in.budget_bytes);
+}
+
+TEST(PlanMemoryBudget, InfeasibleWhenResidentSetExceedsBudget) {
+  partition::MemoryPlanInput in = BaseInput();
+  in.budget_bytes = in.build_tuples * sizeof(Tuple) / 2;  // < R alone
+  const partition::MemoryPlan plan = partition::PlanMemoryBudget(in);
+  EXPECT_FALSE(plan.feasible);
+  // planned_bytes reports the best-effort minimum so the error can say how
+  // much would have been needed.
+  EXPECT_GT(plan.planned_bytes, in.budget_bytes);
+}
+
+TEST(PlanMemoryBudget, InfeasibleBeyondWaveCap) {
+  partition::MemoryPlanInput in = BaseInput();
+  // Leaves room for less than 1/kMaxSpillWaves of the probe side above the
+  // resident set, so the wave ladder runs out.
+  const uint64_t resident =
+      partition::PlanMemoryBudget(BaseInput()).planned_bytes -
+      in.probe_tuples * sizeof(Tuple);
+  in.budget_bytes = resident +
+                    in.probe_tuples * sizeof(Tuple) /
+                        (2 * partition::kMaxSpillWaves);
+  const partition::MemoryPlan plan = partition::PlanMemoryBudget(in);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(PlanMemoryBudget, EscalationStopsAtScratchFloor) {
+  partition::MemoryPlanInput in = BaseInput();
+  in.budget_bytes = 1;  // unsatisfiable: exercises the full ladder
+  const partition::MemoryPlan plan = partition::PlanMemoryBudget(in);
+  EXPECT_FALSE(plan.feasible);
+  // Bits stop escalating once another bit no longer shrinks the plan --
+  // well before max_bits for this scratch size.
+  EXPECT_LT(plan.radix_bits, in.max_bits);
+}
+
+// ---------------------------------------------------------------------------
+// Peak-resident accounting (mem.current_bytes / mem.peak_bytes)
+// ---------------------------------------------------------------------------
+
+TEST(PeakResident, AllocationRaisesPeakFreeLowersCurrent) {
+  mem::ResetPeakResident();
+  const mem::AllocStats before = mem::GetAllocStats();
+  constexpr uint64_t kBytes = 4u << 20;  // mmap-class
+  void* ptr =
+      mem::AllocateAligned(kBytes, kCacheLineSize, mem::PagePolicy::kDefault);
+  ASSERT_NE(ptr, nullptr);
+  const mem::AllocStats held = mem::GetAllocStats();
+  EXPECT_GE(held.current_bytes, before.current_bytes + kBytes);
+  EXPECT_GE(held.peak_bytes, before.current_bytes + kBytes);
+  mem::FreeAligned(ptr, kBytes);
+  const mem::AllocStats after = mem::GetAllocStats();
+  EXPECT_EQ(after.current_bytes, held.current_bytes - kBytes);
+  EXPECT_EQ(after.peak_bytes, held.peak_bytes);  // peak survives the free
+
+  mem::ResetPeakResident();
+  EXPECT_EQ(mem::GetAllocStats().peak_bytes, after.current_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: all thirteen algorithms under shrinking budgets
+// ---------------------------------------------------------------------------
+
+class BudgetDifferentialTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kBuild = 65536;
+  static constexpr uint64_t kProbe = 400000;
+
+  void SetUp() override {
+    failpoint::DeactivateAll();
+    build_ = workload::MakeDenseBuild(System(), kBuild, 7).value();
+    probe_ = workload::MakeUniformProbe(System(), kProbe, kBuild, 8).value();
+  }
+  void TearDown() override { failpoint::DeactivateAll(); }
+
+  static numa::NumaSystem* System() {
+    static auto* system = new numa::NumaSystem(4);
+    return system;
+  }
+
+  // Runs `algorithm` with an explicit tracker and returns the result plus
+  // the tracker's peak reservation (the measured plan-level working set).
+  StatusOr<join::JoinResult> RunWithBudget(join::Algorithm algorithm,
+                                           uint64_t budget_bytes,
+                                           uint64_t* peak_out = nullptr) {
+    mem::BudgetTracker tracker(budget_bytes);
+    join::JoinConfig config;
+    config.num_threads = 4;
+    config.budget = &tracker;
+    auto result = join::RunJoin(algorithm, System(), config, build_, probe_);
+    if (peak_out != nullptr) *peak_out = tracker.peak_reserved_bytes();
+    return result;
+  }
+
+  workload::Relation build_;
+  workload::Relation probe_;
+};
+
+// PR*/CPR* degrade gracefully and stay bit-identical; the indivisible-table
+// algorithms (NOP*, CHTJ, MWAY) either fit or reject cleanly. Budgets are
+// fractions of each algorithm's own measured (plan-level) unbounded peak,
+// clamped to the configurable minimum.
+TEST_F(BudgetDifferentialTest, AllAlgorithmsBitIdenticalOrCleanlyRejected) {
+  for (const join::Algorithm algorithm : join::AllAlgorithms()) {
+    // Measure: a budget far above any plan admits without degradation.
+    uint64_t peak = 0;
+    const auto baseline =
+        RunWithBudget(algorithm, uint64_t{1} << 40, &peak);
+    ASSERT_TRUE(baseline.ok())
+        << join::NameOf(algorithm) << ": " << baseline.status().ToString();
+    ASSERT_GT(peak, 0u) << join::NameOf(algorithm)
+                        << " reserved nothing against a bounded tracker";
+
+    for (const double fraction : {0.5, 0.15}) {
+      const uint64_t budget = std::max<uint64_t>(
+          static_cast<uint64_t>(static_cast<double>(peak) * fraction),
+          join::JoinConfig::kMinMemBudgetBytes);
+      const std::size_t live_before = System()->num_live_regions();
+      mem::ResetBudgetStats();
+      const auto constrained = RunWithBudget(algorithm, budget);
+      if (constrained.ok()) {
+        EXPECT_EQ(constrained.value().matches, baseline.value().matches)
+            << join::NameOf(algorithm) << " fraction=" << fraction;
+        EXPECT_EQ(constrained.value().checksum, baseline.value().checksum)
+            << join::NameOf(algorithm) << " fraction=" << fraction;
+      } else {
+        // Only the indivisible-working-set algorithms may reject.
+        EXPECT_EQ(constrained.status().code(),
+                  StatusCode::kResourceExhausted)
+            << join::NameOf(algorithm) << " fraction=" << fraction;
+        EXPECT_TRUE(algorithm == join::Algorithm::kNOP ||
+                    algorithm == join::Algorithm::kNOPA ||
+                    algorithm == join::Algorithm::kCHTJ ||
+                    algorithm == join::Algorithm::kMWAY)
+            << join::NameOf(algorithm)
+            << " must degrade gracefully, not reject; "
+            << constrained.status().ToString();
+        EXPECT_GE(mem::GetBudgetStats().rejections, 1u)
+            << join::NameOf(algorithm);
+      }
+      EXPECT_EQ(System()->num_live_regions(), live_before)
+          << join::NameOf(algorithm) << " leaked a region at fraction "
+          << fraction;
+    }
+  }
+}
+
+// The 15% budget must push every partition-based algorithm into spill-wave
+// mode (the probe side alone exceeds the budget), observable through the
+// mem.budget_* counters.
+TEST_F(BudgetDifferentialTest, TightBudgetEngagesWaveModeForPartitionJoins) {
+  for (const join::Algorithm algorithm : join::AllAlgorithms()) {
+    const auto join_class = join::InfoOf(algorithm).join_class;
+    if (join_class != join::JoinClass::kPartitionBased) continue;
+
+    uint64_t peak = 0;
+    const auto baseline =
+        RunWithBudget(algorithm, uint64_t{1} << 40, &peak);
+    ASSERT_TRUE(baseline.ok()) << join::NameOf(algorithm);
+
+    const uint64_t budget = std::max<uint64_t>(
+        static_cast<uint64_t>(static_cast<double>(peak) * 0.15),
+        join::JoinConfig::kMinMemBudgetBytes);
+    mem::ResetBudgetStats();
+    const auto constrained = RunWithBudget(algorithm, budget);
+    ASSERT_TRUE(constrained.ok())
+        << join::NameOf(algorithm) << " failed at 15%: "
+        << constrained.status().ToString();
+    EXPECT_EQ(constrained.value().checksum, baseline.value().checksum)
+        << join::NameOf(algorithm);
+
+    const mem::BudgetStats stats = mem::GetBudgetStats();
+    EXPECT_GE(stats.waves, 1u)
+        << join::NameOf(algorithm) << " never entered wave mode at 15%";
+    EXPECT_GE(stats.wave_rounds, 2u)
+        << join::NameOf(algorithm) << " wave mode ran fewer than 2 rounds";
+    EXPECT_EQ(stats.reservations, 1u) << join::NameOf(algorithm);
+  }
+}
+
+// budget.wave forces the spill-wave path with no budget pressure at all:
+// results must still be bit-identical (wave decomposition is exact, not an
+// approximation).
+TEST_F(BudgetDifferentialTest, ForcedWaveModeIsBitIdentical) {
+  for (const join::Algorithm algorithm : join::AllAlgorithms()) {
+    if (join::InfoOf(algorithm).join_class !=
+        join::JoinClass::kPartitionBased) {
+      continue;
+    }
+    join::JoinConfig config;
+    config.num_threads = 4;
+    const auto baseline =
+        join::RunJoin(algorithm, System(), config, build_, probe_);
+    ASSERT_TRUE(baseline.ok()) << join::NameOf(algorithm);
+
+    mem::ResetBudgetStats();
+    ASSERT_TRUE(failpoint::Configure("budget.wave=always").ok());
+    const auto waved =
+        join::RunJoin(algorithm, System(), config, build_, probe_);
+    failpoint::DeactivateAll();
+    ASSERT_TRUE(waved.ok())
+        << join::NameOf(algorithm) << ": " << waved.status().ToString();
+    EXPECT_EQ(waved.value().matches, baseline.value().matches)
+        << join::NameOf(algorithm);
+    EXPECT_EQ(waved.value().checksum, baseline.value().checksum)
+        << join::NameOf(algorithm);
+    EXPECT_GE(mem::GetBudgetStats().wave_rounds, 2u)
+        << join::NameOf(algorithm);
+  }
+}
+
+}  // namespace
+}  // namespace mmjoin

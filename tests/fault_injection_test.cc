@@ -12,6 +12,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -19,7 +21,11 @@
 #include "join/join_algorithm.h"
 #include "join/materialize.h"
 #include "mem/aligned_alloc.h"
+#include "mem/budget.h"
 #include "thread/executor.h"
+#include "tpch/generator.h"
+#include "tpch/q19.h"
+#include "tpch/tables.h"
 #include "util/failpoint.h"
 #include "util/status.h"
 #include "workload/generator.h"
@@ -181,6 +187,170 @@ TEST_F(JoinFaultTest, AllocatorLevelFaultPropagates) {
   const auto recovered = joiner_.Run(join::Algorithm::kPRO, build_, probe_);
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
   EXPECT_EQ(recovered.value().matches, probe_.size());
+}
+
+// An injected budget-reservation failure must surface exactly like a real
+// one -- a clean ResourceExhausted, no leaked regions -- in every algorithm,
+// and the same joiner must run cleanly right afterwards (budgets are
+// per-run, so no state lingers).
+TEST_F(JoinFaultTest, BudgetReserveFaultFailsCleanlyEverywhere) {
+  join::JoinConfig config;
+  config.mem_budget_bytes = uint64_t{1} << 30;  // ample: only the fault fails
+  for (const join::Algorithm algorithm : join::AllAlgorithms()) {
+    const std::size_t live_before = joiner_.system()->num_live_regions();
+    ASSERT_TRUE(failpoint::Configure("budget.reserve=once").ok());
+
+    const auto failed = joiner_.Run(algorithm, config, build_, probe_);
+    ASSERT_FALSE(failed.ok())
+        << join::NameOf(algorithm) << " ignored budget.reserve";
+    EXPECT_EQ(failed.status().code(), StatusCode::kResourceExhausted)
+        << join::NameOf(algorithm);
+    EXPECT_EQ(joiner_.system()->num_live_regions(), live_before)
+        << join::NameOf(algorithm) << " leaked a region";
+
+    const auto recovered = joiner_.Run(algorithm, config, build_, probe_);
+    ASSERT_TRUE(recovered.ok())
+        << join::NameOf(algorithm) << ": " << recovered.status().ToString();
+    EXPECT_EQ(recovered.value().matches, probe_.size())
+        << join::NameOf(algorithm);
+  }
+}
+
+// Each degradation edge fires deterministically: stage 1 (re-plan) from a
+// budget just under the measured plan, stage 2 (waves) from the budget.wave
+// failpoint, rejection from budget.reserve.
+TEST_F(JoinFaultTest, EveryDegradationEdgeFiresDeterministically) {
+  join::JoinConfig config;
+
+  // Re-plan edge: PRB's two-pass plan cannot fit just under its own peak,
+  // so it must drop to one pass (counted as a replan).
+  {
+    mem::BudgetTracker measure(uint64_t{1} << 40);
+    join::JoinConfig measured = config;
+    measured.budget = &measure;
+    ASSERT_TRUE(join::RunJoin(join::Algorithm::kPRB, joiner_.system(),
+                              measured, build_, probe_)
+                    .ok());
+    mem::ResetBudgetStats();
+    mem::BudgetTracker tight(measure.peak_reserved_bytes() - 1);
+    join::JoinConfig degraded = config;
+    degraded.budget = &tight;
+    const auto result = join::RunJoin(join::Algorithm::kPRB, joiner_.system(),
+                                      degraded, build_, probe_);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value().matches, probe_.size());
+    EXPECT_GE(mem::GetBudgetStats().replans, 1u);
+  }
+
+  // Wave edge: budget.wave forces the spill path with no budget at all.
+  {
+    mem::ResetBudgetStats();
+    ASSERT_TRUE(failpoint::Configure("budget.wave=always").ok());
+    const auto result = joiner_.Run(join::Algorithm::kPRO, config, build_,
+                                    probe_);
+    failpoint::DeactivateAll();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value().matches, probe_.size());
+    const mem::BudgetStats stats = mem::GetBudgetStats();
+    EXPECT_GE(stats.waves, 1u);
+    EXPECT_GE(stats.wave_rounds, 2u);
+  }
+
+  // Reject edge: an indivisible working set larger than the budget.
+  {
+    mem::ResetBudgetStats();
+    mem::BudgetTracker tiny(1024);  // below any table estimate
+    join::JoinConfig rejected = config;
+    rejected.budget = &tiny;
+    const auto result = join::RunJoin(join::Algorithm::kNOP, joiner_.system(),
+                                      rejected, build_, probe_);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_GE(mem::GetBudgetStats().rejections, 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection through the exec:: pipeline (TPC-H Q19)
+// ---------------------------------------------------------------------------
+
+class PipelineFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::DeactivateAll();
+    tpch::GeneratorOptions options;
+    options.lineitem_rows = 200000;
+    options.part_rows = 10000;
+    options.seed = 11;
+    lineitem_ = std::make_unique<tpch::LineitemTable>(
+        tpch::GenerateLineitem(System(), options));
+    part_ = std::make_unique<tpch::PartTable>(
+        tpch::GeneratePart(System(), options));
+  }
+  void TearDown() override { failpoint::DeactivateAll(); }
+
+  static numa::NumaSystem* System() {
+    static auto* system = new numa::NumaSystem(4);
+    return system;
+  }
+
+  std::unique_ptr<tpch::LineitemTable> lineitem_;
+  std::unique_ptr<tpch::PartTable> part_;
+};
+
+// An allocation fault inside the embedded join must surface as a clean
+// Status from the whole pipeline -- both reconstruction strategies, every
+// phase -- and the immediately following run must produce the reference
+// revenue.
+TEST_F(PipelineFaultTest, JoinAllocFaultsSurfaceCleanlyInBothStrategies) {
+  const double reference = tpch::Q19Reference(*lineitem_, *part_);
+  for (const tpch::Q19Strategy strategy :
+       {tpch::Q19Strategy::kPipelined, tpch::Q19Strategy::kJoinIndex}) {
+    for (const char* spec :
+         {"alloc.partition=once", "alloc.build=once", "alloc.probe=once"}) {
+      ASSERT_TRUE(failpoint::Configure(spec).ok());
+      const auto failed = tpch::TryRunQ19(System(), *lineitem_, *part_,
+                                          join::Algorithm::kCPRL,
+                                          /*num_threads=*/4, strategy);
+      ASSERT_FALSE(failed.ok()) << spec;
+      EXPECT_EQ(failed.status().code(), StatusCode::kResourceExhausted)
+          << spec << ": " << failed.status().ToString();
+      failpoint::DeactivateAll();
+
+      const auto recovered = tpch::TryRunQ19(System(), *lineitem_, *part_,
+                                             join::Algorithm::kCPRL,
+                                             /*num_threads=*/4, strategy);
+      ASSERT_TRUE(recovered.ok()) << spec << ": "
+                                  << recovered.status().ToString();
+      EXPECT_NEAR(recovered.value().revenue, reference,
+                  std::abs(reference) * 1e-9)
+          << spec;
+    }
+  }
+}
+
+// A budget rejection inside the pipeline's join propagates the same way: a
+// clean Status, then full recovery (the per-run tracker leaves no state).
+TEST_F(PipelineFaultTest, BudgetRejectionPropagatesThroughPipeline) {
+  ASSERT_TRUE(failpoint::Configure("budget.reserve=once").ok());
+  const auto failed = tpch::TryRunQ19(
+      System(), *lineitem_, *part_, join::Algorithm::kNOP, /*num_threads=*/4,
+      tpch::Q19Strategy::kPipelined, /*executor=*/nullptr,
+      /*compaction_threshold=*/-1.0,
+      /*mem_budget_bytes=*/uint64_t{1} << 30);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kResourceExhausted);
+  failpoint::DeactivateAll();
+
+  const auto recovered = tpch::TryRunQ19(
+      System(), *lineitem_, *part_, join::Algorithm::kNOP, /*num_threads=*/4,
+      tpch::Q19Strategy::kPipelined, /*executor=*/nullptr,
+      /*compaction_threshold=*/-1.0,
+      /*mem_budget_bytes=*/uint64_t{1} << 30);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_NEAR(recovered.value().revenue,
+              tpch::Q19Reference(*lineitem_, *part_),
+              std::abs(recovered.value().revenue) * 1e-9 + 1e-9);
 }
 
 // ---------------------------------------------------------------------------
