@@ -7,18 +7,27 @@
 //   ./run_join --join=PRO --profile                # per-phase breakdown
 //   ./run_join --join=PRO --trace=trace.json       # Perfetto-loadable trace
 //   ./run_join --join=PRO --metrics=metrics.json   # counters snapshot
-//   ./run_join --join=PRO --mem-budget=16777216    # 16 MiB join budget
+//   ./run_join --join=PRO --explain                # EXPLAIN ANALYZE report
+//   ./run_join --join=PRO --explain-json=report.json   # + mmjoin.report.v1
+//   ./run_join --join=PRO --listen=9178            # serve /metrics scrapes
+//   ./run_join --join=PRO --dump-metrics=m.prom    # exposition on SIGUSR1
 //   ./run_join --list
 //
 // The memory budget can also come from the MMJOIN_MEM_BUDGET environment
 // variable (bytes); the --mem-budget flag wins when both are set.
+// --listen keeps the process alive after the join so a scraper (curl,
+// Prometheus) can poll http://host:PORT/metrics; terminate with SIGINT/kill.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
+#include "core/explain.h"
 #include "core/mmjoin.h"
 #include "obs/metrics.h"
 #include "obs/phase_profile.h"
+#include "obs/stats_server.h"
 #include "obs/trace.h"
 #include "util/cli.h"
 #include "util/table_printer.h"
@@ -107,10 +116,37 @@ int main(int argc, char** argv) {
   const std::string trace_path = cli.GetString("trace", "");
   const std::string metrics_path = cli.GetString("metrics", "");
   const bool profile = cli.Has("profile");
+  const bool explain = cli.Has("explain");
+  const std::string explain_json = cli.GetString("explain-json", "");
+  const int listen_port = static_cast<int>(cli.GetInt("listen", -1));
+  const bool listen = listen_port >= 0;
+  const std::string dump_metrics = cli.GetString("dump-metrics", "");
 
   // Any observability output requested -> record spans and phase profiles.
-  if (profile || !trace_path.empty() || !metrics_path.empty()) {
+  if (profile || explain || listen || !trace_path.empty() ||
+      !metrics_path.empty() || !explain_json.empty()) {
     obs::Enable();
+  }
+
+  obs::StatsServer stats_server;
+  if (listen) {
+    const Status status = stats_server.Start(listen_port);
+    if (!status.ok()) {
+      std::fprintf(stderr, "stats server failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[mmjoin] serving metrics on http://0.0.0.0:%d"
+                         "/metrics\n",
+                 stats_server.port());
+  }
+  if (cli.Has("dump-metrics")) {
+    const Status status = obs::InstallSigusr1ExpositionDump(dump_metrics);
+    if (!status.ok()) {
+      std::fprintf(stderr, "SIGUSR1 dump install failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
   }
 
   numa::NumaSystem system(static_cast<int>(cli.GetInt("nodes", 4)));
@@ -156,6 +192,13 @@ int main(int argc, char** argv) {
   // --repeat=N: keep the fastest run (same rule for every repeat, so the
   // printed numbers stay comparable across invocations); profiles come from
   // that run too.
+  // --explain: counter deltas bracket the measurement loop, so the report
+  // narrates exactly what this invocation's runs did.
+  std::map<std::string, uint64_t> counters_before;
+  if (explain || !explain_json.empty()) {
+    counters_before = obs::MetricsRegistry::Get().SnapshotMap();
+  }
+
   join::JoinResult result;
   for (int i = 0; i < (repeat > 0 ? repeat : 1); ++i) {
     StatusOr<join::JoinResult> result_or =
@@ -207,6 +250,23 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "[profile] no phase profile recorded\n");
     }
   }
+  if (explain || !explain_json.empty()) {
+    const core::ExplainReport report = core::BuildExplainReport(
+        join::NameOf(*algorithm), result, build_size, probe_size, threads,
+        &system, counters_before, obs::MetricsRegistry::Get().SnapshotMap());
+    if (explain) {
+      std::printf("\n%s", core::FormatExplainText(report).c_str());
+    }
+    if (!explain_json.empty()) {
+      const Status status = core::WriteExplainJson(report, explain_json);
+      if (!status.ok()) {
+        std::fprintf(stderr, "report write failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::printf("  report     : %s\n", explain_json.c_str());
+    }
+  }
   if (!metrics_path.empty()) {
     const Status status =
         obs::MetricsRegistry::Get().WriteJson(metrics_path);
@@ -226,6 +286,13 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("  trace      : %s (load in Perfetto)\n", trace_path.c_str());
+  }
+  if (listen || cli.Has("dump-metrics")) {
+    // Stay alive for scrapes / SIGUSR1 dumps until killed.
+    std::fflush(stdout);
+    std::fprintf(stderr, "[mmjoin] join done; process stays up for metrics"
+                         " (kill to exit)\n");
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
   }
   return 0;
 }

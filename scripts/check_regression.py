@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Diffs two bench sweeps (scripts/run_all.sh manifests) for regressions.
+
+Usage:
+    check_regression.py BASELINE_manifest.json CANDIDATE_manifest.json
+                        [--threshold=0.10] [--min-ns=1000000]
+
+Each manifest is a `mmjoin.manifest.v1` object written by run_all.sh; the
+BENCH_*.json files it lists are resolved relative to the manifest's
+directory, so two checkouts (or two downloaded CI artifact trees) diff
+directly. Bench repeats are reduced to the minimum total_ns per
+configuration -- the standard noise-resistant reduction for wall-clock
+benchmarks -- keyed by (artifact, algorithm, build, probe, threads).
+
+A configuration regresses when the candidate's best time exceeds the
+baseline's by more than --threshold (default 10 %) AND by more than
+--min-ns (default 1 ms, so microsecond-scale configs cannot trip the gate
+on scheduler jitter). Configurations present in only one sweep are
+reported but never fail the check. Exit 1 when any regression is found.
+Stdlib only.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def fail(message):
+    print(f"error: {message}", file=sys.stderr)
+    return 1
+
+
+def load_manifest(path):
+    with open(path, "r", encoding="utf-8") as f:
+        manifest = json.load(f)
+    if manifest.get("schema") != "mmjoin.manifest.v1":
+        raise ValueError(f"{path}: schema is {manifest.get('schema')!r}, "
+                         "expected 'mmjoin.manifest.v1'")
+    for key in ("git_sha", "files"):
+        if key not in manifest:
+            raise ValueError(f"{path}: missing field '{key}'")
+    return manifest
+
+
+def load_results(manifest_path, manifest):
+    """(artifact, algorithm, build, probe, threads) -> min total_ns."""
+    base_dir = os.path.dirname(os.path.abspath(manifest_path))
+    best = {}
+    for name in manifest["files"]:
+        bench_path = os.path.join(base_dir, name)
+        if not os.path.exists(bench_path):
+            print(f"note: {bench_path} listed in manifest but missing; "
+                  "skipped", file=sys.stderr)
+            continue
+        with open(bench_path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                obj = json.loads(line)
+                if obj.get("schema") != "mmjoin.bench.v1":
+                    continue
+                key = (obj["artifact"], obj["algorithm"], obj["build"],
+                       obj["probe"], obj["threads"])
+                total_ns = obj["total_ns"]
+                if key not in best or total_ns < best[key]:
+                    best[key] = total_ns
+    return best
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative slowdown that counts as a regression "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--min-ns", type=int, default=1_000_000,
+                        help="absolute slowdown floor in ns (default 1 ms)")
+    args = parser.parse_args()
+
+    try:
+        base_manifest = load_manifest(args.baseline)
+        cand_manifest = load_manifest(args.candidate)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        return fail(str(e))
+
+    base = load_results(args.baseline, base_manifest)
+    cand = load_results(args.candidate, cand_manifest)
+    if not base:
+        return fail(f"{args.baseline}: no bench records resolved")
+    if not cand:
+        return fail(f"{args.candidate}: no bench records resolved")
+
+    print(f"baseline : {base_manifest['git_sha'][:12]} "
+          f"({len(base)} config(s))")
+    print(f"candidate: {cand_manifest['git_sha'][:12]} "
+          f"({len(cand)} config(s))")
+
+    common = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    regressions = []
+    improvements = 0
+    for key in common:
+        delta_ns = cand[key] - base[key]
+        rel = delta_ns / base[key]
+        if delta_ns > args.min_ns and rel > args.threshold:
+            regressions.append((key, base[key], cand[key], rel))
+        elif rel < -args.threshold:
+            improvements += 1
+
+    for key, base_ns, cand_ns, rel in regressions:
+        artifact, algorithm, build, probe, threads = key
+        print(f"REGRESSION {artifact} {algorithm} "
+              f"|R|={build} |S|={probe} t={threads}: "
+              f"{base_ns / 1e6:.3f} ms -> {cand_ns / 1e6:.3f} ms "
+              f"(+{rel * 100:.1f}%)")
+    for key in only_base:
+        print(f"note: config dropped from candidate: {key}")
+    for key in only_cand:
+        print(f"note: config new in candidate: {key}")
+
+    print(f"{len(common)} config(s) compared: {len(regressions)} "
+          f"regression(s), {improvements} improvement(s) beyond "
+          f"{args.threshold * 100:.0f}%")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

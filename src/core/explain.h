@@ -1,0 +1,62 @@
+// EXPLAIN ANALYZE for a join run: one report joining the whitebox phase
+// profile (JoinResult::profile), the NUMA task-steal matrix, and the
+// metrics-counter deltas of the run (budget ladder, compaction, steals,
+// allocations) into a human-readable table and a `mmjoin.report.v1` JSON
+// object (validated by `scripts/check_metrics.py --kind=report`).
+//
+// The counter delta is computed from two MetricsRegistry::SnapshotMap()
+// calls bracketing the run, so whatever family a subsystem exports shows up
+// without this module knowing its name. Surfaced by `run_join --explain`
+// [--explain-json=PATH].
+
+#ifndef MMJOIN_CORE_EXPLAIN_H_
+#define MMJOIN_CORE_EXPLAIN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "join/join_defs.h"
+#include "numa/system.h"
+#include "util/status.h"
+
+namespace mmjoin::core {
+
+struct ExplainReport {
+  std::string algorithm;
+  uint64_t build_size = 0;
+  uint64_t probe_size = 0;
+  int threads = 0;
+  join::JoinResult result;  // matches/checksum/times/profile
+
+  // Task-steal matrix, row-major [thief_node * num_nodes + victim_node];
+  // empty when no NumaSystem was supplied.
+  int num_nodes = 0;
+  std::vector<uint64_t> steal_matrix;
+  uint64_t total_steals = 0;
+
+  // after - before over MetricsRegistry::SnapshotMap(); zero deltas and
+  // counters that only existed before are dropped.
+  std::map<std::string, uint64_t> counters;
+};
+
+ExplainReport BuildExplainReport(
+    std::string_view algorithm, const join::JoinResult& result,
+    uint64_t build_size, uint64_t probe_size, int threads,
+    const numa::NumaSystem* system,
+    const std::map<std::string, uint64_t>& counters_before,
+    const std::map<std::string, uint64_t>& counters_after);
+
+// The human-readable table (phase breakdown, steal matrix, counter deltas).
+std::string FormatExplainText(const ExplainReport& report);
+
+// {"schema":"mmjoin.report.v1",...}; phase ns totals in the JSON are the
+// PhaseProfile sums verbatim (asserted by tests/telemetry_test.cc).
+std::string ExplainReportJson(const ExplainReport& report);
+Status WriteExplainJson(const ExplainReport& report, const std::string& path);
+
+}  // namespace mmjoin::core
+
+#endif  // MMJOIN_CORE_EXPLAIN_H_

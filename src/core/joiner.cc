@@ -4,6 +4,7 @@
 
 #include "mem/budget.h"
 #include "obs/trace.h"
+#include "util/log.h"
 
 namespace mmjoin::core {
 
@@ -42,8 +43,8 @@ Joiner::Joiner(const JoinerOptions& options)
                                                    options.num_nodes)) {
   const Status status = options.Validate();
   if (!status.ok()) {
-    std::fprintf(stderr, "[mmjoin] invalid JoinerOptions: %s\n",
-                 status.ToString().c_str());
+    MMJOIN_LOG(kError, "joiner.invalid_options")
+        .Field("status", status.ToString());
   }
   MMJOIN_CHECK(status.ok());
 }

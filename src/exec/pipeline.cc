@@ -65,9 +65,19 @@ class SegmentWorker {
     stats->sink_chunks += sink_chunks_;
     stats->sink_rows += sink_rows_;
     const auto fold = [stats](const ChunkCompactor& c) {
+      stats->boundary_chunks_in += c.stats().chunks_in;
+      stats->boundary_rows_in += c.stats().rows_in;
       stats->chunks_emitted += c.stats().chunks_emitted;
       stats->rows_compacted += c.stats().rows_compacted;
       stats->compaction_flushes += c.stats().compaction_flushes;
+      // Chunk fill ratio at this compaction boundary, in percent of
+      // kChunkCapacity; one sample per (worker, boundary) with traffic.
+      if (c.stats().chunks_in > 0) {
+        static obs::Histogram* const fill =
+            obs::MetricsRegistry::Get().GetHistogram("exec.chunk_fill_pct");
+        fill->Record(c.stats().rows_in * 100 /
+                     (c.stats().chunks_in * kChunkCapacity));
+      }
     };
     for (const auto& b : boundary_) {
       if (b != nullptr) fold(*b);
@@ -248,6 +258,8 @@ Status RunScanSegment(Source* source, const std::vector<Operator*>& ops,
 void FlushExecMetrics(const PipelineStats& stats) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
   registry.AddCounter("exec.pipelines", 1);
+  registry.AddCounter("exec.boundary_chunks_in", stats.boundary_chunks_in);
+  registry.AddCounter("exec.boundary_rows_in", stats.boundary_rows_in);
   registry.AddCounter("exec.chunks_emitted", stats.chunks_emitted);
   registry.AddCounter("exec.rows_compacted", stats.rows_compacted);
   registry.AddCounter("exec.compaction_flushes", stats.compaction_flushes);

@@ -62,6 +62,8 @@ struct PipelineStats {
   uint64_t sink_rows = 0;      // live rows crossing the sink boundary
   // Compaction accounting summed over every boundary and worker
   // (exec.* counters, docs/OBSERVABILITY.md):
+  uint64_t boundary_chunks_in = 0;  // chunks arriving at any boundary
+  uint64_t boundary_rows_in = 0;    // live rows arriving at any boundary
   uint64_t chunks_emitted = 0;
   uint64_t rows_compacted = 0;
   uint64_t compaction_flushes = 0;

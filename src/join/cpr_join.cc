@@ -24,6 +24,7 @@
 #include "thread/task_queue.h"
 #include "thread/thread_team.h"
 #include "util/bits.h"
+#include "util/log.h"
 #include "util/timer.h"
 
 namespace mmjoin::join::internal {
@@ -221,7 +222,15 @@ class CprJoin final : public JoinAlgorithm {
         return BudgetInfeasibleError(NameOf(id_), plan.planned_bytes,
                                      plan_in.budget_bytes);
       }
-      if (plan.replanned) mem::CountBudgetReplan();
+      if (plan.replanned) {
+        mem::CountBudgetReplan();
+        MMJOIN_LOG(kWarn, "budget.replan")
+            .Field("algo", NameOf(id_))
+            .Field("action", "radix_bits")
+            .Field("bits", plan.radix_bits)
+            .Field("planned_bytes", plan.planned_bytes)
+            .Field("budget_bytes", plan_in.budget_bytes);
+      }
       bits = plan.radix_bits;
       wave_count = plan.wave_count;
       MMJOIN_ASSIGN_OR_RETURN(
@@ -237,6 +246,10 @@ class CprJoin final : public JoinAlgorithm {
 
     if (wave_count > 1) {
       mem::CountBudgetWave();
+      MMJOIN_LOG(kWarn, "budget.wave")
+          .Field("algo", NameOf(id_))
+          .Field("waves", wave_count)
+          .Field("bits", bits);
       return RunWaves(system, config, build, probe, partition_domain, bits,
                       wave_count);
     }

@@ -151,6 +151,12 @@ inline void FlushStealMetrics(const thread::ShardedTaskQueue& queue) {
                                          stats.tasks_stolen);
   obs::MetricsRegistry::Get().AddCounter("join.steal_remote_reads",
                                          stats.steal_remote_read_bytes);
+  // Distribution of steals per dispatch (one sample per run, zeros
+  // included): the shape separates "rare dispatches steal everything"
+  // from "every dispatch steals a little".
+  static obs::Histogram* const steals =
+      obs::MetricsRegistry::Get().GetHistogram("join.steals_per_dispatch");
+  steals->Record(stats.tasks_stolen);
 }
 
 // The queue a join run schedules its co-partition tasks on: the executor's

@@ -28,6 +28,7 @@
 #include "partition/radix.h"
 #include "thread/task_queue.h"
 #include "thread/thread_team.h"
+#include "util/log.h"
 #include "util/bits.h"
 #include "util/timer.h"
 
@@ -322,12 +323,24 @@ class PrJoin final : public JoinAlgorithm {
         plan_in.fixed_overhead_bytes = 0;
         plan = partition::PlanMemoryBudget(plan_in);
         mem::CountBudgetReplan();
+        MMJOIN_LOG(kWarn, "budget.replan")
+            .Field("algo", NameOf(id_))
+            .Field("action", "drop_pass2")
+            .Field("budget_bytes", plan_in.budget_bytes);
       }
       if (!plan.feasible) {
         return BudgetInfeasibleError(NameOf(id_), plan.planned_bytes,
                                      plan_in.budget_bytes);
       }
-      if (plan.replanned) mem::CountBudgetReplan();
+      if (plan.replanned) {
+        mem::CountBudgetReplan();
+        MMJOIN_LOG(kWarn, "budget.replan")
+            .Field("algo", NameOf(id_))
+            .Field("action", "radix_bits")
+            .Field("bits", plan.radix_bits)
+            .Field("planned_bytes", plan.planned_bytes)
+            .Field("budget_bytes", plan_in.budget_bytes);
+      }
       total_bits = plan.radix_bits;
       wave_count = plan.wave_count;
       MMJOIN_ASSIGN_OR_RETURN(
@@ -349,6 +362,10 @@ class PrJoin final : public JoinAlgorithm {
 
     if (wave_count > 1) {
       mem::CountBudgetWave();
+      MMJOIN_LOG(kWarn, "budget.wave")
+          .Field("algo", NameOf(id_))
+          .Field("waves", wave_count)
+          .Field("bits", total_bits);
       return RunOnePassWaves(system, config, build, probe, domain, total_bits,
                              wave_count);
     }

@@ -8,6 +8,7 @@
 #include "mem/budget.h"
 #include "obs/metrics.h"
 #include "util/failpoint.h"
+#include "util/log.h"
 #include "util/macros.h"
 #include "util/status.h"
 
@@ -122,16 +123,26 @@ StatusOr<JoinResult> RunJoin(Algorithm algorithm, numa::NumaSystem* system,
         "(failpoint alloc.materialize)");
   }
   const std::unique_ptr<JoinAlgorithm> join = CreateJoin(algorithm);
-  if (config.budget == nullptr && config.mem_budget_bytes.has_value()) {
-    // Run-local budget: lives exactly as long as this join's buffers.
-    mem::BudgetTracker tracker(*config.mem_budget_bytes);
-    JoinConfig budgeted = config;
-    budgeted.budget = &tracker;
-    return join->Run(system, budgeted, build.cspan(), probe.cspan(),
+  StatusOr<JoinResult> result = [&]() -> StatusOr<JoinResult> {
+    if (config.budget == nullptr && config.mem_budget_bytes.has_value()) {
+      // Run-local budget: lives exactly as long as this join's buffers.
+      mem::BudgetTracker tracker(*config.mem_budget_bytes);
+      JoinConfig budgeted = config;
+      budgeted.budget = &tracker;
+      return join->Run(system, budgeted, build.cspan(), probe.cspan(),
+                       build.key_domain());
+    }
+    return join->Run(system, config, build.cspan(), probe.cspan(),
                      build.key_domain());
+  }();
+  if (result.ok()) {
+    // End-to-end latency distribution; one sample per successful run, so
+    // recording unconditionally costs the same as the join.runs counter.
+    static obs::Histogram* const latency =
+        obs::MetricsRegistry::Get().GetHistogram("join.latency_ns");
+    latency->Record(static_cast<uint64_t>(result->times.total_ns));
   }
-  return join->Run(system, config, build.cspan(), probe.cspan(),
-                   build.key_domain());
+  return result;
 }
 
 JoinResult RunJoinOrDie(Algorithm algorithm, numa::NumaSystem* system,
@@ -141,8 +152,9 @@ JoinResult RunJoinOrDie(Algorithm algorithm, numa::NumaSystem* system,
   StatusOr<JoinResult> result =
       RunJoin(algorithm, system, config, build, probe);
   if (!result.ok()) {
-    std::fprintf(stderr, "[mmjoin] %s join failed: %s\n", NameOf(algorithm),
-                 result.status().ToString().c_str());
+    MMJOIN_LOG(kError, "join.failed")
+        .Field("algorithm", NameOf(algorithm))
+        .Field("status", result.status().ToString());
     std::abort();
   }
   return *std::move(result);

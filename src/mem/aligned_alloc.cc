@@ -14,6 +14,7 @@
 #include "obs/metrics.h"
 #include "util/bits.h"
 #include "util/failpoint.h"
+#include "util/log.h"
 #include "util/macros.h"
 
 namespace mmjoin::mem {
@@ -174,8 +175,22 @@ StatusOr<void*> TryAllocateAligned(std::size_t bytes, std::size_t alignment,
             ::madvise(user, RoundUp(bytes, kHugePageSize), MADV_HUGEPAGE) == 0;
       }
 #endif
-      // Degrade gracefully: the mapping stays valid on default pages.
-      if (!advised) Bump(g_alloc_stats.huge_page_fallbacks);
+      // Degrade gracefully: the mapping stays valid on default pages. A
+      // host without THP degrades every large allocation, so only the
+      // first fallback warns; the rest log at debug (all are counted).
+      if (!advised) {
+        Bump(g_alloc_stats.huge_page_fallbacks);
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true, std::memory_order_relaxed)) {
+          MMJOIN_LOG(kWarn, "mem.huge_fallback")
+              .Field("bytes", static_cast<uint64_t>(bytes))
+              .Field("note", "madvise(MADV_HUGEPAGE) failed; "
+                             "further fallbacks log at debug");
+        } else {
+          MMJOIN_LOG(kDebug, "mem.huge_fallback")
+              .Field("bytes", static_cast<uint64_t>(bytes));
+        }
+      }
     } else if (policy == PagePolicy::kSmall) {
 #if defined(MADV_NOHUGEPAGE)
       // Best effort: failure just means the system default page policy.

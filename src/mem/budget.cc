@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "util/failpoint.h"
+#include "util/log.h"
 
 namespace mmjoin::mem {
 namespace {
@@ -64,6 +65,10 @@ void CountBudgetWaveRound() { Bump(g_budget_stats.wave_rounds); }
 Status BudgetTracker::Reserve(uint64_t bytes, const char* what) {
   if (MMJOIN_FAILPOINT("budget.reserve")) {
     Bump(g_budget_stats.rejections);
+    MMJOIN_LOG(kWarn, "budget.reject")
+        .Field("what", what)
+        .Field("bytes", bytes)
+        .Field("injected", true);
     return ResourceExhaustedError(
         "injected budget reservation failure (failpoint budget.reserve, " +
         std::string(what) + ", " + std::to_string(bytes) + " bytes)");
@@ -83,6 +88,11 @@ Status BudgetTracker::Reserve(uint64_t bytes, const char* what) {
   for (;;) {
     if (bytes > budget_bytes_ || current > budget_bytes_ - bytes) {
       Bump(g_budget_stats.rejections);
+      MMJOIN_LOG(kWarn, "budget.reject")
+          .Field("what", what)
+          .Field("bytes", bytes)
+          .Field("reserved", current)
+          .Field("budget_bytes", budget_bytes_);
       return ResourceExhaustedError(
           "memory budget exceeded reserving " + std::string(what) + ": need " +
           std::to_string(bytes) + " bytes, " + std::to_string(current) +

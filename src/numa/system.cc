@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "obs/metrics.h"
+#include "util/log.h"
 #include "util/macros.h"
 
 namespace mmjoin::numa {
@@ -67,6 +68,9 @@ void* NumaSystem::TryAllocate(std::size_t bytes, Placement placement,
   if (home_node < 0 || home_node >= topology_.num_nodes()) {
     // Placement is advisory: degrade to node 0 instead of aborting.
     mem::CountNumaDegradation();
+    MMJOIN_LOG(kWarn, "numa.home_clamp")
+        .Field("home_node", home_node)
+        .Field("nodes", topology_.num_nodes());
     home_node = 0;
   }
   void* ptr = mem::AllocateAligned(bytes, alignment, page_policy_);

@@ -1,0 +1,106 @@
+#include "obs/exposition.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+
+namespace mmjoin::obs {
+namespace {
+
+void AppendU64(std::string* out, uint64_t value) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof(buf), "%llu",
+                              static_cast<unsigned long long>(value));
+  out->append(buf, static_cast<size_t>(n));
+}
+
+bool PrometheusNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out = "mmjoin_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    out.push_back(PrometheusNameChar(c) ? c : '_');
+  }
+  return out;
+}
+
+std::string WriteExposition() {
+  const MetricsRegistry& registry = MetricsRegistry::Get();
+  std::string out;
+  out.reserve(4096);
+
+  for (const Metric& metric : registry.Snapshot()) {
+    const std::string name = SanitizeMetricName(metric.name);
+    out += "# TYPE ";
+    out += name;
+    out += " counter\n";
+    out += name;
+    out += "_total ";
+    AppendU64(&out, metric.value);
+    out += '\n';
+  }
+
+  for (const NamedHistogram& h : registry.SnapshotHistograms()) {
+    const std::string name = SanitizeMetricName(h.name);
+    out += "# TYPE ";
+    out += name;
+    out += " histogram\n";
+    uint64_t cumulative = 0;
+    for (uint32_t b = 0; b < h.snapshot.buckets.size(); ++b) {
+      if (h.snapshot.buckets[b] == 0) continue;
+      cumulative += h.snapshot.buckets[b];
+      out += name;
+      out += "_bucket{le=\"";
+      AppendU64(&out, Histogram::BucketUpperBound(b));
+      out += "\"} ";
+      AppendU64(&out, cumulative);
+      out += '\n';
+    }
+    out += name;
+    out += "_bucket{le=\"+Inf\"} ";
+    AppendU64(&out, h.snapshot.count);
+    out += '\n';
+    out += name;
+    out += "_sum ";
+    AppendU64(&out, h.snapshot.sum);
+    out += '\n';
+    out += name;
+    out += "_count ";
+    AppendU64(&out, h.snapshot.count);
+    out += '\n';
+  }
+
+  out += "# EOF\n";
+  return out;
+}
+
+Status WriteExpositionFile(const std::string& path) {
+  const std::string text = WriteExposition();
+  if (path.empty() || path == "-" || path == "stderr") {
+    std::fwrite(text.data(), 1, text.size(), stderr);
+    std::fflush(stderr);
+    return OkStatus();
+  }
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return UnavailableError("cannot open exposition file '" + path +
+                            "' for writing");
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const int close_rc = std::fclose(file);
+  if (written != text.size() || close_rc != 0) {
+    return UnavailableError("short write to exposition file '" + path + "'");
+  }
+  return OkStatus();
+}
+
+}  // namespace mmjoin::obs

@@ -1,0 +1,40 @@
+// OpenMetrics / Prometheus text exposition of the MetricsRegistry.
+//
+// WriteExposition() renders every registry counter as a `counter` family
+// and every registered histogram as a `histogram` family with cumulative
+// `_bucket{le="..."}` samples, `_sum`, and `_count`, terminated by the
+// OpenMetrics `# EOF` marker. Only non-empty buckets get an explicit `le`
+// boundary (plus the mandatory `+Inf`), so scrapes stay small while
+// quantiles remain derivable from the cumulative counts.
+//
+// Metric names are sanitized to the Prometheus charset ([a-zA-Z0-9_:],
+// dots become underscores) and prefixed `mmjoin_`; counter samples carry
+// the OpenMetrics `_total` suffix.
+//
+// Consumers: `run_join --listen=PORT` (obs/stats_server.h) serves this at
+// /metrics, SIGUSR1 dumps it to a file, and `scripts/check_metrics.py
+// --kind=exposition` validates it.
+
+#ifndef MMJOIN_OBS_EXPOSITION_H_
+#define MMJOIN_OBS_EXPOSITION_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace mmjoin::obs {
+
+// Full exposition of the current MetricsRegistry state.
+std::string WriteExposition();
+
+// WriteExposition() to `path` ("-" or "stderr" for stderr).
+Status WriteExpositionFile(const std::string& path);
+
+// `mmjoin_` + name with every character outside [a-zA-Z0-9_:] replaced by
+// '_'. Exposed for tests.
+std::string SanitizeMetricName(std::string_view name);
+
+}  // namespace mmjoin::obs
+
+#endif  // MMJOIN_OBS_EXPOSITION_H_

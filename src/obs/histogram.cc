@@ -1,0 +1,102 @@
+#include "obs/histogram.h"
+
+#include <bit>
+#include <cmath>
+
+namespace mmjoin::obs {
+namespace {
+
+// Dense thread-slot ids so shard occupancy starts at 0 regardless of how
+// many threads the process has churned through before the first Record.
+uint32_t ThreadSlot() {
+  static std::atomic<uint32_t> next_slot{0};
+  thread_local uint32_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot % Histogram::kMaxShards;
+}
+
+}  // namespace
+
+uint32_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<uint32_t>(value);
+  const uint32_t exponent = static_cast<uint32_t>(std::bit_width(value)) - 1;
+  const uint32_t sub = static_cast<uint32_t>(
+      (value >> (exponent - kSubBucketBits)) & (kSubBuckets - 1));
+  return (exponent - kSubBucketBits + 1) * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketUpperBound(uint32_t index) {
+  if (index < kSubBuckets) return index;
+  const uint32_t exponent = index / kSubBuckets - 1 + kSubBucketBits;
+  const uint32_t sub = index % kSubBuckets;
+  const uint32_t shift = exponent - kSubBucketBits;
+  const uint64_t lower =
+      (static_cast<uint64_t>(kSubBuckets) + sub) << shift;
+  return lower + ((uint64_t{1} << shift) - 1);
+}
+
+Histogram::~Histogram() {
+  for (uint32_t i = 0; i < kMaxShards; ++i) {
+    delete shards_[i].load(std::memory_order_acquire);
+  }
+}
+
+Histogram::Shard* Histogram::InstallShard(uint32_t slot) {
+  Shard* fresh = new Shard;
+  Shard* expected = nullptr;
+  if (shards_[slot].compare_exchange_strong(expected, fresh,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+    return fresh;
+  }
+  delete fresh;  // another thread on the same slot won the race
+  return expected;
+}
+
+void Histogram::Record(uint64_t value) {
+  const uint32_t slot = ThreadSlot();
+  Shard* shard = shards_[slot].load(std::memory_order_acquire);
+  if (shard == nullptr) shard = InstallShard(slot);
+  shard->counts[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  shard->sum.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = shard->max.load(std::memory_order_relaxed);
+  while (seen < value && !shard->max.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed,
+                             std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.buckets.assign(kNumBuckets, 0);
+  for (uint32_t i = 0; i < kMaxShards; ++i) {
+    const Shard* shard = shards_[i].load(std::memory_order_acquire);
+    if (shard == nullptr) continue;
+    for (uint32_t b = 0; b < kNumBuckets; ++b) {
+      const uint64_t n = shard->counts[b].load(std::memory_order_relaxed);
+      snapshot.buckets[b] += n;
+      snapshot.count += n;
+    }
+    snapshot.sum += shard->sum.load(std::memory_order_relaxed);
+    const uint64_t shard_max = shard->max.load(std::memory_order_relaxed);
+    if (shard_max > snapshot.max) snapshot.max = shard_max;
+  }
+  return snapshot;
+}
+
+uint64_t HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (uint32_t b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= rank) return Histogram::BucketUpperBound(b);
+  }
+  return max;
+}
+
+}  // namespace mmjoin::obs

@@ -1,0 +1,97 @@
+// Lock-free log-bucketed latency histogram (HdrHistogram-style layout).
+//
+// Values 0..15 land in exact unit buckets; every larger value lands in one
+// of 16 linear sub-buckets of its power-of-two range, so the bucket upper
+// bound overestimates a recorded value by at most 1/16 (6.25 %) — tight
+// enough for p50/p95/p99 operational quantiles while keeping the whole
+// bucket array a fixed 976 entries covering the full uint64 range.
+//
+// Recording is wait-free after a thread's first touch: each thread maps to
+// one of kMaxShards shards (dense thread-slot ids, modulo-wrapped beyond
+// kMaxShards — counts are atomic, so sharing a shard is benign) and does
+// three relaxed RMWs (bucket count, sum, max). Shards are CAS-installed on
+// first use and owned by the histogram. Snapshot() merges all shards into a
+// plain struct; it is safe concurrently with recording and may miss
+// in-flight increments, which is the usual torn-snapshot contract for
+// monitoring counters.
+//
+// Histograms are registered by name in obs::MetricsRegistry (see
+// metrics.h); hot call sites should cache the Histogram* — name lookup
+// takes the registry mutex, Record() never takes any lock.
+
+#ifndef MMJOIN_OBS_HISTOGRAM_H_
+#define MMJOIN_OBS_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace mmjoin::obs {
+
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::vector<uint64_t> buckets;  // per-bucket (non-cumulative) counts
+
+  // Inclusive upper bound of the bucket holding the rank-⌈q·count⌉ value
+  // (q clamped to [0,1]); 0 when the histogram is empty. The log-bucket
+  // layout bounds the overestimate at 1/16 relative for values ≥ 16.
+  uint64_t ValueAtQuantile(double q) const;
+  uint64_t P50() const { return ValueAtQuantile(0.50); }
+  uint64_t P95() const { return ValueAtQuantile(0.95); }
+  uint64_t P99() const { return ValueAtQuantile(0.99); }
+};
+
+class Histogram {
+ public:
+  static constexpr uint32_t kSubBucketBits = 4;
+  static constexpr uint32_t kSubBuckets = 1u << kSubBucketBits;  // 16
+  // 16 exact unit buckets + 16 linear sub-buckets for each exponent
+  // kSubBucketBits..63.
+  static constexpr uint32_t kNumBuckets =
+      kSubBuckets + (64 - kSubBucketBits) * kSubBuckets;  // 976
+  static constexpr uint32_t kMaxShards = 128;
+
+  Histogram() {
+    for (uint32_t i = 0; i < kMaxShards; ++i) {
+      shards_[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+  ~Histogram();
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  static uint32_t BucketIndex(uint64_t value);
+  // Inclusive largest value mapping to bucket `index`.
+  static uint64_t BucketUpperBound(uint32_t index);
+
+  // Wait-free after this thread's shard exists; never blocks, never
+  // allocates on the repeat path.
+  void Record(uint64_t value);
+
+  // Merged view across all shards; concurrent-safe (see header comment).
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  struct Shard {
+    std::atomic<uint64_t> counts[kNumBuckets];
+    std::atomic<uint64_t> sum;
+    std::atomic<uint64_t> max;
+    Shard() : sum(0), max(0) {
+      for (uint32_t i = 0; i < kNumBuckets; ++i) {
+        counts[i].store(0, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  Shard* InstallShard(uint32_t slot);
+
+  // CAS-installed per-thread-slot shards, owned (deleted in ~Histogram).
+  std::atomic<Shard*> shards_[kMaxShards];
+};
+
+}  // namespace mmjoin::obs
+
+#endif  // MMJOIN_OBS_HISTOGRAM_H_

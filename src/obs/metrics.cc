@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "obs/trace.h"
+#include "util/log.h"
 
 namespace mmjoin::obs {
 
@@ -25,6 +26,13 @@ void MetricsRegistry::AddCounter(const std::string& name, uint64_t delta) {
   counters_[name] += delta;
 }
 
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  MutexLock lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
 std::vector<Metric> MetricsRegistry::Snapshot() const {
   std::vector<Metric> metrics;
   std::vector<Provider> providers;
@@ -44,10 +52,45 @@ std::vector<Metric> MetricsRegistry::Snapshot() const {
   return metrics;
 }
 
+std::map<std::string, uint64_t> MetricsRegistry::SnapshotMap() const {
+  std::map<std::string, uint64_t> map;
+  for (const Metric& metric : Snapshot()) map[metric.name] = metric.value;
+  return map;
+}
+
+std::vector<NamedHistogram> MetricsRegistry::SnapshotHistograms() const {
+  // Collect stable pointers under the lock, merge shards outside it:
+  // histograms are never removed, so the pointers outlive the lock.
+  std::vector<std::pair<std::string, const Histogram*>> live;
+  {
+    MutexLock lock(mutex_);
+    live.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_) {
+      live.emplace_back(name, histogram.get());
+    }
+  }
+  std::vector<NamedHistogram> out;
+  out.reserve(live.size());
+  for (const auto& [name, histogram] : live) {
+    out.push_back(NamedHistogram{name, histogram->Snapshot()});
+  }
+  return out;
+}
+
+namespace {
+
+void AppendCount(std::string* out, uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  *out += buf;
+}
+
+}  // namespace
+
 std::string MetricsRegistry::Json() const {
   const std::vector<Metric> metrics = Snapshot();
   std::string out = "{\"schema\":\"mmjoin.metrics.v1\",\"counters\":{";
-  char buf[64];
   bool first = true;
   for (const Metric& metric : metrics) {
     if (!first) out += ',';
@@ -55,11 +98,49 @@ std::string MetricsRegistry::Json() const {
     out += '"';
     out += metric.name;  // names are code-controlled identifiers, no escaping
     out += "\":";
-    std::snprintf(buf, sizeof(buf), "%llu",
-                  static_cast<unsigned long long>(metric.value));
-    out += buf;
+    AppendCount(&out, metric.value);
   }
-  out += "}}";
+  out += '}';
+  const std::vector<NamedHistogram> histograms = SnapshotHistograms();
+  if (!histograms.empty()) {
+    out += ",\"histograms\":{";
+    first = true;
+    for (const NamedHistogram& h : histograms) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += h.name;
+      out += "\":{\"count\":";
+      AppendCount(&out, h.snapshot.count);
+      out += ",\"sum\":";
+      AppendCount(&out, h.snapshot.sum);
+      out += ",\"max\":";
+      AppendCount(&out, h.snapshot.max);
+      out += ",\"p50\":";
+      AppendCount(&out, h.snapshot.P50());
+      out += ",\"p95\":";
+      AppendCount(&out, h.snapshot.P95());
+      out += ",\"p99\":";
+      AppendCount(&out, h.snapshot.P99());
+      // Sparse [upper_bound, count] pairs for the non-empty buckets only;
+      // counts are per-bucket, not cumulative.
+      out += ",\"buckets\":[";
+      bool first_bucket = true;
+      for (uint32_t b = 0; b < h.snapshot.buckets.size(); ++b) {
+        if (h.snapshot.buckets[b] == 0) continue;
+        if (!first_bucket) out += ',';
+        first_bucket = false;
+        out += '[';
+        AppendCount(&out, Histogram::BucketUpperBound(b));
+        out += ',';
+        AppendCount(&out, h.snapshot.buckets[b]);
+        out += ']';
+      }
+      out += "]}";
+    }
+    out += '}';
+  }
+  out += '}';
   return out;
 }
 
@@ -82,6 +163,9 @@ Status MetricsRegistry::WriteJson(const std::string& path) const {
 namespace {
 
 // The trace recorder reports on itself through the same registry.
+// `obs.trace_dropped_spans` is the canonical overflow alarm
+// (check_metrics.py warns when nonzero); `trace.spans_dropped` is the same
+// value under the original PR 3 name, kept for compatibility.
 const MetricsProviderRegistration kTraceProvider(
     "trace", [](std::vector<Metric>* metrics) {
       TraceRecorder& recorder = TraceRecorder::Get();
@@ -89,6 +173,28 @@ const MetricsProviderRegistration kTraceProvider(
                                 recorder.recorded_spans()});
       metrics->push_back(Metric{"trace.spans_dropped",
                                 recorder.dropped_spans()});
+      metrics->push_back(Metric{"obs.trace_dropped_spans",
+                                recorder.dropped_spans()});
+    });
+
+// The structured event log (util/log.h) sits below obs in the build graph,
+// so its registry hookup lives here rather than in util/.
+const MetricsProviderRegistration kLogProvider(
+    "log", [](std::vector<Metric>* metrics) {
+      const logging::LogStats stats = logging::GetLogStats();
+      metrics->push_back(Metric{
+          "log.events_debug",
+          stats.emitted[static_cast<int>(logging::LogLevel::kDebug)]});
+      metrics->push_back(Metric{
+          "log.events_info",
+          stats.emitted[static_cast<int>(logging::LogLevel::kInfo)]});
+      metrics->push_back(Metric{
+          "log.events_warn",
+          stats.emitted[static_cast<int>(logging::LogLevel::kWarn)]});
+      metrics->push_back(Metric{
+          "log.events_error",
+          stats.emitted[static_cast<int>(logging::LogLevel::kError)]});
+      metrics->push_back(Metric{"log.events_suppressed", stats.suppressed});
     });
 
 }  // namespace

@@ -19,10 +19,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "util/annotations.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -32,6 +34,11 @@ namespace mmjoin::obs {
 struct Metric {
   std::string name;
   uint64_t value;
+};
+
+struct NamedHistogram {
+  std::string name;
+  HistogramSnapshot snapshot;
 };
 
 class MetricsRegistry {
@@ -48,10 +55,23 @@ class MetricsRegistry {
   // Bumps a registry-owned counter (created at 0 on first use).
   void AddCounter(const std::string& name, uint64_t delta);
 
+  // Returns the process-wide histogram registered under `name`, creating it
+  // empty on first use. The pointer is stable for the process lifetime; hot
+  // sites must cache it (lookup takes the registry mutex, Record does not).
+  Histogram* GetHistogram(const std::string& name);
+
   // Providers' metrics + registry counters, sorted by name.
   std::vector<Metric> Snapshot() const;
 
-  // {"schema":"mmjoin.metrics.v1","counters":{...}}
+  // Snapshot() as a name -> value map; convenient for before/after deltas
+  // (EXPLAIN reports) and provider-inclusive lookups in tests.
+  std::map<std::string, uint64_t> SnapshotMap() const;
+
+  // All registered histograms, merged across shards, sorted by name.
+  std::vector<NamedHistogram> SnapshotHistograms() const;
+
+  // {"schema":"mmjoin.metrics.v1","counters":{...},"histograms":{...}}
+  // (the `histograms` key appears only when at least one histogram exists).
   std::string Json() const;
   Status WriteJson(const std::string& path) const;
 
@@ -61,6 +81,8 @@ class MetricsRegistry {
   mutable Mutex mutex_;
   std::map<std::string, Provider> providers_ MMJOIN_GUARDED_BY(mutex_);
   std::map<std::string, uint64_t> counters_ MMJOIN_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      MMJOIN_GUARDED_BY(mutex_);
 };
 
 // Helper for static registration from subsystem TUs:

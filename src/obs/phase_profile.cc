@@ -2,7 +2,28 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace mmjoin::obs {
+namespace {
+
+// Per-phase latency distributions, fed with one sample per participating
+// thread per run so the spread (skew) is visible, not just the mean.
+// Pointers cached once: registry lookup locks, Record does not.
+Histogram* PhaseLatencyHistogram(int phase) {
+  static Histogram* const histograms[kNumJoinPhases] = {
+      MetricsRegistry::Get().GetHistogram("join.phase_ns.partition.pass1"),
+      MetricsRegistry::Get().GetHistogram("join.phase_ns.partition.pass2"),
+      MetricsRegistry::Get().GetHistogram("join.phase_ns.build"),
+      MetricsRegistry::Get().GetHistogram("join.phase_ns.probe"),
+      MetricsRegistry::Get().GetHistogram("join.phase_ns.sort"),
+      MetricsRegistry::Get().GetHistogram("join.phase_ns.merge"),
+      MetricsRegistry::Get().GetHistogram("join.phase_ns.materialize"),
+  };
+  return histograms[phase];
+}
+
+}  // namespace
 
 const char* JoinPhaseName(JoinPhase phase) {
   switch (phase) {
@@ -71,6 +92,9 @@ PhaseProfile JoinPhaseProfiler::Finish() const {
       ++stat.threads;
       stat.total_ns += ns;
       stat.counters += accum.counters[p];
+      if (ns > 0) {
+        PhaseLatencyHistogram(p)->Record(static_cast<uint64_t>(ns));
+      }
     }
   }
   return profile;

@@ -1,0 +1,201 @@
+#include "obs/stats_server.h"
+
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "util/log.h"
+
+#ifdef __linux__
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#endif
+
+namespace mmjoin::obs {
+
+#ifdef __linux__
+
+namespace {
+
+// One full HTTP/1.0 response; `body` is copied verbatim after the headers.
+std::string HttpResponse(int code, const char* reason,
+                         const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += std::to_string(code);
+  out += ' ';
+  out += reason;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) return;  // peer went away; nothing to recover
+    off += static_cast<size_t>(n);
+  }
+}
+
+// First request line up to the first CR/LF; one read is enough for the
+// tiny GET requests curl and Prometheus send.
+std::string RequestPath(int fd) {
+  char buf[2048];
+  const ssize_t n = ::read(fd, buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  // "GET <path> HTTP/1.x"
+  const char* start = std::strchr(buf, ' ');
+  if (start == nullptr) return "";
+  ++start;
+  const char* end = start;
+  while (*end != '\0' && *end != ' ' && *end != '\r' && *end != '\n') ++end;
+  return std::string(start, static_cast<size_t>(end - start));
+}
+
+constexpr char kOpenMetricsContentType[] =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+}  // namespace
+
+Status StatsServer::Start(int port) {
+  if (running_.load(std::memory_order_acquire)) {
+    return UnavailableError("stats server already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return UnavailableError("stats server: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return UnavailableError("stats server: cannot bind port " +
+                            std::to_string(port));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    ::close(fd);
+    return UnavailableError("stats server: getsockname() failed");
+  }
+  listen_fd_ = fd;
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  MMJOIN_LOG(kInfo, "stats_server.start").Field("port", port_);
+  return OkStatus();
+}
+
+void StatsServer::Serve() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout (stop-flag check) or EINTR
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    const std::string path = RequestPath(client);
+    if (path == "/metrics" || path == "/") {
+      WriteAll(client, HttpResponse(200, "OK", kOpenMetricsContentType,
+                                    WriteExposition()));
+    } else if (path == "/metrics.json") {
+      WriteAll(client, HttpResponse(200, "OK", "application/json",
+                                    MetricsRegistry::Get().Json()));
+    } else {
+      WriteAll(client,
+               HttpResponse(404, "Not Found", "text/plain", "not found\n"));
+    }
+    ::close(client);
+  }
+}
+
+void StatsServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  MMJOIN_LOG(kInfo, "stats_server.stop").Field("port", port_);
+}
+
+StatsServer::~StatsServer() { Stop(); }
+
+namespace {
+
+// Set from the signal handler; only lock-free atomic stores are
+// async-signal-safe, which is why the handler does nothing else.
+std::atomic<uint32_t> g_sigusr1_pending{0};
+static_assert(std::atomic<uint32_t>::is_always_lock_free);
+
+void Sigusr1Handler(int) {
+  g_sigusr1_pending.store(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Status InstallSigusr1ExpositionDump(const std::string& path) {
+  static std::atomic<bool> installed{false};
+  if (installed.exchange(true, std::memory_order_acq_rel)) {
+    return OkStatus();  // first installation wins
+  }
+  struct sigaction action {};
+  action.sa_handler = Sigusr1Handler;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  if (::sigaction(SIGUSR1, &action, nullptr) != 0) {
+    return UnavailableError("cannot install SIGUSR1 handler");
+  }
+  // The watcher thread outlives every caller; detached by design.
+  std::thread([path] {
+    while (true) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      if (g_sigusr1_pending.exchange(0, std::memory_order_acq_rel) == 0) {
+        continue;
+      }
+      const Status status = WriteExpositionFile(path);
+      if (status.ok()) {
+        MMJOIN_LOG(kInfo, "metrics.sigusr1_dump").Field("path", path);
+      } else {
+        MMJOIN_LOG(kWarn, "metrics.sigusr1_dump_failed")
+            .Field("path", path)
+            .Field("status", status.ToString());
+      }
+    }
+  }).detach();
+  MMJOIN_LOG(kInfo, "metrics.sigusr1_dump_armed").Field("path", path);
+  return OkStatus();
+}
+
+#else  // !__linux__
+
+Status StatsServer::Start(int) {
+  return UnavailableError("stats server requires Linux");
+}
+void StatsServer::Serve() {}
+void StatsServer::Stop() {}
+StatsServer::~StatsServer() = default;
+
+Status InstallSigusr1ExpositionDump(const std::string&) {
+  return UnavailableError("SIGUSR1 dump requires Linux");
+}
+
+#endif  // __linux__
+
+}  // namespace mmjoin::obs

@@ -1,0 +1,72 @@
+// Minimal blocking HTTP/1.0 stats endpoint + SIGUSR1 exposition dump.
+//
+// StatsServer binds one listening socket and serves it from one dedicated
+// thread: GET /metrics (or /) returns the OpenMetrics exposition
+// (obs/exposition.h), GET /metrics.json returns the `mmjoin.metrics.v1`
+// snapshot. Responses are HTTP/1.0 with Content-Length and
+// `Connection: close`; there is no keep-alive, no TLS, no auth -- this is a
+// scrape endpoint for trusted networks, the shape a future join service
+// would put behind its own front end. The accept loop polls with a short
+// timeout and checks a stop flag, so Stop() (and the destructor) join the
+// thread promptly without racing a blocked accept(2).
+//
+// InstallSigusr1ExpositionDump() covers the no-network case: a sigaction
+// handler records delivery in a lock-free atomic (the only async-signal-safe
+// part) and a small watcher thread notices and writes the exposition to a
+// file. `kill -USR1 <pid>` then dumps current metrics without stopping the
+// process.
+//
+// Both entry points are Linux-only (sockets + signals); on other platforms
+// they return UNAVAILABLE. Neither is touched by the observability enable
+// gate -- you opted in by starting a server.
+
+#ifndef MMJOIN_OBS_STATS_SERVER_H_
+#define MMJOIN_OBS_STATS_SERVER_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace mmjoin::obs {
+
+class StatsServer {
+ public:
+  StatsServer() = default;
+  ~StatsServer();  // Stop()s if running
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  // Binds 0.0.0.0:`port` (0 picks an ephemeral port -- see port()) and
+  // starts the serving thread. Fails with UNAVAILABLE if the socket cannot
+  // be bound or a server is already running.
+  Status Start(int port);
+
+  // Stops the serving thread and closes the socket. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // The bound port (resolved after Start, useful with port 0).
+  int port() const { return port_; }
+
+ private:
+  void Serve();
+
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;  // owned; written by Start/Stop only (single owner)
+  int port_ = 0;        // written by Start before the thread exists
+  std::thread thread_;  // the serving thread; joined by Stop
+};
+
+// Installs the process-wide SIGUSR1 dump (idempotent; the first path wins).
+// Each delivery rewrites `path` ("" / "-" / "stderr" dump to stderr) with a
+// fresh exposition. The watcher thread is detached and lives for the
+// process.
+Status InstallSigusr1ExpositionDump(const std::string& path);
+
+}  // namespace mmjoin::obs
+
+#endif  // MMJOIN_OBS_STATS_SERVER_H_

@@ -133,8 +133,17 @@ std::string TraceRecorder::ChromeTraceJson() const {
   const std::vector<Span> spans = Snapshot();
   std::string out;
   out.reserve(spans.size() * 96 + 64);
-  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   char buf[256];
+  // Extra top-level keys are legal in the trace-event format; `metadata`
+  // lets check_metrics.py --kind=trace warn on ring-buffer overflow instead
+  // of silently trusting a truncated timeline.
+  std::snprintf(buf, sizeof(buf),
+                "{\"displayTimeUnit\":\"ms\",\"metadata\":{"
+                "\"recorded_spans\":%llu,\"dropped_spans\":%llu},"
+                "\"traceEvents\":[",
+                static_cast<unsigned long long>(recorded_spans()),
+                static_cast<unsigned long long>(dropped_spans()));
+  out += buf;
   bool first = true;
   for (const Span& span : spans) {
     if (!first) out += ',';

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/log.h"
 #include "util/timer.h"
 
 namespace mmjoin::thread {
@@ -186,13 +187,13 @@ Status Executor::Dispatch(
   // never reached). Dump what we know, poison the executor so no later
   // dispatch corrupts remaining_, and surface the failure to the caller.
   // The stuck workers keep their shared_ptr copy of the task.
-  std::fprintf(
-      stderr,
-      "[mmjoin] executor watchdog: dispatch (epoch %llu) stuck after %lld ms:"
-      " team_size=%d remaining=%d pool=%zu -- executor poisoned\n",
-      static_cast<unsigned long long>(this_epoch),
-      static_cast<long long>(timeout_ms), team_size_, remaining_,
-      workers_.size());
+  MMJOIN_LOG(kError, "executor.watchdog")
+      .Field("epoch", static_cast<uint64_t>(this_epoch))
+      .Field("timeout_ms", static_cast<int64_t>(timeout_ms))
+      .Field("team_size", team_size_)
+      .Field("remaining", remaining_)
+      .Field("pool", static_cast<uint64_t>(workers_.size()))
+      .Field("action", "executor poisoned");
   poisoned_.store(true, std::memory_order_relaxed);
   return DeadlineExceededError(
       "executor dispatch did not finish within " +

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "util/annotations.h"
+#include "util/log.h"
 #include "util/mutex.h"
 
 namespace mmjoin {
@@ -40,8 +41,9 @@ class FailPointRegistry {
       if (env != nullptr && env[0] != '\0') {
         const Status status = ConfigureLocked(env);
         if (!status.ok()) {
-          std::fprintf(stderr, "[mmjoin] ignoring MMJOIN_FAILPOINTS: %s\n",
-                       status.ToString().c_str());
+          MMJOIN_LOG(kWarn, "failpoint.bad_spec")
+              .Field("env", env)
+              .Field("status", status.ToString());
         }
       }
     });
@@ -182,21 +184,27 @@ void FailPoint::Deactivate() {
   mode_.store(static_cast<uint8_t>(Mode::kOff), std::memory_order_release);
 }
 
+bool FailPoint::Fired() {
+  triggers_.fetch_add(1, std::memory_order_relaxed);
+  // Every injected fault is a structured event (debug level: fault-matrix
+  // tests fire thousands; the log.* counters still see them all).
+  MMJOIN_LOG(kDebug, "failpoint.hit").Field("name", name_);
+  return true;
+}
+
 bool FailPoint::ShouldFailSlow(Mode mode) {
   switch (mode) {
     case Mode::kOff:
       return false;
     case Mode::kAlways:
-      triggers_.fetch_add(1, std::memory_order_relaxed);
-      return true;
+      return Fired();
     case Mode::kOnce: {
       // First evaluator wins the race and disarms.
       uint8_t expected = static_cast<uint8_t>(Mode::kOnce);
       if (mode_.compare_exchange_strong(
               expected, static_cast<uint8_t>(Mode::kOff),
               std::memory_order_acq_rel)) {
-        triggers_.fetch_add(1, std::memory_order_relaxed);
-        return true;
+        return Fired();
       }
       return false;
     }
@@ -205,8 +213,7 @@ bool FailPoint::ShouldFailSlow(Mode mode) {
           evaluations_.fetch_add(1, std::memory_order_relaxed) + 1;
       if (eval == nth_.load(std::memory_order_relaxed)) {
         Deactivate();
-        triggers_.fetch_add(1, std::memory_order_relaxed);
-        return true;
+        return Fired();
       }
       return false;
     }
@@ -215,8 +222,7 @@ bool FailPoint::ShouldFailSlow(Mode mode) {
           BitsToDouble(prob_bits_.load(std::memory_order_relaxed));
       if (p <= 0.0) return false;
       if (p >= 1.0) {
-        triggers_.fetch_add(1, std::memory_order_relaxed);
-        return true;
+        return Fired();
       }
       // splitmix64 over a shared atomic state; contention is irrelevant at
       // fault-injection frequencies.
@@ -230,8 +236,7 @@ bool FailPoint::ShouldFailSlow(Mode mode) {
       const double u =
           static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
       if (u < p) {
-        triggers_.fetch_add(1, std::memory_order_relaxed);
-        return true;
+        return Fired();
       }
       return false;
     }

@@ -69,6 +69,7 @@ class FailPoint {
  private:
   explicit FailPoint(std::string name) : name_(std::move(name)) {}
   bool ShouldFailSlow(Mode mode);
+  bool Fired();  // counts + logs one trigger, returns true
 
   const std::string name_;
   std::atomic<uint8_t> mode_{static_cast<uint8_t>(Mode::kOff)};
