@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
           algorithm, &system, config, build, probe, env.repeat);
 
       system.EnableAccounting();
-      join::RunJoin(algorithm, &system, config, build, probe);
+      join::RunJoinOrDie(algorithm, &system, config, build, probe);
       const double modeled = system.counters()->ModeledCostMillis();
       system.DisableAccounting();
 

@@ -1,591 +1,61 @@
 #!/usr/bin/env python3
-"""Concurrency lint for the mmjoin tree (AST-free, stdlib-only).
+"""DEPRECATED entry point: the concurrency lint moved into scripts/mmjoin_lint.
 
-Enforces repo invariants that neither the compiler nor clang-tidy check:
+The nine original rules (atomic-order, raw-thread, join-loop-alloc,
+nondeterminism, padded-assert, deque-guard, exec-guard, budget-guard,
+bare-escape) live on unchanged in scripts/mmjoin_lint/rules_concurrency.py,
+alongside the newer rule families (layer-dag, status-*, registry-drift,
+barrier-protocol). This wrapper keeps the old command working with the old
+exit-code contract (0 clean, 1 findings) by delegating to those nine rules
+only. New callers should run:
 
-  atomic-order       Every std::atomic load/store/RMW (including operator
-                     sugar like ++/+=/plain assignment on a declared atomic)
-                     names an explicit std::memory_order. Seq-cst-by-default
-                     hides the author's intent and costs fences on ARM; the
-                     paper's CAS-built tables and counters are hot paths.
-  raw-thread         No raw std::thread outside src/thread/. All parallelism
-                     goes through the persistent Executor (PR 1); a stray
-                     std::thread reintroduces per-call spawning.
-                     (std::thread::hardware_concurrency() is allowed.)
-  join-loop-alloc    No new/malloc/calloc/realloc inside loop bodies in
-                     src/join/ -- join-phase allocations go through mem/ and
-                     numa/ before the timed region starts.
-  nondeterminism     No std::rand/srand/random/drand48 and no
-                     std::chrono::system_clock in src/ (util/rng.h and the
-                     steady-clock util/timer.h are the sanctioned sources);
-                     wall-clock reads and libc rand in timed regions make
-                     runs unreproducible.
-  padded-assert      Every struct declared alignas(kCacheLineSize) must have
-                     a static_assert naming it in the same file, so padding
-                     claims are machine-checked instead of hand-counted.
-  deque-guard        Every std::deque declaration in src/ carries an
-                     MMJOIN_GUARDED_BY annotation in the same statement. The
-                     work-stealing shards are mutex-protected deques; a bare
-                     deque next to them is almost certainly a data race the
-                     thread-safety analysis cannot see.
-  bare-escape        MMJOIN_NO_THREAD_SAFETY_ANALYSIS must carry an
-                     explanatory comment on the preceding or same line.
-  exec-guard         Container-typed members in src/exec/ must either be
-                     MMJOIN_GUARDED_BY-annotated or carry an ownership
-                     comment (single-owner / per-thread / read-only) on the
-                     same or one of the two preceding lines. Pipeline
-                     operators are called concurrently with distinct tids
-                     and hold no locks; every member must say which
-                     discipline makes that safe.
-  budget-guard       Integral members in src/mem/budget* must be std::atomic,
-                     const, MMJOIN_GUARDED_BY-annotated, or carry an
-                     ownership comment (single-owner / per-thread /
-                     read-only) on the same or one of the two preceding
-                     lines. BudgetTracker is shared by every worker of a
-                     join: a plain mutable counter there is a lost-update
-                     bug the admission CAS cannot compensate for.
+    python3 scripts/mmjoin_lint --all
 
-Findings print as file:line: [rule] message. Exit code 1 when any finding is
-not covered by the allowlist (scripts/concurrency_allowlist.txt), 0 otherwise.
-
-Allowlist format: one entry per line,
-    <path>:<rule>:<substring>
-where <path> is repo-relative, <rule> is a rule id (or '*'), and <substring>
-must appear in the offending source line. '#' starts a comment. Run with
---fix-allowlist to rewrite the allowlist from current findings (bootstrap
-mode for newly-adopted rules; entries should then be pruned, not grown).
+Allowlisting moved from scripts/concurrency_allowlist.txt
+(path:rule:substring) to scripts/allowlists/<rule-id>.txt (path:substring);
+the old file is still read through a deprecation shim that maps entries and
+reports stale ones.
 """
 
-import argparse
 import pathlib
-import re
+import subprocess
 import sys
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-DEFAULT_ALLOWLIST = REPO_ROOT / "scripts" / "concurrency_allowlist.txt"
-
-SOURCE_SUFFIXES = (".cc", ".h")
-
-ATOMIC_CALL_RE = re.compile(
-    r"\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
-    r"fetch_xor|compare_exchange_strong|compare_exchange_weak|wait|test_and_set|"
-    r"clear)\s*\("
-)
-ATOMIC_DECL_RE = re.compile(r"std\s*::\s*atomic\s*<[^<>]*(?:<[^<>]*>)?[^<>]*>\s+(\w+)")
-RAW_THREAD_RE = re.compile(r"std\s*::\s*thread\b")
-HW_CONCURRENCY_RE = re.compile(r"std\s*::\s*thread\s*::\s*hardware_concurrency")
-ALLOC_RE = re.compile(r"\bnew\b|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(")
-RAND_RE = re.compile(r"(?:std\s*::\s*)?\b(rand|srand|random|srandom|drand48)\s*\(")
-SYSTEM_CLOCK_RE = re.compile(r"std\s*::\s*chrono\s*::\s*system_clock")
-PADDED_STRUCT_RE = re.compile(r"struct\s+alignas\(kCacheLineSize\)\s+(\w+)")
-DEQUE_DECL_RE = re.compile(r"std\s*::\s*deque\s*<")
-ESCAPE_RE = re.compile(r"MMJOIN_NO_THREAD_SAFETY_ANALYSIS")
-EXEC_CONTAINER_RE = re.compile(
-    r"std\s*::\s*(?:vector|deque|unordered_map|unordered_set|map|set|"
-    r"array)\s*<"
-)
-# Member declarations follow the trailing-underscore convention; locals,
-# parameters, and return types never match.
-EXEC_MEMBER_RE = re.compile(r"[>*&]\s*(\w+_)\s*(?:;|=|\{|MMJOIN_GUARDED_BY)")
-EXEC_OWNERSHIP_WORDS = ("single-owner", "per-thread", "read-only")
-# Trailing-underscore integral members; `std::atomic<uint64_t> x_` cannot
-# match because '>' (not whitespace) follows the integral type name.
-BUDGET_MEMBER_RE = re.compile(
-    r"\b(?:uint64_t|uint32_t|int64_t|int32_t|std\s*::\s*size_t|size_t)"
-    r"\s+(\w+_)\s*(?:;|=|\{)"
-)
-LOOP_HEAD_RE = re.compile(r"\b(for|while)\s*\(")
-DO_RE = re.compile(r"\bdo\s*\{")
+CONCURRENCY_RULES = [
+    "atomic-order",
+    "raw-thread",
+    "join-loop-alloc",
+    "nondeterminism",
+    "padded-assert",
+    "deque-guard",
+    "exec-guard",
+    "budget-guard",
+    "bare-escape",
+]
 
 
-class Finding:
-    def __init__(self, path, line, rule, message, source_line):
-        self.path = path  # repo-relative posix string
-        self.line = line
-        self.rule = rule
-        self.message = message
-        self.source_line = source_line
-
-    def __str__(self):
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def strip_comments_and_strings(text):
-    """Blanks out comments, string and char literals, preserving offsets and
-    newlines so line numbers survive."""
-    out = list(text)
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            while i < n and text[i] != "\n":
-                out[i] = " "
-                i += 1
-        elif c == "/" and nxt == "*":
-            out[i] = out[i + 1] = " "
-            i += 2
-            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
-                if text[i] != "\n":
-                    out[i] = " "
-                i += 1
-            if i < n:
-                out[i] = " "
-                if i + 1 < n:
-                    out[i + 1] = " "
-                i += 2
-        elif c == '"' or c == "'":
-            quote = c
-            out[i] = " "
-            i += 1
-            while i < n and text[i] != quote:
-                if text[i] == "\\":
-                    out[i] = " "
-                    i += 1
-                    if i < n and text[i] != "\n":
-                        out[i] = " "
-                    i += 1
-                    continue
-                if text[i] != "\n":
-                    out[i] = " "
-                i += 1
-            if i < n:
-                out[i] = " "
-                i += 1
-        else:
-            i += 1
-    return "".join(out)
-
-
-def line_of(text, offset):
-    return text.count("\n", 0, offset) + 1
-
-
-def source_line(raw_lines, lineno):
-    if 1 <= lineno <= len(raw_lines):
-        return raw_lines[lineno - 1].strip()
-    return ""
-
-
-def matching_paren_end(text, open_paren):
-    depth = 0
-    i = open_paren
-    n = len(text)
-    while i < n:
-        if text[i] == "(":
-            depth += 1
-        elif text[i] == ")":
-            depth -= 1
-            if depth == 0:
-                return i
-        i += 1
-    return n - 1
-
-
-def check_atomic_order(path, text, raw_lines, findings):
-    # Explicit-call form: .load(...), .fetch_add(...), ...
-    for m in ATOMIC_CALL_RE.finditer(text):
-        open_paren = text.index("(", m.end() - 1)
-        end = matching_paren_end(text, open_paren)
-        call = text[m.start() : end + 1]
-        # Heuristic gate: only flag when the object plausibly is an atomic --
-        # we cannot type-check, so require the method name to be one only
-        # atomics have, or 'load'/'store'/'exchange'/'wait'/'clear' with a
-        # memory_order-shaped signature. To stay low-noise we only *require*
-        # the order on the unambiguous RMW/load/store names below.
-        method = m.group(1)
-        if method in ("wait", "test_and_set", "clear"):
-            continue  # too many non-atomic APIs share these names
-        if "memory_order" not in call:
-            lineno = line_of(text, m.start())
-            findings.append(
-                Finding(
-                    path,
-                    lineno,
-                    "atomic-order",
-                    f"atomic .{method}() without an explicit std::memory_order",
-                    source_line(raw_lines, lineno),
-                )
-            )
-    # Operator sugar on variables declared std::atomic in this file:
-    # ++x / x++ / x += / x -= / x |= / x &= / x ^= / x = value
-    # Only BARE identifier uses are checked (not `obj.name` / `p->name`):
-    # without types we cannot tell an atomic member from a plain struct field
-    # that happens to share its name. Members of the declaring class are used
-    # bare inside its member functions, which is the case that matters here;
-    # clang-tidy's concurrency checks complement this in CI.
-    names = set(ATOMIC_DECL_RE.findall(text))
-    for name in names:
-        sugar = re.compile(
-            r"(?:\+\+|--)\s*" + re.escape(name) + r"\b(?!\s*[.\[])"
-            r"|(?<![\w.>])" + re.escape(name) +
-            r"\s*(?:\+\+|--|\+=|-=|\|=|&=|\^=|=(?![=]))"
-        )
-        for m in sugar.finditer(text):
-            # Skip declarations/initializations: 'std::atomic<T> name = ...',
-            # 'uint64_t name = 0;' (same-named plain local), and references/
-            # pointers ('auto& name = ...').
-            prefix = text[max(0, m.start() - 120) : m.start()]
-            last_line = prefix.rsplit("\n", 1)[-1].rstrip()
-            if ("atomic" in last_line or
-                    last_line.endswith((">", "&", "*")) or
-                    (last_line and last_line[-1].isalnum() or
-                     last_line.endswith("_"))):
-                continue
-            lineno = line_of(text, m.start())
-            findings.append(
-                Finding(
-                    path,
-                    lineno,
-                    "atomic-order",
-                    f"operator on std::atomic '{name}' uses implicit seq_cst; "
-                    "use .load/.store/.fetch_* with an explicit order",
-                    source_line(raw_lines, lineno),
-                )
-            )
-
-
-def check_raw_thread(path, text, raw_lines, findings):
-    if path.startswith("src/thread/"):
-        return
-    for m in RAW_THREAD_RE.finditer(text):
-        if HW_CONCURRENCY_RE.match(text, m.start()):
-            continue
-        lineno = line_of(text, m.start())
-        findings.append(
-            Finding(
-                path,
-                lineno,
-                "raw-thread",
-                "raw std::thread outside src/thread/; use thread::Executor",
-                source_line(raw_lines, lineno),
-            )
-        )
-
-
-def loop_body_spans(text):
-    """Yields (start, end) offsets of the brace-delimited bodies of
-    for/while/do loops. Braceless single-statement loops are ignored (they
-    cannot hide much) -- this is a lint, not a parser."""
-    spans = []
-    for m in LOOP_HEAD_RE.finditer(text):
-        open_paren = text.index("(", m.end() - 1)
-        close_paren = matching_paren_end(text, open_paren)
-        # Find the first non-space char after the loop head.
-        i = close_paren + 1
-        while i < len(text) and text[i] in " \t\n":
-            i += 1
-        if i < len(text) and text[i] == "{":
-            depth = 0
-            j = i
-            while j < len(text):
-                if text[j] == "{":
-                    depth += 1
-                elif text[j] == "}":
-                    depth -= 1
-                    if depth == 0:
-                        break
-                j += 1
-            spans.append((i, j))
-    for m in DO_RE.finditer(text):
-        i = text.index("{", m.start())
-        depth = 0
-        j = i
-        while j < len(text):
-            if text[j] == "{":
-                depth += 1
-            elif text[j] == "}":
-                depth -= 1
-                if depth == 0:
-                    break
-            j += 1
-        spans.append((i, j))
-    return spans
-
-
-def check_join_loop_alloc(path, text, raw_lines, findings):
-    if not path.startswith("src/join/"):
-        return
-    spans = loop_body_spans(text)
-    if not spans:
-        return
-    for m in ALLOC_RE.finditer(text):
-        pos = m.start()
-        if not any(start <= pos <= end for start, end in spans):
-            continue
-        # 'new' in comments/strings is already stripped; skip placement-new
-        # false positives like 'new (ptr) T' is still an allocation decision
-        # we want reviewed, so no exception.
-        lineno = line_of(text, pos)
-        findings.append(
-            Finding(
-                path,
-                lineno,
-                "join-loop-alloc",
-                "heap allocation inside a join-phase loop; hoist it and "
-                "allocate through mem/ or numa/ before the timed region",
-                source_line(raw_lines, lineno),
-            )
-        )
-
-
-def check_nondeterminism(path, text, raw_lines, findings):
-    if path.startswith("src/util/rng"):
-        return
-    for m in RAND_RE.finditer(text):
-        lineno = line_of(text, m.start())
-        findings.append(
-            Finding(
-                path,
-                lineno,
-                "nondeterminism",
-                f"libc '{m.group(1)}' in src/; use util/rng.h (seeded, "
-                "reproducible)",
-                source_line(raw_lines, lineno),
-            )
-        )
-    for m in SYSTEM_CLOCK_RE.finditer(text):
-        lineno = line_of(text, m.start())
-        findings.append(
-            Finding(
-                path,
-                lineno,
-                "nondeterminism",
-                "std::chrono::system_clock in src/; timed regions use the "
-                "monotonic NowNanos() from util/timer.h",
-                source_line(raw_lines, lineno),
-            )
-        )
-
-
-def check_padded_assert(path, text, raw_lines, findings):
-    for m in PADDED_STRUCT_RE.finditer(text):
-        name = m.group(1)
-        assert_re = re.compile(
-            r"static_assert\s*\([^;]*\b" + re.escape(name) + r"\b", re.DOTALL
-        )
-        if not assert_re.search(text):
-            lineno = line_of(text, m.start())
-            findings.append(
-                Finding(
-                    path,
-                    lineno,
-                    "padded-assert",
-                    f"struct '{name}' is alignas(kCacheLineSize) but has no "
-                    "static_assert checking its size/alignment",
-                    source_line(raw_lines, lineno),
-                )
-            )
-
-
-def check_deque_guard(path, text, raw_lines, findings):
-    if not path.startswith("src/"):
-        return
-    for m in DEQUE_DECL_RE.finditer(text):
-        # The declaration statement runs to the next ';'; the annotation
-        # must sit inside it (e.g. 'std::deque<T> q MMJOIN_GUARDED_BY(mu);').
-        end = text.find(";", m.start())
-        stmt = text[m.start() : end if end != -1 else len(text)]
-        if "MMJOIN_GUARDED_BY" in stmt:
-            continue
-        lineno = line_of(text, m.start())
-        findings.append(
-            Finding(
-                path,
-                lineno,
-                "deque-guard",
-                "std::deque without MMJOIN_GUARDED_BY; annotate which mutex "
-                "protects it (work-stealing shards are the template)",
-                source_line(raw_lines, lineno),
-            )
-        )
-
-
-def check_exec_guard(path, text, raw_lines, findings):
-    if not path.startswith("src/exec/"):
-        return
-    for m in EXEC_CONTAINER_RE.finditer(text):
-        lineno = line_of(text, m.start())
-        line_end = text.find("\n", m.start())
-        decl = text[m.start() : line_end if line_end != -1 else len(text)]
-        member = EXEC_MEMBER_RE.search(decl)
-        if not member:
-            continue  # local, parameter, or return type -- not member state
-        if "MMJOIN_GUARDED_BY" in decl:
-            continue
-        window = " ".join(
-            source_line(raw_lines, l)
-            for l in (lineno - 2, lineno - 1, lineno)
-        )
-        if any(word in window for word in EXEC_OWNERSHIP_WORDS):
-            continue
-        findings.append(
-            Finding(
-                path,
-                lineno,
-                "exec-guard",
-                f"container member '{member.group(1)}' in src/exec/ without "
-                "MMJOIN_GUARDED_BY or an ownership comment "
-                "(single-owner / per-thread / read-only)",
-                source_line(raw_lines, lineno),
-            )
-        )
-
-
-def check_budget_guard(path, text, raw_lines, findings):
-    if not path.startswith("src/mem/budget"):
-        return
-    for m in BUDGET_MEMBER_RE.finditer(text):
-        lineno = line_of(text, m.start())
-        line_start = text.rfind("\n", 0, m.start()) + 1
-        line_end = text.find("\n", m.start())
-        decl = text[line_start : line_end if line_end != -1 else len(text)]
-        if "const" in decl or "MMJOIN_GUARDED_BY" in decl:
-            continue
-        window = " ".join(
-            source_line(raw_lines, l)
-            for l in (lineno - 2, lineno - 1, lineno)
-        )
-        if any(word in window for word in EXEC_OWNERSHIP_WORDS):
-            continue
-        findings.append(
-            Finding(
-                path,
-                lineno,
-                "budget-guard",
-                f"integral member '{m.group(1)}' in src/mem/budget* is "
-                "neither std::atomic, const, MMJOIN_GUARDED_BY-annotated, "
-                "nor ownership-commented (single-owner / per-thread / "
-                "read-only); shared budget counters race",
-                source_line(raw_lines, lineno),
-            )
-        )
-
-
-def check_bare_escape(path, raw_text, raw_lines, findings):
-    # Runs over the RAW text (comments matter here).
-    for m in ESCAPE_RE.finditer(raw_text):
-        lineno = line_of(raw_text, m.start())
-        if path.endswith("util/annotations.h"):
-            continue  # the definition site
-        this_line = source_line(raw_lines, lineno)
-        prev_line = source_line(raw_lines, lineno - 1)
-        if "//" in this_line.split("MMJOIN_NO_THREAD_SAFETY_ANALYSIS")[-1] or \
-           prev_line.startswith("//"):
-            continue
-        findings.append(
-            Finding(
-                path,
-                lineno,
-                "bare-escape",
-                "MMJOIN_NO_THREAD_SAFETY_ANALYSIS without an explanatory "
-                "comment on the same or preceding line",
-                this_line,
-            )
-        )
-
-
-def lint_file(abs_path):
-    try:
-        rel = abs_path.relative_to(REPO_ROOT).as_posix()
-    except ValueError:
-        # Outside the repo (self-tests, ad-hoc runs): path rules key off the
-        # 'src/...' suffix, so recover it if present.
-        s = abs_path.as_posix()
-        rel = "src/" + s.split("/src/", 1)[1] if "/src/" in s else s
-    raw = abs_path.read_text(encoding="utf-8", errors="replace")
-    raw_lines = raw.splitlines()
-    text = strip_comments_and_strings(raw)
-    findings = []
-    check_atomic_order(rel, text, raw_lines, findings)
-    check_raw_thread(rel, text, raw_lines, findings)
-    check_join_loop_alloc(rel, text, raw_lines, findings)
-    check_nondeterminism(rel, text, raw_lines, findings)
-    check_padded_assert(rel, text, raw_lines, findings)
-    check_deque_guard(rel, text, raw_lines, findings)
-    check_exec_guard(rel, text, raw_lines, findings)
-    check_budget_guard(rel, text, raw_lines, findings)
-    check_bare_escape(rel, raw, raw_lines, findings)
-    return findings
-
-
-def load_allowlist(path):
-    entries = []
-    if not path.exists():
-        return entries
-    for raw_line in path.read_text().splitlines():
-        line = raw_line.strip()
-        if not line or line.startswith("#"):
-            continue
-        parts = line.split(":", 2)
-        if len(parts) != 3:
-            print(f"warning: malformed allowlist entry ignored: {line}",
-                  file=sys.stderr)
-            continue
-        entries.append(tuple(parts))
-    return entries
-
-
-def allowed(finding, entries):
-    for path, rule, substring in entries:
-        if path != finding.path:
-            continue
-        if rule != "*" and rule != finding.rule:
-            continue
-        if substring and substring not in finding.source_line:
-            continue
-        return True
-    return False
-
-
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("roots", nargs="*", default=[],
-                        help="files or directories to lint (default: src/)")
-    parser.add_argument("--allowlist", type=pathlib.Path,
-                        default=DEFAULT_ALLOWLIST)
-    parser.add_argument("--fix-allowlist", action="store_true",
-                        help="rewrite the allowlist from current findings")
-    parser.add_argument("--quiet", action="store_true",
-                        help="suppress the summary line")
-    args = parser.parse_args()
-
-    roots = [pathlib.Path(r) for r in args.roots] or [REPO_ROOT / "src"]
-    files = []
-    for root in roots:
-        root = root if root.is_absolute() else REPO_ROOT / root
-        if root.is_file():
-            files.append(root)
-        else:
-            files.extend(p for p in sorted(root.rglob("*"))
-                         if p.suffix in SOURCE_SUFFIXES)
-
-    findings = []
-    for f in files:
-        findings.extend(lint_file(f))
-
-    if args.fix_allowlist:
-        with open(args.allowlist, "w") as out:
-            out.write("# Concurrency-lint allowlist. Format: path:rule:substring\n")
-            out.write("# Every entry needs a justification comment. Prune, do"
-                      " not grow.\n")
-            for finding in findings:
-                out.write(f"# TODO: justify\n{finding.path}:{finding.rule}:"
-                          f"{finding.source_line[:60]}\n")
-        print(f"wrote {len(findings)} entries to {args.allowlist}")
-        return 0
-
-    entries = load_allowlist(args.allowlist)
-    hard = [f for f in findings if not allowed(f, entries)]
-    for finding in hard:
-        print(finding)
-    if not args.quiet:
-        suppressed = len(findings) - len(hard)
-        print(f"lint_concurrency: {len(hard)} finding(s), "
-              f"{suppressed} allowlisted, {len(files)} file(s) checked",
-              file=sys.stderr)
-    return 1 if hard else 0
+def main(argv):
+    sys.stderr.write(
+        "note: scripts/lint_concurrency.py is deprecated and now delegates "
+        "to scripts/mmjoin_lint (concurrency rules only); run `python3 "
+        "scripts/mmjoin_lint --all` for the full rule set.\n")
+    if "--fix-allowlist" in argv:
+        sys.stderr.write(
+            "error: --fix-allowlist is gone; add justified entries to "
+            "scripts/allowlists/<rule-id>.txt by hand instead.\n")
+        return 2
+    ignored = [a for a in argv if not a.startswith("-")]
+    if ignored:
+        sys.stderr.write(
+            f"note: subtree arguments {ignored} are ignored; mmjoin_lint "
+            "always scans all of src/.\n")
+    cmd = [sys.executable,
+           str(pathlib.Path(__file__).resolve().parent / "mmjoin_lint"),
+           "--quiet"]
+    for rule in CONCURRENCY_RULES:
+        cmd += ["--rule", rule]
+    return subprocess.call(cmd)
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,6 @@
+"""mmjoin_lint: stdlib-only, AST-free static analysis for the mmjoin tree.
+
+The package is an executable directory: `python3 scripts/mmjoin_lint --all`
+runs every rule over the repository. See __main__.py for the CLI and
+docs/STATIC_ANALYSIS.md for the rule catalogue.
+"""

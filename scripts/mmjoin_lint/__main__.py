@@ -1,0 +1,123 @@
+"""mmjoin_lint CLI.
+
+    python3 scripts/mmjoin_lint --all              # every rule over the repo
+    python3 scripts/mmjoin_lint --rule layer-dag   # one rule (repeatable)
+    python3 scripts/mmjoin_lint --list             # rule catalogue
+    python3 scripts/mmjoin_lint --self-test        # fixtures under tests/lint/
+    python3 scripts/mmjoin_lint --root DIR         # lint another tree
+
+Exit codes: 0 clean, 1 findings (or failed self-test), 2 usage/config
+errors (malformed allowlists, unknown rule ids).
+
+Findings print as `file:line: [rule] message`. Per-rule wall time prints
+to stderr after every run so CI surfaces which rule got slow.
+"""
+
+import argparse
+import pathlib
+import sys
+
+if __package__ in (None, ""):
+    # Executed as `python3 scripts/mmjoin_lint`: the directory itself is on
+    # sys.path but the package is not importable. Put scripts/ there and
+    # re-enter through the package so relative imports inside it work.
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    from mmjoin_lint import cppmodel, engine  # noqa: E402
+else:
+    from . import cppmodel, engine
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="mmjoin_lint",
+        description="stdlib-only multi-rule static analysis for mmjoin")
+    parser.add_argument("--all", action="store_true",
+                        help="run every registered rule (default)")
+    parser.add_argument("--rule", action="append", default=[],
+                        metavar="ID", help="run one rule; repeatable")
+    parser.add_argument("--list", action="store_true",
+                        help="list rules and exit")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run every rule against tests/lint/ fixtures")
+    parser.add_argument("--root", type=pathlib.Path, default=REPO_ROOT,
+                        help="repository root to lint (default: this repo)")
+    parser.add_argument("--no-allowlist", action="store_true",
+                        help="ignore allowlists (report everything)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="self-test: print the findings each bad "
+                             "fixture produced")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary and timing lines")
+    args = parser.parse_args(argv)
+
+    rules_by_id = engine.all_rules()
+
+    if args.list:
+        width = max(len(r) for r in rules_by_id)
+        for rule_id in sorted(rules_by_id):
+            rule = rules_by_id[rule_id]
+            print(f"{rule_id:<{width}}  [{rule.scope}]  {rule.doc}")
+        return 0
+
+    if args.rule:
+        unknown = [r for r in args.rule if r not in rules_by_id]
+        if unknown:
+            print(f"mmjoin_lint: unknown rule id(s): {', '.join(unknown)} "
+                  "(see --list)", file=sys.stderr)
+            return 2
+        selected = [rules_by_id[r] for r in args.rule]
+    else:
+        selected = [rules_by_id[r] for r in sorted(rules_by_id)]
+
+    if args.self_test:
+        failures = engine.self_test(args.root, selected,
+                                    verbose=args.verbose)
+        if failures:
+            for failure in failures:
+                print(f"self-test FAIL: {failure}")
+            print(f"mmjoin_lint --self-test: {len(failures)} failure(s) "
+                  f"across {len(selected)} rule(s)", file=sys.stderr)
+            return 1
+        if not args.quiet:
+            print(f"mmjoin_lint --self-test: {len(selected)} rule(s) OK",
+                  file=sys.stderr)
+        return 0
+
+    repo = cppmodel.Repo(args.root)
+    findings, timings = engine.run_rules(repo, selected)
+
+    if args.no_allowlist:
+        hard, suppressed = findings, []
+    else:
+        per_rule, errors = engine.load_allowlists(
+            args.root, list(rules_by_id))
+        if errors:
+            for error in errors:
+                print(f"mmjoin_lint: allowlist error: {error}",
+                      file=sys.stderr)
+            return 2
+        # Only apply entries for rules actually selected; stale detection
+        # would misfire for entries of rules that did not run.
+        selected_ids = {rule.id for rule in selected}
+        per_rule = {rid: entries for rid, entries in per_rule.items()
+                    if rid in selected_ids}
+        hard, suppressed = engine.apply_allowlists(findings, per_rule)
+
+    for finding in sorted(hard, key=lambda f: (f.path, f.line, f.rule)):
+        print(finding)
+
+    if not args.quiet:
+        print(
+            f"mmjoin_lint: {len(hard)} finding(s), "
+            f"{len(suppressed)} allowlisted, {len(selected)} rule(s)",
+            file=sys.stderr)
+        for rule_id in sorted(timings, key=timings.get, reverse=True):
+            print(f"  {timings[rule_id] * 1000:8.1f} ms  {rule_id}",
+                  file=sys.stderr)
+    return 1 if hard else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,213 @@
+"""Shared C++ source model for mmjoin lint rules.
+
+Nothing here parses C++; the rules work on regular expressions over
+*stripped* views of each translation unit. Two views cover every rule's
+needs, both offset-preserving (newlines survive, every replaced character
+becomes a space) so `line_of` works on any view:
+
+  code        comments AND string/char literals blanked -- for structural
+              rules that must not trip over prose or literals.
+  code_str    only comments blanked, literals kept -- for registry rules
+              that need the actual name literals out of macro invocations.
+
+A SourceFile bundles the raw text, both stripped views, and the raw lines;
+a Repo is the lazily-loaded set of SourceFiles under a root directory.
+"""
+
+import pathlib
+import re
+
+SOURCE_SUFFIXES = (".cc", ".h")
+
+# Fixture files declare the path the rules should believe they have, e.g.
+#   // lint-path: src/join/bad_barrier.cc
+# so path-scoped rules can be exercised from tests/lint/ without the fixture
+# actually living in src/.
+LINT_PATH_RE = re.compile(r"^//\s*lint-path:\s*(\S+)\s*$", re.MULTILINE)
+
+
+def _strip(text, strip_strings):
+    """Blanks comments (and optionally string/char literals), preserving
+    offsets and newlines so line numbers survive."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (
+                text[i] == "*" and i + 1 < n and text[i + 1] == "/"
+            ):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                if i + 1 < n:
+                    out[i + 1] = " "
+                i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            if strip_strings:
+                out[i] = " "
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    if strip_strings:
+                        out[i] = " "
+                    i += 1
+                    if i < n and text[i] != "\n" and strip_strings:
+                        out[i] = " "
+                    i += 1
+                    continue
+                if text[i] != "\n" and strip_strings:
+                    out[i] = " "
+                i += 1
+            if i < n:
+                if strip_strings:
+                    out[i] = " "
+                i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def strip_comments_and_strings(text):
+    return _strip(text, strip_strings=True)
+
+
+def strip_comments(text):
+    return _strip(text, strip_strings=False)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def matching_paren_end(text, open_paren):
+    depth = 0
+    i = open_paren
+    n = len(text)
+    while i < n:
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return n - 1
+
+
+LOOP_HEAD_RE = re.compile(r"\b(for|while)\s*\(")
+DO_RE = re.compile(r"\bdo\s*\{")
+
+
+def loop_body_spans(text):
+    """Yields (start, end) offsets of the brace-delimited bodies of
+    for/while/do loops. Braceless single-statement loops are ignored (they
+    cannot hide much) -- this is a lint, not a parser."""
+    spans = []
+    for m in LOOP_HEAD_RE.finditer(text):
+        open_paren = text.index("(", m.end() - 1)
+        close_paren = matching_paren_end(text, open_paren)
+        i = close_paren + 1
+        while i < len(text) and text[i] in " \t\n":
+            i += 1
+        if i < len(text) and text[i] == "{":
+            depth = 0
+            j = i
+            while j < len(text):
+                if text[j] == "{":
+                    depth += 1
+                elif text[j] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            spans.append((i, j))
+    for m in DO_RE.finditer(text):
+        i = text.index("{", m.start())
+        depth = 0
+        j = i
+        while j < len(text):
+            if text[j] == "{":
+                depth += 1
+            elif text[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        spans.append((i, j))
+    return spans
+
+
+class SourceFile:
+    """One translation unit: raw text plus the two stripped views.
+
+    `path` is the repo-relative posix path the rules key their scoping off
+    (src/join/..., src/exec/...). For fixtures it comes from the
+    `// lint-path:` directive; for real files from the location on disk.
+    """
+
+    def __init__(self, path, raw, disk_path=None):
+        self.path = path
+        self.disk_path = disk_path  # pathlib.Path or None (for display only)
+        self.raw = raw
+        self.raw_lines = raw.splitlines()
+        self.code = strip_comments_and_strings(raw)
+        self.code_str = strip_comments(raw)
+
+    @classmethod
+    def load(cls, disk_path, repo_root):
+        raw = disk_path.read_text(encoding="utf-8", errors="replace")
+        directive = LINT_PATH_RE.search(raw)
+        if directive:
+            rel = directive.group(1)
+        else:
+            try:
+                rel = disk_path.resolve().relative_to(repo_root).as_posix()
+            except ValueError:
+                s = disk_path.as_posix()
+                rel = "src/" + s.split("/src/", 1)[1] if "/src/" in s else s
+        return cls(rel, raw, disk_path=disk_path)
+
+    def line(self, lineno):
+        if 1 <= lineno <= len(self.raw_lines):
+            return self.raw_lines[lineno - 1].strip()
+        return ""
+
+
+class Repo:
+    """A lint target: a directory with (subsets of) the repo layout.
+
+    The real repository and each repo-scoped fixture directory under
+    tests/lint/ are both Repos; rules must only assume the pieces they
+    check exist (`read_text` returns None for a missing file).
+    """
+
+    def __init__(self, root):
+        self.root = pathlib.Path(root).resolve()
+        self._sources = None
+
+    def sources(self):
+        if self._sources is None:
+            self._sources = []
+            src = self.root / "src"
+            if src.is_dir():
+                for p in sorted(src.rglob("*")):
+                    if p.suffix in SOURCE_SUFFIXES:
+                        self._sources.append(SourceFile.load(p, self.root))
+        return self._sources
+
+    def read_text(self, rel):
+        p = self.root / rel
+        if not p.is_file():
+            return None
+        return p.read_text(encoding="utf-8", errors="replace")

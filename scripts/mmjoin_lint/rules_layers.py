@@ -1,0 +1,98 @@
+"""layer-dag: the src/ include graph must respect the layer order.
+
+The architecture is a DAG of directories; an #include edge may only point
+at the SAME directory or a STRICTLY LOWER layer:
+
+    rank 0  util                 (no dependencies)
+    rank 1  obs                  (util)
+    rank 2  mem                  (obs, util)
+    rank 3  numa                 (mem and below)
+    rank 4  thread, workload,    (numa and below; siblings may not
+            memsim                include each other)
+    rank 5  partition, hash,     (thread and below; siblings may not
+            sort                  include each other)
+    rank 6  join                 (partition/hash/sort and below)
+    rank 7  exec                 (join and below)
+    rank 8  core, tpch           (everything below; not each other)
+
+Same-RANK cross-directory edges are violations too: hash including sort
+would silently merge two layers the build graph keeps separate. A new
+directory must be added to LAYER_RANK here (and to the table in
+docs/STATIC_ANALYSIS.md) before it can be included from anywhere -- an
+include of an unranked directory is itself a finding, so the rule cannot
+silently rot as the tree grows.
+"""
+
+import re
+
+from .cppmodel import line_of
+from .engine import Finding, register
+
+LAYER_RANK = {
+    "util": 0,
+    "obs": 1,
+    "mem": 2,
+    "numa": 3,
+    "thread": 4,
+    "workload": 4,
+    "memsim": 4,
+    "partition": 5,
+    "hash": 5,
+    "sort": 5,
+    "join": 6,
+    "exec": 7,
+    "core": 8,
+    "tpch": 8,
+}
+
+INCLUDE_RE = re.compile(r'^[ \t]*#[ \t]*include[ \t]+"([^"]+)"',
+                        re.MULTILINE)
+
+
+@register("layer-dag", "file",
+          "src/ #include edges must point same-dir or strictly down-layer")
+def check_layer_dag(sf, findings):
+    parts = sf.path.split("/")
+    if len(parts) < 3 or parts[0] != "src":
+        return  # not under a src/<dir>/ layer
+    my_dir = parts[1]
+    my_rank = LAYER_RANK.get(my_dir)
+    if my_rank is None:
+        lineno = 1
+        findings.append(Finding(
+            sf.path, lineno, "layer-dag",
+            f"directory 'src/{my_dir}/' has no layer rank; add it to "
+            "LAYER_RANK in scripts/mmjoin_lint/rules_layers.py and to the "
+            "layer table in docs/STATIC_ANALYSIS.md",
+            sf.line(lineno)))
+        return
+    # Quoted includes resolve against -Isrc, so the first path component is
+    # the target layer directory. (System includes use <> and are exempt.)
+    # Scans code_str: comments are stripped (a commented-out include is not
+    # an edge) but the include path string must survive.
+    for m in INCLUDE_RE.finditer(sf.code_str):
+        target = m.group(1)
+        target_dir = target.split("/", 1)[0]
+        if "/" not in target:
+            continue  # same-directory relative include, not layered
+        target_rank = LAYER_RANK.get(target_dir)
+        lineno = line_of(sf.code_str, m.start())
+        if target_rank is None:
+            findings.append(Finding(
+                sf.path, lineno, "layer-dag",
+                f"include of unranked directory '{target_dir}/'; add it to "
+                "LAYER_RANK in scripts/mmjoin_lint/rules_layers.py",
+                sf.line(lineno)))
+            continue
+        if target_dir == my_dir:
+            continue
+        if target_rank >= my_rank:
+            relation = ("an upper layer" if target_rank > my_rank
+                        else "a same-rank sibling layer")
+            findings.append(Finding(
+                sf.path, lineno, "layer-dag",
+                f"src/{my_dir}/ (rank {my_rank}) includes "
+                f"\"{target}\" from {relation} "
+                f"(src/{target_dir}/, rank {target_rank}); the layer DAG "
+                "only allows same-directory or strictly lower includes",
+                sf.line(lineno)))

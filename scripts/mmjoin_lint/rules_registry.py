@@ -1,0 +1,237 @@
+"""registry-drift: names used in src/ == registries == doc tables.
+
+Four name families share one discipline; each has a machine-readable
+X-macro registry, a set of literal use sites in src/, and a documentation
+table marked with an HTML comment:
+
+  family      registry                       uses scanned               doc table marker
+  failpoints  src/util/failpoint_registry.h  MMJOIN_FAILPOINT("...")    docs/ROBUSTNESS.md    registry=failpoints
+  counters    src/obs/metric_names.h         AddCounter("..."),         docs/OBSERVABILITY.md registry=counters
+                                             Metric{"..."}
+  histograms  src/obs/metric_names.h         GetHistogram("...")        docs/OBSERVABILITY.md registry=histograms
+  log-events  src/util/log_events.h          MMJOIN_LOG(kX, "...")      docs/OBSERVABILITY.md registry=log-events
+
+The rule fails on:
+  * a literal use in src/ whose name is not registered,
+  * a registry entry no site in src/ ever uses (dead registration),
+  * a registry entry absent from its doc table (undocumented), and
+  * a doc row naming nothing in the registry (dead doc row).
+
+`test.`-prefixed names are exempt everywhere (reserved for tests). Doc
+rows may use `<placeholder>` segments (`join.phase_ns.<phase>`) which
+match any suffix of word characters and dots; one such row documents the
+whole registered family it covers.
+"""
+
+import re
+
+from .cppmodel import line_of
+from .engine import Finding, register
+
+RULE = "registry-drift"
+TEST_PREFIX = "test."
+
+X_ENTRY_RE = re.compile(r'^\s*X\("([^"]+)"\)', re.MULTILINE)
+
+FAILPOINT_USE_RE = re.compile(r'MMJOIN_FAILPOINT\(\s*"([^"]+)"\s*\)')
+ADD_COUNTER_RE = re.compile(r'AddCounter\(\s*"([^"]+)"')
+# Metric{ "name", value } -- the name may sit on the next line.
+METRIC_BRACE_RE = re.compile(r'Metric\{\s*"([^"]+)"')
+GET_HISTOGRAM_RE = re.compile(r'GetHistogram\(\s*"([^"]+)"\s*\)')
+LOG_USE_RE = re.compile(r'MMJOIN_LOG\(\s*k\w+\s*,\s*"([^"]+)"')
+
+DOC_MARKER_RE = re.compile(r'<!--\s*mmjoin-lint:\s*registry=([\w-]+)\s*-->')
+BACKTICK_RE = re.compile(r'`([^`]+)`')
+
+
+def parse_x_macro(text, macro_name):
+    """Extracts X("...") entries from the continuation block of
+    `#define macro_name(X)`. Returns [(name, lineno)]."""
+    lines = text.splitlines()
+    entries = []
+    in_block = False
+    for idx, line in enumerate(lines, start=1):
+        if not in_block:
+            if re.match(r"\s*#\s*define\s+" + re.escape(macro_name)
+                        + r"\s*\(", line):
+                in_block = True
+            else:
+                continue
+        for m in X_ENTRY_RE.finditer(line):
+            entries.append((m.group(1), idx))
+        if in_block and not line.rstrip().endswith("\\"):
+            break
+    return entries
+
+
+def parse_doc_table(doc_text, marker_key):
+    """Returns ([(identifier, lineno)], found_marker). The table is the
+    first run of '|' rows after the marker; the identifier is the first
+    backticked token of each row's first cell."""
+    marker_line = None
+    lines = doc_text.splitlines()
+    for idx, line in enumerate(lines, start=1):
+        m = DOC_MARKER_RE.search(line)
+        if m and m.group(1) == marker_key:
+            marker_line = idx
+            break
+    if marker_line is None:
+        return [], False
+    rows = []
+    in_table = False
+    for idx in range(marker_line, len(lines)):
+        line = lines[idx].strip()
+        if line.startswith("|"):
+            in_table = True
+            first_cell = line.split("|")[1] if line.count("|") >= 2 else ""
+            if set(first_cell.strip()) <= set("-: "):
+                continue  # separator row
+            token = BACKTICK_RE.search(first_cell)
+            if token:
+                rows.append((token.group(1), idx + 1))
+            # header rows carry no backticks and are skipped naturally
+        elif in_table and line:
+            break  # table ended
+        elif in_table and not line:
+            break
+    return rows, True
+
+
+def doc_pattern(identifier):
+    """Doc identifiers may contain <placeholder> wildcards."""
+    out = []
+    for piece in re.split(r"(<[^<>]+>)", identifier):
+        if piece.startswith("<") and piece.endswith(">"):
+            out.append(r"[\w.]+")
+        else:
+            out.append(re.escape(piece))
+    return re.compile("^" + "".join(out) + "$")
+
+
+class Family:
+    def __init__(self, key, registry_path, macro, doc_path, marker,
+                 use_regexes, use_label):
+        self.key = key
+        self.registry_path = registry_path
+        self.macro = macro
+        self.doc_path = doc_path
+        self.marker = marker
+        self.use_regexes = use_regexes
+        self.use_label = use_label
+
+
+FAMILIES = [
+    Family("failpoints", "src/util/failpoint_registry.h",
+           "MMJOIN_FAILPOINT_REGISTRY", "docs/ROBUSTNESS.md", "failpoints",
+           [FAILPOINT_USE_RE], "MMJOIN_FAILPOINT"),
+    Family("counters", "src/obs/metric_names.h",
+           "MMJOIN_COUNTER_REGISTRY", "docs/OBSERVABILITY.md", "counters",
+           [ADD_COUNTER_RE, METRIC_BRACE_RE], "counter emission"),
+    Family("histograms", "src/obs/metric_names.h",
+           "MMJOIN_HISTOGRAM_REGISTRY", "docs/OBSERVABILITY.md",
+           "histograms", [GET_HISTOGRAM_RE], "GetHistogram"),
+    Family("log-events", "src/util/log_events.h",
+           "MMJOIN_LOG_EVENT_REGISTRY", "docs/OBSERVABILITY.md",
+           "log-events", [LOG_USE_RE], "MMJOIN_LOG"),
+]
+
+
+@register(RULE, "repo",
+          "failpoint/metric/log-event names: src/ uses == registry == docs")
+def check_registry_drift(repo, findings):
+    for family in FAMILIES:
+        _check_family(repo, family, findings)
+
+
+def _check_family(repo, family, findings):
+    registry_text = repo.read_text(family.registry_path)
+    if registry_text is None:
+        findings.append(Finding(
+            family.registry_path, 1, RULE,
+            f"registry header {family.registry_path} is missing (needed "
+            f"for the {family.key} family)"))
+        return
+    registered = parse_x_macro(registry_text, family.macro)
+    if not registered:
+        findings.append(Finding(
+            family.registry_path, 1, RULE,
+            f"no X(\"...\") entries found under {family.macro}; either "
+            "the registry is empty or its format drifted from what this "
+            "rule parses"))
+        return
+    registered_names = {name for name, _ in registered}
+
+    # Duplicate registration is drift too: two entries, one meaning.
+    seen = {}
+    for name, lineno in registered:
+        if name in seen:
+            findings.append(Finding(
+                family.registry_path, lineno, RULE,
+                f"'{name}' registered twice (first at line {seen[name]})"))
+        else:
+            seen[name] = lineno
+
+    # ---- src/ literal uses vs the registry, both directions.
+    used_names = set()
+    for sf in repo.sources():
+        if sf.path == family.registry_path:
+            continue
+        for use_re in family.use_regexes:
+            for m in use_re.finditer(sf.code_str):
+                name = m.group(1)
+                used_names.add(name)
+                if name.startswith(TEST_PREFIX):
+                    continue
+                if name not in registered_names:
+                    lineno = line_of(sf.code_str, m.start())
+                    findings.append(Finding(
+                        sf.path, lineno, RULE,
+                        f"{family.use_label} uses unregistered name "
+                        f"'{name}'; add it to {family.macro} in "
+                        f"{family.registry_path} (and to the doc table in "
+                        f"{family.doc_path})",
+                        sf.line(lineno)))
+    for name, lineno in registered:
+        if name not in used_names:
+            findings.append(Finding(
+                family.registry_path, lineno, RULE,
+                f"registered {family.key} name '{name}' is never used in "
+                "src/; delete the registration or wire up the site"))
+
+    # ---- registry vs the documentation table, both directions.
+    doc_text = repo.read_text(family.doc_path)
+    if doc_text is None:
+        findings.append(Finding(
+            family.doc_path, 1, RULE,
+            f"{family.doc_path} is missing (documents the {family.key} "
+            "registry)"))
+        return
+    doc_rows, found_marker = parse_doc_table(doc_text, family.marker)
+    if not found_marker:
+        findings.append(Finding(
+            family.doc_path, 1, RULE,
+            f"no '<!-- mmjoin-lint: registry={family.marker} -->' marker "
+            f"in {family.doc_path}; the {family.key} table is unmarked or "
+            "gone"))
+        return
+    if not doc_rows:
+        findings.append(Finding(
+            family.doc_path, 1, RULE,
+            f"marker registry={family.marker} found but no table rows "
+            "with backticked identifiers follow it"))
+        return
+    patterns = [(ident, lineno, doc_pattern(ident))
+                for ident, lineno in doc_rows]
+    for name, reg_lineno in registered:
+        if not any(p.match(name) for _, _, p in patterns):
+            findings.append(Finding(
+                family.registry_path, reg_lineno, RULE,
+                f"registered {family.key} name '{name}' has no row in the "
+                f"marked table of {family.doc_path}"))
+    for ident, doc_lineno, pattern in patterns:
+        if not any(pattern.match(name) for name in registered_names):
+            findings.append(Finding(
+                family.doc_path, doc_lineno, RULE,
+                f"doc table row '{ident}' matches no registered "
+                f"{family.key} name; the row is dead or the name was "
+                "renamed without updating the table"))

@@ -3,14 +3,16 @@
 # single join. Mirrors the CI `static-analysis` job; run locally before
 # sending a change that touches shared state.
 #
-#   1. scripts/lint_concurrency.py      always (stdlib python3 only)
+#   1. scripts/mmjoin_lint              always (stdlib python3 only):
+#        --self-test over tests/lint/ fixtures, then --all over the repo.
 #   2. Clang -Wthread-safety build      if a clang++ is available
 #   3. negative-compile check           if a clang++ is available:
 #        tests/annotations_negative.cc MUST fail under -Werror=thread-safety
 #        as written, and MUST compile with -DMMJOIN_NEGATIVE_FIXED.
 #   4. clang-tidy over src/             if clang-tidy is available
+#   5. scan-build (clang analyzer)      if scan-build is available
 #
-# Steps 2-4 print SKIPPED (with the reason) when the tool is missing -- GCC
+# Steps 2-5 print SKIPPED (with the reason) when the tool is missing -- GCC
 # has no thread-safety analysis, and some dev containers carry only the LLVM
 # backend tools. CI always installs clang, so nothing is skipped there.
 #
@@ -30,11 +32,18 @@ fail() { printf 'FAILED: %s\n' "$1"; failures=$((failures + 1)); }
 ok()   { printf 'OK: %s\n' "$1"; }
 
 # ----------------------------------------------------------------- 1. lint
-step "concurrency lint (scripts/lint_concurrency.py)"
-if python3 scripts/lint_concurrency.py; then
+step "mmjoin_lint self-test (tests/lint/ fixtures)"
+if python3 scripts/mmjoin_lint --self-test --quiet; then
+  ok "every bad fixture fires, every good fixture is quiet"
+else
+  fail "lint self-test (a rule or fixture drifted; run with --self-test --verbose)"
+fi
+
+step "mmjoin_lint --all (layer DAG, concurrency, Status, registries, barriers)"
+if python3 scripts/mmjoin_lint --all; then
   ok "lint clean"
 else
-  fail "lint findings above (fix them or justify in scripts/concurrency_allowlist.txt)"
+  fail "lint findings above (fix them or justify in scripts/allowlists/<rule>.txt)"
 fi
 
 # Locate a clang++ (plain name first, then versioned).
@@ -116,6 +125,36 @@ if [ -n "${CLANGTIDY}" ] && [ -f "${BUILD_DIR}/compile_commands.json" ]; then
   else
     grep -E "error:|warning:" "${BUILD_DIR}.tidy.log" | head -50
     fail "clang-tidy (full log: ${BUILD_DIR}.tidy.log)"
+  fi
+fi
+
+# ----------------------------------------------------------- 5. scan-build
+step "clang static analyzer (scan-build)"
+SCANBUILD=""
+for candidate in scan-build scan-build-20 scan-build-19 scan-build-18 \
+                 scan-build-17 scan-build-16 scan-build-15 scan-build-14; do
+  if command -v "${candidate}" > /dev/null 2>&1; then
+    SCANBUILD="${candidate}"
+    break
+  fi
+done
+if [ -z "${SCANBUILD}" ]; then
+  skip "no scan-build on PATH (ships with clang-tools); CI runs this when available"
+else
+  SB_DIR="${BUILD_DIR}-scan"
+  # A fresh tree each run: scan-build only analyzes TUs the build compiles,
+  # so an incremental build would silently analyze nothing.
+  rm -rf "${SB_DIR}"
+  if "${SCANBUILD}" --status-bugs -o "${SB_DIR}-report" \
+        cmake -B "${SB_DIR}" -S . -DMMJOIN_BUILD_BENCHMARKS=OFF \
+        > "${SB_DIR}.configure.log" 2>&1 \
+      && "${SCANBUILD}" --status-bugs -o "${SB_DIR}-report" \
+           cmake --build "${SB_DIR}" -j "$(nproc)" \
+           > "${SB_DIR}.build.log" 2>&1; then
+    ok "analyzer found no bugs (report dir: ${SB_DIR}-report)"
+  else
+    tail -40 "${SB_DIR}.build.log" 2>/dev/null
+    fail "scan-build (--status-bugs; HTML report under ${SB_DIR}-report)"
   fi
 fi
 

@@ -17,7 +17,7 @@ JoinResult ReferenceJoin(ConstTupleSpan build, ConstTupleSpan probe,
   JoinResult result;
   if (executor != nullptr) {
     Mutex fold_mutex;
-    executor->ParallelFor(
+    const Status dispatch_status = executor->ParallelFor(
         probe.size(), [&](std::size_t begin, std::size_t end,
                           const thread::WorkerContext&) {
           uint64_t matches = 0;
@@ -34,7 +34,11 @@ JoinResult ReferenceJoin(ConstTupleSpan build, ConstTupleSpan probe,
           result.matches += matches;
           result.checksum += checksum;
         });
-    return result;
+    if (dispatch_status.ok()) return result;
+    // The reference join is the differential tests' ground truth: a partial
+    // parallel fold (poisoned pool, watchdog) must not leak out. Discard it
+    // and recompute on the serial path below.
+    result = JoinResult{};
   }
   for (const Tuple& s : probe) {
     auto [begin, end] = table.equal_range(s.key);

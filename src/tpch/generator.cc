@@ -6,6 +6,7 @@
 #include "thread/executor.h"
 #include "util/macros.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace mmjoin::tpch {
 namespace {
@@ -39,7 +40,9 @@ uint64_t ChunkSeed(uint64_t seed, uint64_t salt, int chunk) {
 template <typename Fill>
 void GenerateChunked(uint64_t rows, uint64_t seed, uint64_t salt,
                      Fill&& fill) {
-  thread::GlobalExecutor().Dispatch(
+  // A failed dispatch (poisoned pool) would silently leave the table
+  // zero-filled; generated data feeding correctness tests must fail loudly.
+  MMJOIN_CHECK_OK(thread::GlobalExecutor().Dispatch(
       kGenThreads, [&](const thread::WorkerContext& ctx) {
         for (int chunk = ctx.thread_id; chunk < kGenChunks;
              chunk += kGenThreads) {
@@ -49,7 +52,7 @@ void GenerateChunked(uint64_t rows, uint64_t seed, uint64_t salt,
           Rng rng(ChunkSeed(seed, salt, chunk));
           fill(range, rng);
         }
-      });
+      }));
 }
 
 }  // namespace

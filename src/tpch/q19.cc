@@ -141,7 +141,7 @@ numa::NumaBuffer<Tuple> FilterProbe(numa::NumaSystem* system,
                                     int num_threads, uint64_t* out_count) {
   const uint64_t rows = lineitem.num_tuples();
   std::vector<uint64_t> counts(num_threads, 0);
-  executor.Dispatch(num_threads, [&](const thread::WorkerContext& ctx) {
+  MMJOIN_CHECK_OK(executor.Dispatch(num_threads, [&](const thread::WorkerContext& ctx) {
     const thread::Range range =
         thread::ChunkRange(rows, ctx.num_threads, ctx.thread_id);
     uint64_t count = 0;
@@ -149,7 +149,7 @@ numa::NumaBuffer<Tuple> FilterProbe(numa::NumaSystem* system,
       count += PreJoin(lineitem, i) ? 1 : 0;
     }
     counts[ctx.thread_id] = count;
-  });
+  }));
 
   uint64_t total = 0;
   std::vector<uint64_t> offsets(num_threads);
@@ -161,7 +161,7 @@ numa::NumaBuffer<Tuple> FilterProbe(numa::NumaSystem* system,
 
   numa::NumaBuffer<Tuple> probe(system, std::max<uint64_t>(total, 1),
                                 numa::Placement::kChunkedRoundRobin);
-  executor.Dispatch(num_threads, [&](const thread::WorkerContext& ctx) {
+  MMJOIN_CHECK_OK(executor.Dispatch(num_threads, [&](const thread::WorkerContext& ctx) {
     const thread::Range range =
         thread::ChunkRange(rows, ctx.num_threads, ctx.thread_id);
     uint64_t cursor = offsets[ctx.thread_id];
@@ -169,7 +169,7 @@ numa::NumaBuffer<Tuple> FilterProbe(numa::NumaSystem* system,
     for (uint64_t i = range.begin; i < range.end; ++i) {
       if (PreJoin(lineitem, i)) probe[cursor++] = partkey[i];
     }
-  });
+  }));
   return probe;
 }
 
@@ -268,14 +268,14 @@ Q19MorphResult RunQ19Morph(numa::NumaSystem* system,
   auto build_table = [&]() {
     auto table = std::make_unique<Table>(
         system, p_rows, numa::Placement::kInterleavedPages);
-    exec.ParallelFor(num_threads, p_rows, [&](std::size_t begin,
+    MMJOIN_CHECK_OK(exec.ParallelFor(num_threads, p_rows, [&](std::size_t begin,
                                               std::size_t end,
                                               const thread::WorkerContext&) {
       const Tuple* keys = part.p_partkey();
       for (uint64_t i = begin; i < end; ++i) {
         table->InsertConcurrent(keys[i]);
       }
-    });
+    }));
     return table;
   };
 
@@ -284,7 +284,7 @@ Q19MorphResult RunQ19Morph(numa::NumaSystem* system,
     Stopwatch watch;
     auto table = build_table();
     std::atomic<uint64_t> matches{0};
-    exec.ParallelFor(num_threads, filtered, [&](std::size_t begin,
+    MMJOIN_CHECK_OK(exec.ParallelFor(num_threads, filtered, [&](std::size_t begin,
                                                 std::size_t end,
                                                 const thread::WorkerContext&) {
       uint64_t local = 0;
@@ -292,7 +292,7 @@ Q19MorphResult RunQ19Morph(numa::NumaSystem* system,
         table->ProbeUnique(prefiltered[i].key, [&](Tuple) { ++local; });
       }
       matches.fetch_add(local, std::memory_order_relaxed);
-    });
+    }));
     result.step_ns[0] = watch.ElapsedNanos();
   }
 
@@ -301,7 +301,7 @@ Q19MorphResult RunQ19Morph(numa::NumaSystem* system,
     Stopwatch watch;
     auto table = build_table();
     std::atomic<uint64_t> matches{0};
-    exec.ParallelFor(num_threads, l_rows, [&](std::size_t begin,
+    MMJOIN_CHECK_OK(exec.ParallelFor(num_threads, l_rows, [&](std::size_t begin,
                                               std::size_t end,
                                               const thread::WorkerContext&) {
       uint64_t local = 0;
@@ -310,7 +310,7 @@ Q19MorphResult RunQ19Morph(numa::NumaSystem* system,
         table->ProbeUnique(l_partkey[i].key, [&](Tuple) { ++local; });
       }
       matches.fetch_add(local, std::memory_order_relaxed);
-    });
+    }));
     result.step_ns[1] = watch.ElapsedNanos();
   }
 
@@ -320,7 +320,7 @@ Q19MorphResult RunQ19Morph(numa::NumaSystem* system,
     Stopwatch watch;
     auto table = build_table();
     std::vector<std::vector<Tuple>> index(num_threads);  // <rowP, rowL>
-    exec.ParallelFor(num_threads, l_rows, [&](std::size_t begin,
+    MMJOIN_CHECK_OK(exec.ParallelFor(num_threads, l_rows, [&](std::size_t begin,
                                               std::size_t end,
                                               const thread::WorkerContext&
                                                   ctx) {
@@ -332,11 +332,11 @@ Q19MorphResult RunQ19Morph(numa::NumaSystem* system,
           local.push_back(Tuple{r.payload, row_l});
         });
       }
-    });
+    }));
     result.step_ns[2] = watch.ElapsedNanos();
 
     std::vector<double> revenue(num_threads, 0.0);
-    exec.Dispatch(num_threads, [&](const thread::WorkerContext& ctx) {
+    MMJOIN_CHECK_OK(exec.Dispatch(num_threads, [&](const thread::WorkerContext& ctx) {
       const int tid = ctx.thread_id;
       double local = 0.0;
       for (const Tuple& match : index[tid]) {
@@ -347,7 +347,7 @@ Q19MorphResult RunQ19Morph(numa::NumaSystem* system,
         }
       }
       revenue[tid] = local;
-    });
+    }));
     result.step_ns[3] = watch.ElapsedNanos();
     for (double r : revenue) result.revenue_step4 += r;
   }
@@ -357,7 +357,7 @@ Q19MorphResult RunQ19Morph(numa::NumaSystem* system,
     Stopwatch watch;
     auto table = build_table();
     std::vector<double> revenue(num_threads, 0.0);
-    exec.ParallelFor(num_threads, l_rows, [&](std::size_t begin,
+    MMJOIN_CHECK_OK(exec.ParallelFor(num_threads, l_rows, [&](std::size_t begin,
                                               std::size_t end,
                                               const thread::WorkerContext&
                                                   ctx) {
@@ -373,7 +373,7 @@ Q19MorphResult RunQ19Morph(numa::NumaSystem* system,
         });
       }
       revenue[tid] = local;
-    });
+    }));
     result.step_ns[4] = watch.ElapsedNanos();
     for (double r : revenue) result.revenue_step5 += r;
   }

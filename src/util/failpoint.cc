@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "util/annotations.h"
+#include "util/failpoint_registry.h"
 #include "util/log.h"
 #include "util/mutex.h"
 
@@ -146,6 +147,17 @@ class FailPointRegistry {
                                     "': unknown trigger '" + trigger + "'");
       }
       entries.push_back(std::move(entry));
+    }
+
+    // A spec naming a point nobody evaluates arms silently and the intended
+    // fault never fires -- the classic typo failure mode for MMJOIN_FAILPOINTS
+    // runs. Warn (but still arm: the spec is well-formed) for any name that
+    // is neither canonical nor in the test-reserved namespace.
+    for (const Entry& entry : entries) {
+      if (!failpoint::IsCanonicalName(entry.name) &&
+          entry.name.rfind(failpoint::kTestNamePrefix, 0) != 0) {
+        MMJOIN_LOG(kWarn, "failpoint.unknown_name").Field("name", entry.name);
+      }
     }
 
     MutexLock lock(mutex_);

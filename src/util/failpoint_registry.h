@@ -1,0 +1,52 @@
+// The single machine-readable registry of canonical failpoint names.
+//
+// Every MMJOIN_FAILPOINT("...") literal in src/ must name an entry here, and
+// every entry must be documented in the failpoint table of
+// docs/ROBUSTNESS.md -- the `registry-drift` rule of scripts/mmjoin_lint
+// parses this X-macro and cross-checks all three sets on every CI run, so a
+// failpoint cannot be added, renamed, or removed in one place only.
+//
+// Names with the `test.` prefix are reserved for ad-hoc failpoints created
+// by tests; they are exempt from registration (both here and at runtime).
+//
+// Format rule for the lint parser: one `X("name")` per line, nothing else on
+// the line except an optional trailing comment and the macro continuation.
+
+#ifndef MMJOIN_UTIL_FAILPOINT_REGISTRY_H_
+#define MMJOIN_UTIL_FAILPOINT_REGISTRY_H_
+
+#include <string_view>
+
+#define MMJOIN_FAILPOINT_REGISTRY(X) \
+  X("alloc.partition")               \
+  X("alloc.build")                   \
+  X("alloc.probe")                   \
+  X("alloc.materialize")             \
+  X("alloc.mmap")                    \
+  X("alloc.madvise_huge")            \
+  X("budget.reserve")                \
+  X("budget.wave")                   \
+  X("obs.perf_open")
+
+namespace mmjoin::failpoint {
+
+inline constexpr std::string_view kRegisteredNames[] = {
+#define MMJOIN_FAILPOINT_REGISTRY_ENTRY(name) name,
+    MMJOIN_FAILPOINT_REGISTRY(MMJOIN_FAILPOINT_REGISTRY_ENTRY)
+#undef MMJOIN_FAILPOINT_REGISTRY_ENTRY
+};
+
+// Reserved prefix for ad-hoc failpoints in tests; never registered.
+inline constexpr std::string_view kTestNamePrefix = "test.";
+
+// True when `name` is a canonical (registered) failpoint name.
+constexpr bool IsCanonicalName(std::string_view name) {
+  for (const std::string_view registered : kRegisteredNames) {
+    if (registered == name) return true;
+  }
+  return false;
+}
+
+}  // namespace mmjoin::failpoint
+
+#endif  // MMJOIN_UTIL_FAILPOINT_REGISTRY_H_

@@ -37,7 +37,11 @@ enum class StatusCode : int {
 
 const char* StatusCodeName(StatusCode code);
 
-class Status {
+// [[nodiscard]] on the class makes every function returning a Status by
+// value warn when the result is dropped -- a dropped Status is a swallowed
+// error. Deliberate discards must be spelled `(void)expr;` with a comment
+// saying why (lint rule `status-discard`).
+class [[nodiscard]] Status {
  public:
   // Default-constructed Status is OK.
   Status() = default;
@@ -123,7 +127,7 @@ inline const char* StatusCodeName(StatusCode code) {
 // with the status message (a programming error, same contract as
 // MMJOIN_CHECK), so call ok() first on any path that can fail.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Implicit from a value (the common return path).
   StatusOr(const T& value) : value_(value) {}
@@ -176,7 +180,29 @@ class StatusOr {
   std::optional<T> value_;
 };
 
+namespace internal_status {
+inline const Status& AsStatus(const Status& status) { return status; }
+template <typename T>
+const Status& AsStatus(const StatusOr<T>& status_or) {
+  return status_or.status();
+}
+}  // namespace internal_status
+
 }  // namespace mmjoin
+
+// Aborts with the status printed when `expr` (a Status or StatusOr) is not
+// OK. For harness and generator paths that have no recovery story: failing
+// loudly beats computing with partial data (same contract as RunJoinOrDie).
+#define MMJOIN_CHECK_OK(expr)                                                \
+  do {                                                                       \
+    if (auto&& _mmjoin_ck = (expr); MMJOIN_UNLIKELY(!_mmjoin_ck.ok())) {     \
+      std::fprintf(                                                          \
+          stderr, "[mmjoin] %s:%d: MMJOIN_CHECK_OK(%s) failed: %s\n",        \
+          __FILE__, __LINE__, #expr,                                         \
+          ::mmjoin::internal_status::AsStatus(_mmjoin_ck).ToString().c_str()); \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
 
 // Propagates a non-OK Status (or the Status of a StatusOr-returning
 // subexpression evaluated for its Status) out of the enclosing function.

@@ -155,9 +155,9 @@ TEST(AnnotatedExecutor, DispatchSemanticsUnchanged) {
   for (int round = 0; round < kRounds; ++round) {
     std::vector<std::atomic<int>> hits(kThreads);
     for (auto& h : hits) h.store(0, std::memory_order_relaxed);
-    executor.Dispatch(kThreads, [&](const thread::WorkerContext& ctx) {
+    ASSERT_TRUE(executor.Dispatch(kThreads, [&](const thread::WorkerContext& ctx) {
       hits[ctx.thread_id].fetch_add(1, std::memory_order_relaxed);
-    });
+    }).ok());
     for (const auto& h : hits) {
       ASSERT_EQ(h.load(std::memory_order_relaxed), 1);
     }
@@ -261,7 +261,7 @@ TEST(AnnotatedBarrier, GenerationsStayInLockstep) {
 // tests/annotations_negative.cc on every run, so this stays a documented
 // escape hatch for manual spot checks:
 //
-//   clang++ -std=c++20 -Isrc -fsyntax-only -Werror=thread-safety \
+//   clang++ -std=c++20 -Isrc -fsyntax-only -Werror=thread-safety
 //     -DMMJOIN_TEST_ANNOTATION_VIOLATION tests/annotations_test.cc
 #if defined(MMJOIN_TEST_ANNOTATION_VIOLATION)
 class Violation {

@@ -13,8 +13,10 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <iterator>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "core/joiner.h"
@@ -27,6 +29,8 @@
 #include "tpch/q19.h"
 #include "tpch/tables.h"
 #include "util/failpoint.h"
+#include "util/failpoint_registry.h"
+#include "util/log.h"
 #include "util/status.h"
 #include "workload/generator.h"
 
@@ -99,6 +103,46 @@ TEST(FailPoint, MalformedSpecAppliesNothing) {
   EXPECT_FALSE(failpoint::Configure("test.cfg.h=prob:1.5").ok());
   EXPECT_FALSE(failpoint::Configure("no_equals_sign").ok());
   EXPECT_TRUE(failpoint::ActiveNames().empty());
+}
+
+TEST(FailPoint, RegistryKnowsEveryCanonicalName) {
+  // The X-macro registry is the lint-checked source of truth; the runtime
+  // view must agree with it.
+  EXPECT_GE(std::size(failpoint::kRegisteredNames), 9u);
+  for (const std::string_view name : failpoint::kRegisteredNames) {
+    EXPECT_TRUE(failpoint::IsCanonicalName(name)) << name;
+    EXPECT_NE(name.substr(0, failpoint::kTestNamePrefix.size()),
+              failpoint::kTestNamePrefix)
+        << name << ": test.* namespace is reserved for ad-hoc points";
+  }
+  EXPECT_TRUE(failpoint::IsCanonicalName("alloc.partition"));
+  EXPECT_FALSE(failpoint::IsCanonicalName("alloc.partitoin"));  // the typo
+  EXPECT_FALSE(failpoint::IsCanonicalName("test.once"));
+}
+
+TEST(FailPoint, ConfigureWarnsOnUnknownNameButStillArms) {
+  failpoint::DeactivateAll();
+  std::string captured;
+  logging::SetLogCaptureForTest(&captured);
+  logging::SetLogFormatForTest(logging::LogFormat::kText);
+
+  // Canonical and test-reserved names arm silently.
+  ASSERT_TRUE(failpoint::Configure("alloc.partition=once").ok());
+  ASSERT_TRUE(failpoint::Configure("test.cfg.a=once").ok());
+  EXPECT_EQ(captured.find("failpoint.unknown_name"), std::string::npos)
+      << captured;
+
+  // A typo'd name warns but the (well-formed) spec still applies.
+  ASSERT_TRUE(failpoint::Configure("alloc.partitoin=once").ok());
+  EXPECT_NE(captured.find("failpoint.unknown_name"), std::string::npos);
+  EXPECT_NE(captured.find("alloc.partitoin"), std::string::npos);
+  const auto names = failpoint::ActiveNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "alloc.partitoin"),
+            names.end());
+
+  logging::SetLogCaptureForTest(nullptr);
+  logging::SetLogFormatForTest(logging::LogFormat::kDefault);
+  failpoint::DeactivateAll();
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,14 @@
+// lint-path: src/join/fixture_atomic.cc
+// Fixture: atomic accesses without an explicit memory order must be flagged.
+#include <atomic>
+
+namespace mmjoin {
+
+std::atomic<int> counter{0};
+
+int Bad() {
+  counter.fetch_add(1);       // BAD: no memory_order argument
+  return counter.load();      // BAD: no memory_order argument
+}
+
+}  // namespace mmjoin

@@ -1,0 +1,14 @@
+// lint-path: src/join/fixture_atomic_ok.cc
+// Fixture: explicit orders everywhere; nothing to flag.
+#include <atomic>
+
+namespace mmjoin {
+
+std::atomic<int> counter{0};
+
+int Good() {
+  counter.fetch_add(1, std::memory_order_relaxed);
+  return counter.load(std::memory_order_acquire);
+}
+
+}  // namespace mmjoin

@@ -1,0 +1,11 @@
+// lint-path: src/thread/fixture_escape.cc
+// Fixture: the analysis escape hatch without a justification comment.
+#define MMJOIN_NO_THREAD_SAFETY_ANALYSIS
+
+namespace mmjoin {
+
+class BadEscape {
+  void Drain() MMJOIN_NO_THREAD_SAFETY_ANALYSIS {}
+};
+
+}  // namespace mmjoin

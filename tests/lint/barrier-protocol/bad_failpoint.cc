@@ -1,0 +1,15 @@
+// lint-path: src/join/fixture_failpoint.cc
+// Fixture: a phase failpoint whose result is evaluated and then ignored.
+
+namespace mmjoin {
+
+bool BuildAllocFailpoint();
+
+void BadBuild() {
+  bool fired = BuildAllocFailpoint();
+  int table = 0;
+  table += fired ? 1 : 2;
+  table *= 3;
+}
+
+}  // namespace mmjoin

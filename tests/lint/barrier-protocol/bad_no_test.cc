@@ -1,0 +1,23 @@
+// lint-path: src/join/fixture_barrier.cc
+// Fixture: a worker publishes an abort at the barrier but nobody tests it
+// afterwards -- the join runs past its own failure.
+
+namespace mmjoin {
+
+struct Barrier { void ArriveAndWait(); };
+struct JoinAbort { void Set(int); bool IsSet(); };
+struct WorkerContext { int thread_id; Barrier* barrier; };
+
+void BadWorker(const WorkerContext& ctx, JoinAbort& abort) {
+  Barrier& barrier = *ctx.barrier;
+  if (ctx.thread_id == 0) {
+    abort.Set(1);
+  }
+  barrier.ArriveAndWait();
+  int phase_work = 0;
+  phase_work += ctx.thread_id;
+  phase_work *= 2;
+  phase_work -= 1;
+}
+
+}  // namespace mmjoin

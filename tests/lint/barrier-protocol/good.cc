@@ -1,0 +1,28 @@
+// lint-path: src/join/fixture_barrier_ok.cc
+// Fixture: the full check-before-barrier / test-after-barrier idiom, plus
+// both accepted failpoint consequences (return and abort Set).
+
+namespace mmjoin {
+
+struct Barrier { void ArriveAndWait(); };
+struct JoinAbort { void Set(int); bool IsSet(); };
+struct WorkerContext { int thread_id; Barrier* barrier; };
+
+bool PartitionAllocFailpoint();
+bool BuildAllocFailpoint();
+
+int GoodDriver() {
+  if (PartitionAllocFailpoint()) return 1;
+  return 0;
+}
+
+void GoodWorker(const WorkerContext& ctx, JoinAbort& abort) {
+  Barrier& barrier = *ctx.barrier;
+  if (ctx.thread_id == 0 && BuildAllocFailpoint()) {
+    abort.Set(1);
+  }
+  barrier.ArriveAndWait();
+  if (abort.IsSet()) return;
+}
+
+}  // namespace mmjoin

@@ -1,0 +1,12 @@
+// lint-path: src/mem/budget_fixture.cc
+// Fixture: a plain mutable integral member in src/mem/budget* races.
+#include <cstdint>
+
+namespace mmjoin {
+
+class BadTracker {
+ private:
+  uint64_t reserved_bytes_ = 0;  // BAD: shared counter, no protection stated
+};
+
+}  // namespace mmjoin

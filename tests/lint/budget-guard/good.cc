@@ -1,0 +1,16 @@
+// lint-path: src/mem/budget_fixture_ok.cc
+// Fixture: atomic, const, and ownership-commented members are all fine.
+#include <atomic>
+#include <cstdint>
+
+namespace mmjoin {
+
+class GoodTracker {
+ private:
+  std::atomic<uint64_t> reserved_bytes_{0};
+  const uint64_t limit_bytes_ = 0;
+  // single-owner: written only by the planning thread before dispatch.
+  uint64_t plan_bytes_ = 0;
+};
+
+}  // namespace mmjoin

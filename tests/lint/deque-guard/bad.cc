@@ -1,0 +1,12 @@
+// lint-path: src/thread/fixture_deque.cc
+// Fixture: a bare std::deque member with no MMJOIN_GUARDED_BY.
+#include <deque>
+
+namespace mmjoin {
+
+class BadQueue {
+ private:
+  std::deque<int> tasks_;  // BAD: which mutex protects this?
+};
+
+}  // namespace mmjoin

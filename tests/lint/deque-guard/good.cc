@@ -1,0 +1,17 @@
+// lint-path: src/thread/fixture_deque_ok.cc
+// Fixture: the annotation names the protecting mutex; nothing to flag.
+#include <deque>
+
+#define MMJOIN_GUARDED_BY(x)
+
+namespace mmjoin {
+
+struct Mutex {};
+
+class GoodQueue {
+ private:
+  Mutex mutex_;
+  std::deque<int> tasks_ MMJOIN_GUARDED_BY(mutex_);
+};
+
+}  // namespace mmjoin

@@ -1,0 +1,13 @@
+// lint-path: src/exec/fixture_exec.cc
+// Fixture: a container member in src/exec/ with neither a guard nor an
+// ownership comment.
+#include <vector>
+
+namespace mmjoin {
+
+class BadOperator {
+ private:
+  std::vector<int> rows_;  // BAD: no guard, no ownership discipline stated
+};
+
+}  // namespace mmjoin

@@ -1,0 +1,19 @@
+// lint-path: src/exec/fixture_exec_ok.cc
+// Fixture: ownership comments and guards make the discipline explicit.
+#include <vector>
+
+#define MMJOIN_GUARDED_BY(x)
+
+namespace mmjoin {
+
+struct Mutex {};
+
+class GoodOperator {
+ private:
+  // per-thread: indexed by tid, each worker touches only its own slot.
+  std::vector<int> rows_;
+  Mutex mutex_;
+  std::vector<int> shared_ MMJOIN_GUARDED_BY(mutex_);
+};
+
+}  // namespace mmjoin

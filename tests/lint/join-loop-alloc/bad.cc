@@ -1,0 +1,14 @@
+// lint-path: src/join/fixture_loop_alloc.cc
+// Fixture: heap allocation inside a join-phase loop must be flagged.
+#include <cstdlib>
+
+namespace mmjoin {
+
+void Bad(int n) {
+  for (int i = 0; i < n; ++i) {
+    void* p = std::malloc(64);  // BAD: allocation inside the timed loop
+    std::free(p);
+  }
+}
+
+}  // namespace mmjoin

@@ -1,0 +1,15 @@
+// lint-path: src/join/fixture_loop_alloc_ok.cc
+// Fixture: allocation hoisted out of the loop; nothing to flag.
+#include <cstdlib>
+
+namespace mmjoin {
+
+void Good(int n) {
+  void* p = std::malloc(64);
+  for (int i = 0; i < n; ++i) {
+    static_cast<char*>(p)[0] = static_cast<char>(i);
+  }
+  std::free(p);
+}
+
+}  // namespace mmjoin

@@ -1,0 +1,5 @@
+// lint-path: src/hash/fixture_sibling.cc
+// Fixture: hash and sort share rank 5; the cross-include merges layers.
+#include "sort/sort_defs.h"
+
+namespace mmjoin {}

@@ -1,0 +1,5 @@
+// lint-path: src/join/fixture_unranked.cc
+// Fixture: including a directory with no layer rank is itself a finding.
+#include "mystery/widget.h"
+
+namespace mmjoin {}

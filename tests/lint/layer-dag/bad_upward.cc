@@ -1,0 +1,6 @@
+// lint-path: src/util/fixture_upward.cc
+// Fixture: util (rank 0) including join (rank 6) is an upward edge.
+#include "join/join_defs.h"
+#include "util/status.h"
+
+namespace mmjoin {}

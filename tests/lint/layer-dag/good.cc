@@ -1,0 +1,12 @@
+// lint-path: src/join/fixture_layers_ok.cc
+// Fixture: same-directory and strictly-downward includes only. The
+// commented-out upward include below must NOT count as an edge:
+// #include "exec/pipeline.h"
+#include <vector>
+
+#include "hash/table.h"
+#include "join/internal.h"
+#include "mem/aligned_alloc.h"
+#include "util/status.h"
+
+namespace mmjoin {}

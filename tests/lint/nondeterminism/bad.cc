@@ -1,0 +1,14 @@
+// lint-path: src/workload/fixture_rand.cc
+// Fixture: libc rand and system_clock in src/ must be flagged.
+#include <chrono>
+#include <cstdlib>
+
+namespace mmjoin {
+
+long Bad() {
+  const int r = rand();  // BAD: unseeded libc rand
+  const auto now = std::chrono::system_clock::now();  // BAD: wall clock
+  return r + now.time_since_epoch().count();
+}
+
+}  // namespace mmjoin

@@ -1,0 +1,12 @@
+// lint-path: src/workload/fixture_rand_ok.cc
+// Fixture: steady_clock and a seeded generator name; nothing to flag.
+#include <chrono>
+
+namespace mmjoin {
+
+long Good() {
+  const auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count();
+}
+
+}  // namespace mmjoin

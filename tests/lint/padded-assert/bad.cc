@@ -1,0 +1,13 @@
+// lint-path: src/thread/fixture_padded.cc
+// Fixture: alignas(kCacheLineSize) struct without a static_assert.
+#include <cstdint>
+
+namespace mmjoin {
+
+inline constexpr int kCacheLineSize = 64;
+
+struct alignas(kCacheLineSize) BadShard {  // BAD: no static_assert below
+  uint64_t value;
+};
+
+}  // namespace mmjoin

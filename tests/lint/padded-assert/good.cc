@@ -1,0 +1,15 @@
+// lint-path: src/thread/fixture_padded_ok.cc
+// Fixture: the padding claim is machine-checked; nothing to flag.
+#include <cstdint>
+
+namespace mmjoin {
+
+inline constexpr int kCacheLineSize = 64;
+
+struct alignas(kCacheLineSize) GoodShard {
+  uint64_t value;
+};
+static_assert(alignof(GoodShard) == kCacheLineSize);
+static_assert(sizeof(GoodShard) == kCacheLineSize);
+
+}  // namespace mmjoin

@@ -1,0 +1,12 @@
+// lint-path: src/join/fixture_thread.cc
+// Fixture: raw std::thread outside src/thread/ must be flagged.
+#include <thread>
+
+namespace mmjoin {
+
+void Bad() {
+  std::thread worker([] {});  // BAD: use thread::Executor
+  worker.join();
+}
+
+}  // namespace mmjoin

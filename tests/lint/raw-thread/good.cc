@@ -1,0 +1,14 @@
+// lint-path: src/thread/fixture_thread_ok.cc
+// Fixture: src/thread/ owns the raw threads; also hardware_concurrency is
+// allowed anywhere.
+#include <thread>
+
+namespace mmjoin {
+
+unsigned Good() {
+  std::thread worker([] {});
+  worker.join();
+  return std::thread::hardware_concurrency();
+}
+
+}  // namespace mmjoin

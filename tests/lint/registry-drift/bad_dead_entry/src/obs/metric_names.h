@@ -1,0 +1,11 @@
+// Fixture registry: counters and histograms.
+#ifndef FIXTURE_METRIC_NAMES_H_
+#define FIXTURE_METRIC_NAMES_H_
+
+#define MMJOIN_COUNTER_REGISTRY(X) \
+  X("demo.count")
+
+#define MMJOIN_HISTOGRAM_REGISTRY(X) \
+  X("demo.latency_ns")
+
+#endif

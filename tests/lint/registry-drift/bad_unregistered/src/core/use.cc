@@ -1,0 +1,15 @@
+// Fixture use sites: exercises every registered name once.
+
+namespace mmjoin {
+
+void UseEverything() {
+  MMJOIN_FAILPOINT("alloc.demo");
+  MMJOIN_FAILPOINT("budget.demo");
+  MMJOIN_FAILPOINT("test.adhoc");  // test.* needs no registration
+  MMJOIN_FAILPOINT("alloc.rogue");
+  metrics.AddCounter("demo.count", 1);
+  metrics.GetHistogram("demo.latency_ns").Record(7);
+  MMJOIN_LOG(kInfo, "demo.event").Field("n", 1);
+}
+
+}  // namespace mmjoin

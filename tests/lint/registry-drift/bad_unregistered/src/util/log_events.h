@@ -1,0 +1,8 @@
+// Fixture registry: structured log events.
+#ifndef FIXTURE_LOG_EVENTS_H_
+#define FIXTURE_LOG_EVENTS_H_
+
+#define MMJOIN_LOG_EVENT_REGISTRY(X) \
+  X("demo.event")
+
+#endif

@@ -1,0 +1,9 @@
+// Fixture registry: failpoints.
+#ifndef FIXTURE_FAILPOINT_REGISTRY_H_
+#define FIXTURE_FAILPOINT_REGISTRY_H_
+
+#define MMJOIN_FAILPOINT_REGISTRY(X) \
+  X("alloc.demo")                     \
+  X("budget.demo")
+
+#endif

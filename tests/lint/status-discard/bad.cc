@@ -1,0 +1,15 @@
+// lint-path: src/core/fixture_discard.cc
+// Fixture: a bare `(void)call()` discard with no justification anywhere.
+
+namespace mmjoin {
+
+int Compute();
+
+void Bad() {
+  int x = 0;
+  x = x + 1;
+
+  (void)Compute();
+}
+
+}  // namespace mmjoin

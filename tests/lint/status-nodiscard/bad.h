@@ -1,0 +1,12 @@
+// lint-path: src/util/status.h
+// Fixture: status.h without [[nodiscard]] on the classes disarms the
+// whole ignored-return sweep.
+
+namespace mmjoin {
+
+class Status {};
+
+template <typename T>
+class StatusOr {};
+
+}  // namespace mmjoin

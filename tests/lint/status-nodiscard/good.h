@@ -1,0 +1,11 @@
+// lint-path: src/util/status.h
+// Fixture: both classes keep the attribute; nothing to flag.
+
+namespace mmjoin {
+
+class [[nodiscard]] Status {};
+
+template <typename T>
+class [[nodiscard]] StatusOr {};
+
+}  // namespace mmjoin

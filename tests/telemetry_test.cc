@@ -14,8 +14,10 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <iterator>
 #include <map>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -24,11 +26,13 @@
 #include "numa/system.h"
 #include "obs/exposition.h"
 #include "obs/histogram.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/phase_profile.h"
 #include "obs/stats_server.h"
 #include "obs/trace.h"
 #include "util/log.h"
+#include "util/log_events.h"
 #include "workload/generator.h"
 
 #ifdef __linux__
@@ -305,6 +309,43 @@ TEST(Histogram, ConcurrentRecordAndSnapshotMerge) {
   EXPECT_EQ(snap.count, kThreads * kPerThread);
   EXPECT_EQ(snap.sum, expected_sum);
   EXPECT_EQ(snap.max, 999u + kThreads - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Metric-name and log-event registries
+// ---------------------------------------------------------------------------
+
+// Every counter the process actually exports must be a registered name (or
+// live in the test.* namespace, reserved for ad-hoc metrics in tests). The
+// registry itself is cross-checked against src/ literals and the docs tables
+// by scripts/mmjoin_lint; this test closes the loop on the runtime side for
+// every provider linked into this binary.
+TEST(MetricNames, SnapshotExportsOnlyRegisteredCounters) {
+  for (const obs::Metric& metric : obs::MetricsRegistry::Get().Snapshot()) {
+    if (metric.name.rfind("test.", 0) == 0) continue;
+    EXPECT_TRUE(obs::IsRegisteredCounterName(metric.name)) << metric.name;
+  }
+}
+
+TEST(MetricNames, RegisteredHistogramsOnly) {
+  for (const obs::NamedHistogram& hist :
+       obs::MetricsRegistry::Get().SnapshotHistograms()) {
+    if (hist.name.rfind("test.", 0) == 0) continue;
+    EXPECT_TRUE(obs::IsRegisteredHistogramName(hist.name)) << hist.name;
+  }
+  EXPECT_TRUE(obs::IsRegisteredHistogramName("join.latency_ns"));
+  EXPECT_FALSE(obs::IsRegisteredHistogramName("join.latency"));
+}
+
+TEST(LogEvents, RegistryLookupsAndNoDuplicates) {
+  EXPECT_TRUE(logging::IsRegisteredEventName("budget.replan"));
+  EXPECT_TRUE(logging::IsRegisteredEventName("failpoint.unknown_name"));
+  EXPECT_FALSE(logging::IsRegisteredEventName("budget.replans"));
+  std::vector<std::string_view> names(std::begin(logging::kRegisteredEventNames),
+                                      std::end(logging::kRegisteredEventNames));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end())
+      << "duplicate log event name in registry";
 }
 
 // ---------------------------------------------------------------------------

@@ -104,9 +104,9 @@ TEST(Executor, PoolIsReusedAcrossManyDispatches) {
   std::atomic<uint64_t> sum{0};
   constexpr int kDispatches = 120;
   for (int i = 0; i < kDispatches; ++i) {
-    executor.Dispatch([&](const WorkerContext& ctx) {
+    ASSERT_TRUE(executor.Dispatch([&](const WorkerContext& ctx) {
       sum.fetch_add(static_cast<uint64_t>(ctx.thread_id) + 1);
-    });
+    }).ok());
   }
   EXPECT_EQ(sum.load(), static_cast<uint64_t>(kDispatches) * (1 + 8) * 8 / 2);
 
@@ -123,10 +123,10 @@ TEST(Executor, SmallerTeamsRunOnTheSamePool) {
   for (const int team : {1, 2, 5, 6, 3}) {
     std::vector<std::atomic<int>> counts(team);
     for (auto& c : counts) c = 0;
-    executor.Dispatch(team, [&](const WorkerContext& ctx) {
+    ASSERT_TRUE(executor.Dispatch(team, [&](const WorkerContext& ctx) {
       EXPECT_EQ(ctx.num_threads, team);
       counts[ctx.thread_id].fetch_add(1);
-    });
+    }).ok());
     for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
   }
   EXPECT_EQ(executor.stats().threads_spawned, 6u);
@@ -136,7 +136,9 @@ TEST(Executor, GrowsOnceForOversizedTeams) {
   Executor executor(2);
   std::atomic<int> ran{0};
   for (int i = 0; i < 10; ++i) {
-    executor.Dispatch(9, [&](const WorkerContext&) { ran.fetch_add(1); });
+    ASSERT_TRUE(
+        executor.Dispatch(9, [&](const WorkerContext&) { ran.fetch_add(1); })
+            .ok());
   }
   EXPECT_EQ(ran.load(), 90);
   // Grown to 9 on the first oversized dispatch, then reused.
@@ -153,7 +155,7 @@ TEST(Executor, BarrierSeparatesPhasesAcrossEpochs) {
     std::atomic<int> phase1{0};
     std::atomic<int> phase2{0};
     std::atomic<bool> violated{false};
-    executor.Dispatch([&](const WorkerContext& ctx) {
+    ASSERT_TRUE(executor.Dispatch([&](const WorkerContext& ctx) {
       phase1.fetch_add(1);
       ctx.barrier->ArriveAndWait();
       if (phase1.load() != ctx.num_threads) violated = true;
@@ -161,7 +163,7 @@ TEST(Executor, BarrierSeparatesPhasesAcrossEpochs) {
       ctx.barrier->ArriveAndWait();
       if (phase2.load() != ctx.num_threads) violated = true;
       ctx.barrier->ArriveAndWait();  // trailing barrier reuses cleanly
-    });
+    }).ok());
     EXPECT_FALSE(violated.load());
   }
 }
@@ -170,26 +172,29 @@ TEST(Executor, NodeAssignmentFollowsTopology) {
   const numa::Topology topology(4);
   Executor executor(8, /*num_nodes=*/4);
   std::vector<int> nodes(8, -1);
-  executor.Dispatch([&](const WorkerContext& ctx) {
+  ASSERT_TRUE(executor.Dispatch([&](const WorkerContext& ctx) {
     nodes[ctx.thread_id] = ctx.node;
-  });
+  }).ok());
   for (int tid = 0; tid < 8; ++tid) {
     EXPECT_EQ(nodes[tid], topology.NodeOfThread(tid, 8)) << tid;
   }
   // The placement is stable: a second dispatch sees identical nodes.
-  executor.Dispatch([&](const WorkerContext& ctx) {
+  ASSERT_TRUE(executor.Dispatch([&](const WorkerContext& ctx) {
     EXPECT_EQ(ctx.node, nodes[ctx.thread_id]);
-  });
+  }).ok());
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   Executor executor(4);
   std::vector<std::atomic<int>> hits(1001);
   for (auto& h : hits) h = 0;
-  executor.ParallelFor(hits.size(), [&](std::size_t begin, std::size_t end,
+  ASSERT_TRUE(
+      executor
+          .ParallelFor(hits.size(), [&](std::size_t begin, std::size_t end,
                                         const WorkerContext&) {
-    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
-  });
+            for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+          })
+          .ok());
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
@@ -198,11 +203,14 @@ TEST(ParallelFor, TotalSmallerThanTeam) {
   std::vector<std::atomic<int>> hits(3);
   for (auto& h : hits) h = 0;
   std::atomic<int> nonempty_chunks{0};
-  executor.ParallelFor(hits.size(), [&](std::size_t begin, std::size_t end,
+  ASSERT_TRUE(
+      executor
+          .ParallelFor(hits.size(), [&](std::size_t begin, std::size_t end,
                                         const WorkerContext&) {
-    nonempty_chunks.fetch_add(1);
-    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
-  });
+            nonempty_chunks.fetch_add(1);
+            for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+          })
+          .ok());
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
   // Surplus workers received empty chunks and never saw the closure.
   EXPECT_EQ(nonempty_chunks.load(), 3);
@@ -212,8 +220,12 @@ TEST(ParallelFor, TotalZeroDispatchesNothing) {
   Executor executor(4);
   const uint64_t before = executor.stats().dispatches;
   std::atomic<int> calls{0};
-  executor.ParallelFor(0, [&](std::size_t, std::size_t,
-                              const WorkerContext&) { calls.fetch_add(1); });
+  ASSERT_TRUE(executor
+                  .ParallelFor(0, [&](std::size_t, std::size_t,
+                                      const WorkerContext&) {
+                    calls.fetch_add(1);
+                  })
+                  .ok());
   EXPECT_EQ(calls.load(), 0);
   EXPECT_EQ(executor.stats().dispatches, before);
 }

@@ -128,7 +128,7 @@ TEST(Predicates, PostJoinQuantityBoundaries) {
   p.p_brand()[0] = kBrand23;
   p.p_container()[0] = ContainerCode(kMed, kBox);
   p.p_size()[0] = 10;
-  for (const auto [quantity, expected] :
+  for (const auto& [quantity, expected] :
        {std::pair{9u, false}, {10u, true}, {20u, true}, {21u, false}}) {
     l.l_quantity()[0] = quantity;
     EXPECT_EQ(PostJoin(l, p, 0, 0), expected) << "qty=" << quantity;
