@@ -14,6 +14,8 @@ at the SAME directory or a STRICTLY LOWER layer:
     rank 6  join                 (partition/hash/sort and below)
     rank 7  exec                 (join and below)
     rank 8  core, tpch           (everything below; not each other)
+    rank 9  service              (the multi-tenant join service, on top of
+                                  core)
 
 Same-RANK cross-directory edges are violations too: hash including sort
 would silently merge two layers the build graph keeps separate. A new
@@ -43,6 +45,7 @@ LAYER_RANK = {
     "exec": 7,
     "core": 8,
     "tpch": 8,
+    "service": 9,
 }
 
 INCLUDE_RE = re.compile(r'^[ \t]*#[ \t]*include[ \t]+"([^"]+)"',

@@ -114,6 +114,24 @@ if ! python3 scripts/check_metrics.py --kind=bench BENCH_budget.json; then
   exit 1
 fi) 2>&1 | tee -a bench_output.txt
 
+# Multi-tenant service sweep: jobs/sec and p95 latency for a mixed
+# small/large + Zipf job burst, one lane vs. concurrent lanes. The
+# peak_running field in each record is the witness that joins really
+# overlapped.
+(echo "######## join service sweep (BENCH_service.json) ########"
+rc=0
+MMJOIN_BENCH_JSON="BENCH_service.json" timeout "$BENCH_TIMEOUT" \
+  build/bench/bench_service --build=$((1 << 18)) --probe=$((1 << 20)) \
+  --threads=4 --lanes=2 --jobs=16 --repeat=1 || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAILED: join service sweep exited with status $rc" >&2
+  exit 1
+fi
+if ! python3 scripts/check_metrics.py --kind=bench BENCH_service.json; then
+  echo "FAILED: join service sweep wrote an invalid BENCH_service.json" >&2
+  exit 1
+fi) 2>&1 | tee -a bench_output.txt
+
 # Manifest describing this sweep: which BENCH_*.json files exist and under
 # what machine/build they were produced. Two manifests (e.g. baseline vs
 # branch) feed scripts/check_regression.py, which diffs the common figures

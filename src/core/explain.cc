@@ -62,12 +62,26 @@ class Rows {
 
 }  // namespace
 
+std::vector<uint64_t> SnapshotStealMatrix(const numa::NumaSystem* system) {
+  std::vector<uint64_t> matrix;
+  if (system == nullptr) return matrix;
+  const int num_nodes = system->topology().num_nodes();
+  matrix.reserve(static_cast<size_t>(num_nodes) * num_nodes);
+  for (int thief = 0; thief < num_nodes; ++thief) {
+    for (int victim = 0; victim < num_nodes; ++victim) {
+      matrix.push_back(system->TaskSteals(thief, victim));
+    }
+  }
+  return matrix;
+}
+
 ExplainReport BuildExplainReport(
     std::string_view algorithm, const join::JoinResult& result,
     uint64_t build_size, uint64_t probe_size, int threads,
     const numa::NumaSystem* system,
     const std::map<std::string, uint64_t>& counters_before,
-    const std::map<std::string, uint64_t>& counters_after) {
+    const std::map<std::string, uint64_t>& counters_after,
+    const std::vector<uint64_t>* steals_before) {
   ExplainReport report;
   report.algorithm = std::string(algorithm);
   report.build_size = build_size;
@@ -76,14 +90,22 @@ ExplainReport BuildExplainReport(
   report.result = result;
   if (system != nullptr) {
     report.num_nodes = system->topology().num_nodes();
-    report.steal_matrix.reserve(
-        static_cast<size_t>(report.num_nodes) * report.num_nodes);
-    for (int thief = 0; thief < report.num_nodes; ++thief) {
-      for (int victim = 0; victim < report.num_nodes; ++victim) {
-        report.steal_matrix.push_back(system->TaskSteals(thief, victim));
+    report.steal_matrix = SnapshotStealMatrix(system);
+    // With a baseline, report the run's own steals; the matrix is
+    // monotonic, so a mismatched or stale baseline clamps to zero rather
+    // than underflowing.
+    if (steals_before != nullptr &&
+        steals_before->size() == report.steal_matrix.size()) {
+      for (size_t i = 0; i < report.steal_matrix.size(); ++i) {
+        const uint64_t before = (*steals_before)[i];
+        report.steal_matrix[i] -=
+            before < report.steal_matrix[i] ? before : report.steal_matrix[i];
       }
     }
-    report.total_steals = system->TotalTaskSteals();
+    report.total_steals = 0;
+    for (const uint64_t steals : report.steal_matrix) {
+      report.total_steals += steals;
+    }
   }
   for (const auto& [name, after] : counters_after) {
     const auto it = counters_before.find(name);

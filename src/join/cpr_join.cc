@@ -317,35 +317,39 @@ class CprJoin final : public JoinAlgorithm {
         }
       }
       barrier.ArriveAndWait();
-      if (abort.IsSet()) return;
-
-      // The per-worker scratch table is the join phase's build-side
-      // allocation. No barrier follows, so a failed worker just returns;
-      // the others drain or abandon the queue via the abort flag.
-      if (BuildAllocFailpoint()) {
-        abort.Set(InjectedAllocError("build"));
-        return;
+      if (!abort.IsSet()) {
+        // The per-worker scratch table is the join phase's build-side
+        // allocation. A failed worker publishes the abort and skips the
+        // join phase; the others drain or abandon the queue via the abort
+        // flag, and everyone meets at the trailing barrier below.
+        if (BuildAllocFailpoint()) {
+          abort.Set(InjectedAllocError("build"));
+        } else if (array) {
+          ArrayChunkScratch scratch(system, max_r_partition, partition_domain,
+                                    bits, node);
+          JoinChunkedPartitions(system, tid, node, queue, &slots,
+                                r_partitioner.layout(), s_partitioner.layout(),
+                                r_out.data(), s_out.data(), partition_domain,
+                                bits, config.build_unique, config.sink,
+                                &scratch, &stats[tid], &abort, profiler.get());
+        } else {
+          LinearChunkScratch scratch(system, max_r_partition, partition_domain,
+                                     bits, node);
+          JoinChunkedPartitions(system, tid, node, queue, &slots,
+                                r_partitioner.layout(), s_partitioner.layout(),
+                                r_out.data(), s_out.data(), partition_domain,
+                                bits, config.build_unique, config.sink,
+                                &scratch, &stats[tid], &abort, profiler.get());
+        }
       }
-      if (array) {
-        ArrayChunkScratch scratch(system, max_r_partition, partition_domain,
-                                  bits, node);
-        JoinChunkedPartitions(system, tid, node, queue, &slots,
-                              r_partitioner.layout(), s_partitioner.layout(),
-                              r_out.data(), s_out.data(), partition_domain,
-                              bits, config.build_unique, config.sink,
-                              &scratch, &stats[tid], &abort, profiler.get());
-      } else {
-        LinearChunkScratch scratch(system, max_r_partition, partition_domain,
-                                   bits, node);
-        JoinChunkedPartitions(system, tid, node, queue, &slots,
-                              r_partitioner.layout(), s_partitioner.layout(),
-                              r_out.data(), s_out.data(), partition_domain,
-                              bits, config.build_unique, config.sink,
-                              &scratch, &stats[tid], &abort, profiler.get());
-      }
+      // Flush the queue's per-run steal counters before the dispatch
+      // returns: outside the dispatch the flush would race the next join
+      // on this executor re-seeding the queue (BeginRun zeroes the stats).
+      barrier.ArriveAndWait();
+      if (tid == 0) FlushStealMetrics(*queue);
+      if (abort.IsSet()) return;  // uniform: the team leaves together
     });
     MMJOIN_RETURN_IF_ERROR(dispatch_status);
-    FlushStealMetrics(*queue);
     if (abort.IsSet()) return abort.status();
 
     const int64_t end = NowNanos();
@@ -492,9 +496,14 @@ class CprJoin final : public JoinAlgorithm {
                                    bits, node);
         wave_loop(scratch);
       }
+      // Every exit from wave_loop passes through the wave-end barrier, so
+      // the team is synchronized and no worker touches the queue after it:
+      // flush its per-run steal counters (the last seeded wave's) before
+      // the dispatch returns -- outside the dispatch the flush would race
+      // the next join on this executor re-seeding the queue.
+      if (tid == 0) FlushStealMetrics(*queue);
     });
     MMJOIN_RETURN_IF_ERROR(dispatch_status);
-    FlushStealMetrics(*queue);
     if (abort.IsSet()) return abort.status();
 
     const int64_t end = NowNanos();

@@ -450,15 +450,20 @@ class PrJoin final : public JoinAlgorithm {
         if (!seed_status.ok()) abort.Set(seed_status);
       }
       barrier.ArriveAndWait();
-      if (abort.IsSet()) return;
-
-      RunJoinPhase(system, tid, node, num_threads, queue, &slots, r_layout,
-                   s_layout, r_out.data(), s_out.data(), domain, total_bits,
-                   config.build_unique, config.sink, &stats[tid], &abort,
-                   profiler.get());
+      if (!abort.IsSet()) {
+        RunJoinPhase(system, tid, node, num_threads, queue, &slots, r_layout,
+                     s_layout, r_out.data(), s_out.data(), domain, total_bits,
+                     config.build_unique, config.sink, &stats[tid], &abort,
+                     profiler.get());
+      }
+      // Flush the queue's per-run steal counters before the dispatch
+      // returns: outside the dispatch the flush would race the next join
+      // on this executor re-seeding the queue (BeginRun zeroes the stats).
+      // The barrier guarantees every worker is done with the queue.
+      barrier.ArriveAndWait();
+      if (tid == 0) FlushStealMetrics(*queue);
     });
     MMJOIN_RETURN_IF_ERROR(dispatch_status);
-    FlushStealMetrics(*queue);
     if (abort.IsSet()) return abort.status();
 
     const int64_t end = NowNanos();
@@ -590,11 +595,16 @@ class PrJoin final : public JoinAlgorithm {
         // abort (injected build/probe failure included) is published to all
         // workers so they leave the wave loop together.
         barrier.ArriveAndWait();
-        if (abort.IsSet()) return;
+        if (abort.IsSet()) break;
       }
+      // The wave-end barrier above already synchronized the team and no
+      // worker touches the queue after it, so flush its per-run steal
+      // counters (the last seeded wave's) before the dispatch returns --
+      // outside the dispatch the flush would race the next join on this
+      // executor re-seeding the queue.
+      if (tid == 0) FlushStealMetrics(*queue);
     });
     MMJOIN_RETURN_IF_ERROR(dispatch_status);
-    FlushStealMetrics(*queue);
     if (abort.IsSet()) return abort.status();
 
     const int64_t end = NowNanos();
@@ -721,15 +731,19 @@ class PrJoin final : public JoinAlgorithm {
         if (!seed_status.ok()) abort.Set(seed_status);
       }
       barrier.ArriveAndWait();
-      if (abort.IsSet()) return;
-
-      RunJoinPhase(system, tid, node, num_threads, queue, &slots, r_layout,
-                   s_layout, r_out.data(), s_out.data(), domain, total_bits,
-                   config.build_unique, config.sink, &stats[tid], &abort,
-                   profiler.get());
+      if (!abort.IsSet()) {
+        RunJoinPhase(system, tid, node, num_threads, queue, &slots, r_layout,
+                     s_layout, r_out.data(), s_out.data(), domain, total_bits,
+                     config.build_unique, config.sink, &stats[tid], &abort,
+                     profiler.get());
+      }
+      // Flush the queue's per-run steal counters before the dispatch
+      // returns (see RunOnePass); the barrier guarantees every worker is
+      // done with the queue.
+      barrier.ArriveAndWait();
+      if (tid == 0) FlushStealMetrics(*queue);
     });
     MMJOIN_RETURN_IF_ERROR(dispatch_status);
-    FlushStealMetrics(*queue);
     if (abort.IsSet()) return abort.status();
 
     const int64_t end = NowNanos();

@@ -49,6 +49,10 @@ void ResetAllocStats();
 // current_bytes intact). Callers measuring one join's peak bracket the run
 // with ResetPeakResident() + GetAllocStats().peak_bytes.
 //
+// Single-run harnesses only: the counters are process-global, so a reset
+// while another join runs (service lanes, a multi-threaded Joiner) clobbers
+// that join's measurement window. Never reset from concurrent contexts.
+//
 // Accounting caveat: a zero-byte allocation is normalized to `alignment`
 // bytes internally, but FreeAligned only sees the caller's original size, so
 // zero-byte alloc/free pairs drift current_bytes up by the alignment. Peak

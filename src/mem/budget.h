@@ -39,6 +39,10 @@ struct BudgetStats {
 };
 
 BudgetStats GetBudgetStats();
+// Single-run harnesses only: the counters are process-global, so a reset
+// while another join runs (service lanes) clobbers that join's window --
+// concurrent measurement uses monotonic deltas (core::BuildExplainReport),
+// never resets.
 void ResetBudgetStats();
 
 // Degradation-stage accounting, called by the join kernels when a stage

@@ -48,6 +48,10 @@ class NumaSystem {
 
   const Topology& topology() const { return topology_; }
   mem::PagePolicy page_policy() const { return page_policy_; }
+  // Configure-before-run: a plain (non-atomic) setter read by every
+  // allocating thread. Call it only while no join runs on this system --
+  // under the service, set the policy via JoinerOptions at construction
+  // and never flip it live.
   void set_page_policy(mem::PagePolicy policy) { page_policy_ = policy; }
 
   // Allocates `bytes` with the given placement, registers the region, and
@@ -73,7 +77,9 @@ class NumaSystem {
   // Disabled by default; enable for instrumented runs only, and only while
   // no join is running (workers read the flag and the counters pointer
   // without the region lock; the quiescent-toggle contract is what makes
-  // the relaxed load sound).
+  // the relaxed load sound). Under service::JoinService the system is never
+  // quiescent while lanes are up, so toggle accounting before the service
+  // starts (or after Shutdown), not per job.
   void EnableAccounting(int64_t timeline_bucket_nanos = 2'000'000);
   void DisableAccounting() {
     accounting_enabled_.store(false, std::memory_order_relaxed);
@@ -107,7 +113,10 @@ class NumaSystem {
   // --- Task-steal accounting --------------------------------------------
   // Unlike memory accounting this is always on: a steal is a scheduling
   // event, not a per-tuple access, so the cost is one relaxed increment per
-  // stolen task. The matrix is indexed [thief][victim].
+  // stolen task. The matrix is indexed [thief][victim]. Intentionally
+  // cumulative for the system's lifetime -- concurrent joins (service
+  // lanes) all add to it; per-run attribution is a caller-side delta
+  // (core::SnapshotStealMatrix before/after), never a reset here.
   void CountTaskSteal(int thief_node, int victim_node) {
     MMJOIN_DCHECK(thief_node >= 0 && thief_node < topology_.num_nodes());
     MMJOIN_DCHECK(victim_node >= 0 && victim_node < topology_.num_nodes());

@@ -60,7 +60,11 @@
   X("exec.boundary_rows_in")        \
   X("exec.chunks_emitted")          \
   X("exec.rows_compacted")          \
-  X("exec.compaction_flushes")
+  X("exec.compaction_flushes")      \
+  X("service.jobs_submitted")       \
+  X("service.jobs_rejected")        \
+  X("service.jobs_completed")       \
+  X("service.jobs_failed")
 
 #define MMJOIN_HISTOGRAM_REGISTRY(X)    \
   X("join.latency_ns")                  \
@@ -72,7 +76,9 @@
   X("join.phase_ns.merge")              \
   X("join.phase_ns.materialize")        \
   X("join.steals_per_dispatch")         \
-  X("exec.chunk_fill_pct")
+  X("exec.chunk_fill_pct")              \
+  X("service.queue_wait_ns")            \
+  X("service.job_latency_ns")
 
 namespace mmjoin::obs {
 

@@ -10,6 +10,7 @@
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -110,6 +111,18 @@ void StatsServer::Serve() {
     if (ready <= 0) continue;  // timeout (stop-flag check) or EINTR
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
+    // The loop serves clients one at a time with blocking read/write, so a
+    // peer that connects and goes silent (or stops draining the response)
+    // must not wedge the endpoint: bound both directions with the
+    // configured deadline. read()/write() then fail with EAGAIN and the
+    // loop moves on to the next connection.
+    if (client_io_timeout_ms_ > 0) {
+      timeval tv{};
+      tv.tv_sec = client_io_timeout_ms_ / 1000;
+      tv.tv_usec = (client_io_timeout_ms_ % 1000) * 1000;
+      ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
     const std::string path = RequestPath(client);
     if (path == "/metrics" || path == "/") {
       WriteAll(client, HttpResponse(200, "OK", kOpenMetricsContentType,

@@ -52,12 +52,23 @@ class StatsServer {
   // The bound port (resolved after Start, useful with port 0).
   int port() const { return port_; }
 
+  // Per-client I/O deadline (SO_RCVTIMEO/SO_SNDTIMEO on each accepted
+  // socket). The accept loop serves clients one at a time, so without it a
+  // client that connects and never sends a request -- or stops reading the
+  // response -- wedges the endpoint for every later scrape and makes
+  // Stop() block until the peer goes away. Must be called before Start.
+  void set_client_io_timeout_ms(int timeout_ms) {
+    client_io_timeout_ms_ = timeout_ms;
+  }
+
  private:
   void Serve();
 
   std::atomic<bool> running_{false};
   int listen_fd_ = -1;  // owned; written by Start/Stop only (single owner)
   int port_ = 0;        // written by Start before the thread exists
+  // Written before Start (like port_), read by the serving thread.
+  int client_io_timeout_ms_ = 2000;
   std::thread thread_;  // the serving thread; joined by Stop
 };
 

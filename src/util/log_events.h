@@ -31,7 +31,10 @@
   X("stats_server.stop")              \
   X("metrics.sigusr1_dump")           \
   X("metrics.sigusr1_dump_failed")    \
-  X("metrics.sigusr1_dump_armed")
+  X("metrics.sigusr1_dump_armed")     \
+  X("service.admit")                  \
+  X("service.reject")                 \
+  X("service.complete")
 
 namespace mmjoin::logging {
 

@@ -685,6 +685,39 @@ TEST_F(TelemetryTest, StatsServerRejectsDoubleStart) {
   EXPECT_FALSE(server.Start(0).ok());
   server.Stop();
 }
+
+// Regression: the accept loop serves one client at a time with blocking
+// read/write, so a client that connects and never sends a request used to
+// wedge the endpoint (and Stop()) until the peer went away. With the
+// per-client SO_RCVTIMEO/SO_SNDTIMEO deadline, an idle connection times
+// out and the next scrape is served normally.
+TEST_F(TelemetryTest, StatsServerSurvivesIdleClient) {
+  obs::StatsServer server;
+  server.set_client_io_timeout_ms(200);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // Connect and send nothing: the server's read() on this socket must time
+  // out instead of blocking forever.
+  const int idle_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(idle_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(
+      ::connect(idle_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  // A well-behaved scrape right behind the idle client must still get its
+  // response (after at most the idle client's timeout).
+  const std::string metrics = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("# EOF"), std::string::npos);
+
+  // And Stop() must return promptly even with the idle connection open.
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  ::close(idle_fd);
+}
 #endif  // __linux__
 
 }  // namespace
